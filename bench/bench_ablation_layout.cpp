@@ -1,0 +1,117 @@
+// Ablations of the design choices DESIGN.md §5 calls out:
+//  * cut schedule: interleaved vs sequential field order;
+//  * HABS granularity v (16-bit vs 4-bit HABS);
+//  * sub-tree sharing on/off (the memory burst without it);
+//  * instruction selection: hardware POP_COUNT vs RISC loop (Sec. 5.4);
+//  * channel placement policy for the lookup stream.
+#include <iostream>
+
+#include "common/texttable.hpp"
+#include "expcuts/expcuts.hpp"
+#include "expcuts/flat.hpp"
+#include "npsim/sim.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace pclass;
+
+double avg_accesses(const std::vector<LookupTrace>& traces) {
+  double acc = 0;
+  for (const auto& lt : traces) acc += static_cast<double>(lt.access_count());
+  return acc / static_cast<double>(traces.size());
+}
+
+}  // namespace
+
+int main() {
+  workload::Workbench wb;
+  const RuleSet& rules = wb.ruleset("CR03");
+  const Trace& trace = wb.trace("CR03");
+
+  // --- Schedule order and HABS granularity ---
+  std::cout << "=== Layout ablations on CR03 (" << rules.size()
+            << " rules) ===\n\n-- cut schedule & HABS size --\n";
+  TextTable t1({"schedule", "habs_v", "nodes", "mem_agg", "cpa_words",
+                "mean_habs_bits"});
+  for (const auto& [order, oname] :
+       {std::pair{expcuts::ChunkOrder::kInterleaved, "interleaved"},
+        std::pair{expcuts::ChunkOrder::kSequential, "sequential"}}) {
+    for (u32 v : {2u, 4u}) {
+      expcuts::Config cfg;
+      cfg.order = order;
+      cfg.habs_v = v;
+      const expcuts::ExpCutsClassifier cls(rules, cfg);
+      const auto& st = cls.stats();
+      t1.add(oname, v, st.node_count,
+             format_bytes(static_cast<double>(st.bytes_aggregated)),
+             st.cpa_words, format_fixed(st.mean_habs_set_bits, 2));
+    }
+  }
+  t1.print(std::cout);
+
+  // --- Sub-tree sharing (on FW02: feasible without sharing) ---
+  std::cout << "\n-- sub-tree sharing (FW02) --\n";
+  TextTable t2({"share_subtrees", "nodes", "mem_agg", "mem_unagg"});
+  for (bool share : {true, false}) {
+    expcuts::Config cfg;
+    cfg.share_subtrees = share;
+    const expcuts::ExpCutsClassifier cls(wb.ruleset("FW02"), cfg);
+    const auto& st = cls.stats();
+    t2.add(share ? "on" : "off", st.node_count,
+           format_bytes(static_cast<double>(st.bytes_aggregated)),
+           format_bytes(static_cast<double>(st.bytes_unaggregated)));
+  }
+  t2.print(std::cout);
+
+  // --- POP_COUNT vs RISC bit counting (Sec. 5.4) ---
+  std::cout << "\n-- instruction selection: POP_COUNT vs RISC loop --\n";
+  const expcuts::ExpCutsClassifier cls(rules);
+  TextTable t3({"popcount", "avg_accesses", "avg_compute_cycles",
+                "throughput_mbps"});
+  for (bool hw : {true, false}) {
+    std::vector<LookupTrace> traces(trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      cls.flat().lookup(trace[i], cls.schedule(), &traces[i], hw);
+    }
+    double compute = 0;
+    for (const auto& lt : traces) {
+      compute += static_cast<double>(lt.total_compute());
+    }
+    compute /= static_cast<double>(traces.size());
+    const npsim::SimResult res = workload::run_traces_on_npu(
+        traces, workload::RunSpec{}, npsim::AppModel{}, true);
+    t3.add(hw ? "hardware (3 cyc)" : "RISC loop (>100 cyc)",
+           format_fixed(avg_accesses(traces), 1), format_fixed(compute, 0),
+           format_mbps(res.mbps));
+  }
+  t3.print(std::cout);
+
+  // --- Placement policy for the ExpCuts stream ---
+  std::cout << "\n-- channel placement policy (CR03) --\n";
+  const auto traces = npsim::collect_traces(cls, trace);
+  TextTable t4({"policy", "throughput_mbps", "busiest_util"});
+  struct Policy {
+    const char* name;
+    npsim::Placement placement;
+  };
+  const npsim::NpuConfig npu = npsim::NpuConfig::ixp2850();
+  const std::vector<Policy> policies = {
+      {"headroom-proportional (Table 4)",
+       npsim::Placement::headroom_proportional(13, npu.sram_headroom, 4)},
+      {"round-robin", npsim::Placement::round_robin(13, 4)},
+      {"single channel (SRAM#1)", npsim::Placement::single(13, 1)},
+  };
+  for (const Policy& p : policies) {
+    npsim::SimConfig cfg;
+    cfg.npu = npu;
+    cfg.placement = p.placement;
+    const npsim::SimResult res = npsim::simulate(traces, cfg);
+    double busiest = 0.0;
+    for (const auto& ch : res.sram) busiest = std::max(busiest, ch.utilization);
+    t4.add(p.name, format_mbps(res.mbps),
+           format_fixed(busiest * 100, 0) + "%");
+  }
+  t4.print(std::cout);
+  return 0;
+}

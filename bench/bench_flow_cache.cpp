@@ -1,0 +1,96 @@
+// Extension: flow caching in front of ExpCuts.
+//
+// The paper's introduction blames software classifiers' CPU-cache misses
+// on per-packet header diversity. At flow granularity the diversity is
+// bounded: real traffic repeats 5-tuples with Zipf-skewed popularity,
+// and an exact-match flow cache (one 4-word SRAM bucket per probe)
+// short-circuits classification for the repeats. This bench sweeps the
+// cache size on flow-structured CR04 traffic and on the cache-hostile
+// per-packet-random trace, on the simulated NP.
+#include <iostream>
+
+#include "common/texttable.hpp"
+#include "engine/flow_cache.hpp"
+#include "npsim/sim.hpp"
+#include "packet/flowgen.hpp"
+#include "workload/workload.hpp"
+
+int main() {
+  using namespace pclass;
+  workload::Workbench wb;
+  const RuleSet& rules = wb.ruleset("CR04");
+  const ClassifierPtr inner =
+      workload::make_classifier(workload::Algo::kExpCuts, rules);
+
+  FlowTraceConfig fcfg;
+  fcfg.flows = 8000;
+  fcfg.packets = 20000;
+  fcfg.zipf_s = 1.1;
+  fcfg.seed = 0xF10;
+  const Trace flow_trace = generate_flow_trace(rules, fcfg);
+
+  std::cout << "=== Flow cache in front of ExpCuts (CR04, " << fcfg.flows
+            << " flows, Zipf " << fcfg.zipf_s << ") ===\n\n";
+  TextTable t({"cache_entries", "hit_rate", "accesses/pkt",
+               "throughput_mbps"});
+
+  // Baseline: no cache.
+  {
+    const auto traces = npsim::collect_traces(*inner, flow_trace);
+    double acc = 0;
+    for (const auto& lt : traces) acc += static_cast<double>(lt.access_count());
+    const npsim::SimResult res = workload::run_traces_on_npu(
+        traces, workload::RunSpec{}, npsim::AppModel{}, true);
+    t.add("(none)", "-", format_fixed(acc / traces.size(), 1),
+          format_mbps(res.mbps));
+  }
+  for (std::size_t entries : {1024u, 4096u, 16384u, 65536u}) {
+    CachedClassifier cached(*inner, entries);
+    // Warm pass so steady-state hit rates are measured.
+    for (std::size_t i = 0; i < flow_trace.size(); ++i) {
+      cached.classify(flow_trace[i]);
+    }
+    cached.reset_stats();
+    const auto traces = npsim::collect_traces(cached, flow_trace);
+    double acc = 0;
+    for (const auto& lt : traces) acc += static_cast<double>(lt.access_count());
+    const npsim::SimResult res = workload::run_traces_on_npu(
+        traces, workload::RunSpec{}, npsim::AppModel{}, true);
+    t.add(entries, format_fixed(cached.cache_stats().hit_rate() * 100, 1) + "%",
+          format_fixed(acc / traces.size(), 1), format_mbps(res.mbps));
+  }
+  t.print(std::cout);
+
+  // TSS behind the cache: the OVS architecture. Naive tuple-space search
+  // probes thousands of tuples on range-heavy sets (bench_extended), but
+  // at >99% hit rates almost every packet costs one bucket probe.
+  {
+    const ClassifierPtr tss =
+        workload::make_classifier(workload::Algo::kTss, rules);
+    CachedClassifier cached_tss(*tss, 16384);
+    for (std::size_t i = 0; i < flow_trace.size(); ++i) {
+      cached_tss.classify(flow_trace[i]);
+    }
+    cached_tss.reset_stats();
+    const auto traces = npsim::collect_traces(cached_tss, flow_trace);
+    const npsim::SimResult res = workload::run_traces_on_npu(
+        traces, workload::RunSpec{}, npsim::AppModel{}, true);
+    std::cout << "\n  TSS+16K cache (the OVS megaflow pattern): "
+              << format_fixed(cached_tss.cache_stats().hit_rate() * 100, 1)
+              << "% hits, " << format_mbps(res.mbps) << " Mbps (naive TSS: "
+              << "~24 Mbps on CR04)\n";
+  }
+
+  // The cache-hostile case: per-packet random headers (the paper's
+  // motivating scenario) — the cache only adds probe overhead.
+  CachedClassifier hostile(*inner, 65536);
+  const auto traces = npsim::collect_traces(hostile, wb.trace("CR04"));
+  const npsim::SimResult res = workload::run_traces_on_npu(
+      traces, workload::RunSpec{}, npsim::AppModel{}, true);
+  std::cout << "\n  cache-hostile (per-packet diverse) trace with 64K cache: "
+            << format_fixed(hostile.cache_stats().hit_rate() * 100, 1)
+            << "% hits, " << format_mbps(res.mbps)
+            << " Mbps — caching cannot replace a fast classifier,\n"
+               "  which is the paper's argument for algorithmic speed.\n";
+  return 0;
+}

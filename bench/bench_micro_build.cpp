@@ -1,0 +1,47 @@
+// Preprocessing (build) cost of the three algorithms on the paper's
+// smallest and largest rule sets.
+#include <benchmark/benchmark.h>
+
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace pclass;
+
+workload::Workbench& bench_workbench() {
+  static workload::Workbench wb(100);
+  return wb;
+}
+
+void run_build(benchmark::State& state, workload::Algo algo,
+               const char* set_name) {
+  const RuleSet& rules = bench_workbench().ruleset(set_name);
+  for (auto _ : state) {
+    const ClassifierPtr cls = workload::make_classifier(algo, rules);
+    benchmark::DoNotOptimize(cls.get());
+  }
+}
+
+void BM_Build_ExpCuts_FW01(benchmark::State& s) {
+  run_build(s, workload::Algo::kExpCuts, "FW01");
+}
+void BM_Build_ExpCuts_CR04(benchmark::State& s) {
+  run_build(s, workload::Algo::kExpCuts, "CR04");
+}
+void BM_Build_HiCuts_CR04(benchmark::State& s) {
+  run_build(s, workload::Algo::kHiCuts, "CR04");
+}
+void BM_Build_HSM_CR04(benchmark::State& s) {
+  run_build(s, workload::Algo::kHsm, "CR04");
+}
+
+BENCHMARK(BM_Build_ExpCuts_FW01)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Build_ExpCuts_CR04)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+BENCHMARK(BM_Build_HiCuts_CR04)->Unit(benchmark::kMillisecond)->Iterations(5);
+BENCHMARK(BM_Build_HSM_CR04)->Unit(benchmark::kMillisecond)->Iterations(5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

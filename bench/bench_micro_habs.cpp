@@ -1,0 +1,67 @@
+// Micro-benchmarks of the HABS codec and rank primitive (host-native).
+#include <benchmark/benchmark.h>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+#include "expcuts/habs.hpp"
+
+namespace {
+
+using namespace pclass;
+
+/// A representative sparse pointer array: `children` distinct runs.
+std::vector<u32> make_pointers(u32 children, u64 seed) {
+  Rng rng(seed);
+  std::vector<u32> ptrs(256);
+  u32 value = static_cast<u32>(rng.next_u64());
+  std::size_t i = 0;
+  for (u32 c = 0; c < children && i < ptrs.size(); ++c) {
+    const std::size_t run = 1 + rng.next_below(2 * 256 / children);
+    for (std::size_t k = 0; k < run && i < ptrs.size(); ++k) ptrs[i++] = value;
+    value = static_cast<u32>(rng.next_u64());
+  }
+  while (i < ptrs.size()) ptrs[i++] = value;
+  return ptrs;
+}
+
+void BM_HabsEncode(benchmark::State& state) {
+  const auto ptrs = make_pointers(static_cast<u32>(state.range(0)), 42);
+  for (auto _ : state) {
+    auto enc = expcuts::habs_encode(ptrs, 8, 4);
+    benchmark::DoNotOptimize(enc.cpa.data());
+  }
+}
+BENCHMARK(BM_HabsEncode)->Arg(2)->Arg(10)->Arg(64);
+
+void BM_HabsLookup(benchmark::State& state) {
+  const auto ptrs = make_pointers(10, 42);
+  const auto enc = expcuts::habs_encode(ptrs, 8, 4);
+  u32 n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.lookup(n & 0xff));
+    ++n;
+  }
+}
+BENCHMARK(BM_HabsLookup);
+
+void BM_Popcount32(benchmark::State& state) {
+  u32 x = 0x12345678;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(popcount32(x));
+    x = x * 1664525 + 1013904223;
+  }
+}
+BENCHMARK(BM_Popcount32);
+
+void BM_RankInclusive(benchmark::State& state) {
+  u32 x = 0xbeef;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rank_inclusive(x, x & 15));
+    x = x * 1664525 + 1013904223;
+  }
+}
+BENCHMARK(BM_RankInclusive);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Host-native lookup throughput of the three algorithms (single thread).
+//
+// This measures the portable C++ classify() path, not the NP simulation:
+// useful for library users running on commodity CPUs.
+#include <benchmark/benchmark.h>
+
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace pclass;
+
+workload::Workbench& bench_workbench() {
+  static workload::Workbench wb(4000);
+  return wb;
+}
+
+void run_lookup(benchmark::State& state, workload::Algo algo,
+                const char* set_name) {
+  workload::Workbench& wb = bench_workbench();
+  const RuleSet& rules = wb.ruleset(set_name);
+  const Trace& trace = wb.trace(set_name);
+  const ClassifierPtr cls = workload::make_classifier(algo, rules);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cls->classify(trace[i]));
+    i = (i + 1) % trace.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_Lookup_ExpCuts_FW01(benchmark::State& s) {
+  run_lookup(s, workload::Algo::kExpCuts, "FW01");
+}
+void BM_Lookup_ExpCuts_CR04(benchmark::State& s) {
+  run_lookup(s, workload::Algo::kExpCuts, "CR04");
+}
+void BM_Lookup_HiCuts_CR04(benchmark::State& s) {
+  run_lookup(s, workload::Algo::kHiCuts, "CR04");
+}
+void BM_Lookup_HSM_CR04(benchmark::State& s) {
+  run_lookup(s, workload::Algo::kHsm, "CR04");
+}
+void BM_Lookup_Linear_CR04(benchmark::State& s) {
+  run_lookup(s, workload::Algo::kLinear, "CR04");
+}
+
+BENCHMARK(BM_Lookup_ExpCuts_FW01);
+BENCHMARK(BM_Lookup_ExpCuts_CR04);
+BENCHMARK(BM_Lookup_HiCuts_CR04);
+BENCHMARK(BM_Lookup_HSM_CR04);
+BENCHMARK(BM_Lookup_Linear_CR04);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Ablation: live rule updates on ExpCuts (the delta/tombstone layer).
+//
+// Measures what the update path costs: per-update latency, the lookup
+// penalty while updates are pending (extra 6-word delta references), and
+// the rebuild cost that amortizes them.
+#include <chrono>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/texttable.hpp"
+#include "expcuts/dynamic.hpp"
+#include "npsim/sim.hpp"
+#include "packet/tracegen.hpp"
+#include "rules/generator.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace pclass;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  workload::Workbench wb;
+  const RuleSet base = wb.ruleset("CR02");
+  const Trace& trace = wb.trace("CR02");
+
+  std::cout << "=== ExpCuts live updates (CR02, " << base.size()
+            << " rules) ===\n\n";
+
+  // Rule pool to insert from.
+  GeneratorConfig gen;
+  gen.profile = RuleProfile::kCoreRouter;
+  gen.rule_count = 128;
+  gen.seed = 4242;
+  gen.with_default = false;
+  const RuleSet pool = generate_ruleset(gen);
+
+  TextTable t({"pending_updates", "insert_ms", "lookup_Mbps_sim",
+               "extra_words/pkt", "footprint"});
+  Rng rng(7);
+  expcuts::DynamicExpCutsClassifier dyn(base, expcuts::Config{},
+                                        1u << 30);  // no auto rebuild
+  double base_words = 0.0;
+  for (u32 pending : {0u, 4u, 16u, 64u}) {
+    while (dyn.pending_updates() < pending) {
+      const Rule& r = pool[static_cast<RuleId>(
+          rng.next_below(pool.size()))];
+      const Clock::time_point t0 = Clock::now();
+      dyn.insert(r, rng.next_below(dyn.rules().size()));
+      (void)ms_since(t0);
+    }
+    // One representative insert timing at this state.
+    const Clock::time_point t0 = Clock::now();
+    dyn.insert(pool[0], 0);
+    const double ins_ms = ms_since(t0);
+    dyn.erase(0);
+
+    const auto traces = npsim::collect_traces(dyn, trace);
+    double words = 0;
+    for (const auto& lt : traces) words += lt.total_words();
+    words /= static_cast<double>(traces.size());
+    if (pending == 0) base_words = words;
+    const npsim::SimResult res = workload::run_traces_on_npu(
+        traces, workload::RunSpec{}, npsim::AppModel{}, true);
+    t.add(dyn.pending_updates(), format_fixed(ins_ms, 3),
+          format_mbps(res.mbps), format_fixed(words - base_words, 1),
+          format_bytes(static_cast<double>(dyn.footprint().bytes)));
+  }
+  t.print(std::cout);
+
+  // Rebuild cost amortizing the pending state away.
+  const Clock::time_point t0 = Clock::now();
+  dyn.rebuild();
+  std::cout << "\n  full rebuild: " << format_fixed(ms_since(t0), 1)
+            << " ms, rebuilds so far: " << dyn.rebuild_count() << "\n"
+            << "  Each pending insert adds one worst-case 6-word reference;\n"
+               "  the rebuild threshold bounds the degradation.\n";
+  return 0;
+}

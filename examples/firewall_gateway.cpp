@@ -1,0 +1,101 @@
+// firewall_gateway — a software firewall fast path on the host.
+//
+// Demonstrates the library end-to-end the way a user-space firewall would
+// employ it: load a rule set (here: the synthetic FW03 profile), build the
+// ExpCuts classifier, push a traffic mix through the parallel engine with
+// strict packet-order restoration, and act on the per-rule verdicts.
+//
+//   $ ./build/examples/firewall_gateway [packets] [threads]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "classify/verify.hpp"
+#include "common/texttable.hpp"
+#include "engine/parallel.hpp"
+#include "engine/reorder.hpp"
+#include "expcuts/expcuts.hpp"
+#include "packet/tracegen.hpp"
+#include "rules/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pclass;
+  const std::size_t packets = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                       : 200000;
+  const unsigned threads = argc > 2
+                               ? static_cast<unsigned>(std::atoi(argv[2]))
+                               : 4;
+
+  // 1. Policy: a firewall rule set ending in deny-all.
+  const RuleSet rules = generate_paper_ruleset("FW03");
+  std::cout << "policy: " << rules.size() << " rules ("
+            << rules.name() << " profile, default deny)\n";
+
+  // 2. Classifier: ExpCuts, stride 8 (13-level worst case).
+  const expcuts::ExpCutsClassifier classifier(rules);
+  std::cout << "classifier: " << classifier.stats().node_count
+            << " nodes, "
+            << format_bytes(static_cast<double>(
+                   classifier.stats().bytes_aggregated))
+            << " serialized\n";
+
+  // 3. Traffic: mostly flows aimed at the policy, some random scans.
+  TraceGenConfig tcfg;
+  tcfg.count = packets;
+  tcfg.rule_directed_fraction = 0.8;
+  tcfg.rule_skew = 1.0;  // Zipf-ish flow concentration
+  tcfg.seed = 2026;
+  const Trace trace = generate_trace(rules, tcfg);
+
+  // 4. Classify in parallel; verdicts land in arrival order.
+  const ParallelRunResult run = classify_parallel(classifier, trace, threads);
+  std::cout << "classified " << packets << " packets on " << threads
+            << " threads in " << format_fixed(run.seconds * 1000, 1)
+            << " ms (" << format_mbps(run.packets_per_second(packets) *
+                                      64 * 8 / 1e6)
+            << " Mbps at 64B/packet)\n\n";
+
+  // 5. Act on verdicts; the reorder buffer shows how a transmit stage
+  // would restore strict ordering behind out-of-order completion.
+  ReorderBuffer<RuleId> tx_order;
+  u64 permits = 0, denies = 0, released = 0;
+  std::map<RuleId, u64> hits;
+  for (std::size_t i = 0; i < run.results.size(); ++i) {
+    const RuleId verdict = run.results[i];
+    for (RuleId v : tx_order.offer(i, verdict)) {
+      ++released;
+      if (v == kNoMatch || rules[v].action == Action::kDeny) {
+        ++denies;
+      } else {
+        ++permits;
+      }
+      ++hits[v];
+    }
+  }
+  std::cout << "released in order: " << released << " (pending "
+            << tx_order.pending() << ")\n"
+            << "permitted: " << permits << "  denied: " << denies << "\n\n";
+
+  std::cout << "top rules by hits:\n";
+  std::vector<std::pair<u64, RuleId>> top;
+  for (const auto& [rule, count] : hits) top.emplace_back(count, rule);
+  std::sort(top.rbegin(), top.rend());
+  TextTable t({"rule", "hits", "action", "match"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, top.size()); ++i) {
+    const RuleId id = top[i].second;
+    t.add("#" + std::to_string(id), top[i].first,
+          id == kNoMatch ? "-" : (rules[id].action == Action::kPermit
+                                      ? "permit"
+                                      : "deny"),
+          id == kNoMatch ? "(no match)" : rules[id].str());
+  }
+  t.print(std::cout);
+
+  // 6. Sanity: spot-check against the linear reference.
+  Trace sample;
+  for (std::size_t i = 0; i < trace.size(); i += 97) sample.push_back(trace[i]);
+  const VerifyResult check = verify_against_linear(classifier, rules, sample);
+  std::cout << "\nverification: " << check.str() << "\n";
+  return check.ok() ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+#include "bv/bv.hpp"
+
+#include "common/bitops.hpp"
+
+namespace pclass {
+namespace bv {
+namespace {
+
+constexpr u32 kProbeCycles = 4;    // compare/branch per search probe
+constexpr u32 kVectorCycles = 2;   // per-word AND while streaming vectors
+
+}  // namespace
+
+BvClassifier::BvClassifier(const RuleSet& rules) : rules_(rules) {
+  u64 bytes = 0;
+  u32 probes = 0;
+  for (std::size_t d = 0; d < kNumDims; ++d) {
+    segs_[d] = hsm::segment_dimension(rules_, static_cast<Dim>(d));
+    stats_.segments[d] = segs_[d].segment_count();
+    // Edge array + per-segment vector reference + one vector per class.
+    bytes += segs_[d].segment_count() * 8;
+    bytes += segs_[d].class_count() * ((rules_.size() + 31) / 32) * 4;
+    probes += segs_[d].search_steps() + 1;
+  }
+  stats_.vector_words = static_cast<u32>((rules_.size() + 31) / 32);
+  // Five vector reads on top of the per-dimension searches.
+  stats_.worst_case_probes = probes;
+  stats_.memory_bytes = bytes;
+}
+
+RuleId BvClassifier::classify(const PacketHeader& h) const {
+  DynBitset acc =
+      segs_[0].class_bitmaps[segs_[0].lookup(h.field(static_cast<Dim>(0)))];
+  for (std::size_t d = 1; d < kNumDims; ++d) {
+    const u32 cls = segs_[d].lookup(h.field(static_cast<Dim>(d)));
+    acc = acc.and_with(segs_[d].class_bitmaps[cls]);
+    if (!acc.any()) return kNoMatch;
+  }
+  const std::size_t first = acc.find_first();
+  return first == DynBitset::npos ? kNoMatch : static_cast<RuleId>(first);
+}
+
+RuleId BvClassifier::classify_traced(const PacketHeader& h,
+                                     LookupTrace& trace) const {
+  for (u16 d = 0; d < kNumDims; ++d) {
+    const u32 steps = segs_[d].search_steps();
+    for (u32 s = 0; s < steps; ++s) {
+      trace.accesses.push_back(MemAccess{d, 1, kProbeCycles});
+    }
+    // The segment's rule vector: ceil(N/32) consecutive words, ANDed into
+    // the accumulator as they stream in.
+    trace.accesses.push_back(
+        MemAccess{d, static_cast<u16>(std::max<u32>(1, stats_.vector_words)),
+                  kVectorCycles * std::max<u32>(1, stats_.vector_words)});
+  }
+  trace.tail_compute_cycles = 4 + stats_.vector_words;  // find-first-set
+  return classify(h);
+}
+
+MemoryFootprint BvClassifier::footprint() const {
+  MemoryFootprint f;
+  f.bytes = stats_.memory_bytes;
+  f.node_count = kNumDims;
+  f.leaf_count = 0;
+  f.max_depth = stats_.worst_case_probes;
+  f.detail = "vector_words=" + std::to_string(stats_.vector_words) +
+             " (x5 per lookup)";
+  return f;
+}
+
+}  // namespace bv
+}  // namespace pclass

@@ -1,0 +1,51 @@
+// BV: the Lucent bit-vector scheme (Lakshman & Stiliadis, SIGCOMM 1998).
+//
+// The third classic decomposition approach, completing the taxonomy the
+// paper's related work sketches: each dimension keeps its elementary
+// segments (found by binary search, as in HSM), but instead of combining
+// equivalence-class ids through crossproduct tables, every segment stores
+// an N-bit vector of the rules covering it; a lookup ANDs the five
+// vectors and takes the lowest set bit.
+//
+// The scheme is memory-cheap per segment count, but every lookup must *read*
+// five N-bit vectors — ceil(N/32) words each — which is exactly the kind
+// of raw-bandwidth cost (Sec. 6.7) that breaks on a network processor as
+// N grows. The extended benches use it as the bandwidth-bound contrast
+// to HSM's probe-bound and RFC's memory-bound designs.
+#pragma once
+
+#include <array>
+
+#include "classify/classifier.hpp"
+#include "hsm/segmentation.hpp"
+
+namespace pclass {
+namespace bv {
+
+struct BvStats {
+  std::array<std::size_t, kNumDims> segments{};
+  u32 vector_words = 0;        ///< ceil(N/32): words read per dimension.
+  u32 worst_case_probes = 0;   ///< Search probes + vector reads.
+  u64 memory_bytes = 0;
+};
+
+class BvClassifier final : public Classifier {
+ public:
+  explicit BvClassifier(const RuleSet& rules);
+
+  std::string name() const override { return "BV"; }
+  RuleId classify(const PacketHeader& h) const override;
+  RuleId classify_traced(const PacketHeader& h,
+                         LookupTrace& trace) const override;
+  MemoryFootprint footprint() const override;
+
+  const BvStats& stats() const { return stats_; }
+
+ private:
+  const RuleSet& rules_;
+  std::array<hsm::DimSegmentation, kNumDims> segs_;
+  BvStats stats_;
+};
+
+}  // namespace bv
+}  // namespace pclass

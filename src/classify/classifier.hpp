@@ -1,0 +1,92 @@
+// The classifier abstraction shared by all algorithms.
+//
+// Every algorithm provides two entry points:
+//   * classify(header)          — host-speed lookup, returns the rule id;
+//   * classify_traced(header,t) — same lookup, additionally appending the
+//     exact sequence of off-chip memory references the data structure would
+//     issue on the NP (how many 32-bit words, from which logical structure
+//     level, how much compute between references).
+//
+// The NP simulator replays those traces through its microengine/SRAM model;
+// this is what lets the reproduction execute the *real* serialized data
+// structures while modelling IXP2850 memory behaviour (DESIGN.md §2).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "packet/header.hpp"
+#include "rules/ruleset.hpp"
+
+namespace pclass {
+
+/// One off-chip memory reference issued during a lookup.
+struct MemAccess {
+  /// Logical placement tag. For tree algorithms this is the tree level
+  /// (root = 0), which the channel-placement policy maps onto SRAM
+  /// channels (paper Table 4). Structure-table algorithms use stage ids.
+  u16 level = 0;
+  /// Number of consecutive 32-bit words referenced (SRAM is word-oriented;
+  /// paper Sec. 5.3). E.g. HiCuts reads 6 words per leaf rule (Sec. 6.6).
+  u16 words = 1;
+  /// Microengine compute cycles spent before issuing this reference
+  /// (index arithmetic, POP_COUNT, comparisons).
+  u32 compute_cycles = 0;
+
+  bool operator==(const MemAccess& o) const = default;
+};
+
+/// A full lookup's memory behaviour.
+struct LookupTrace {
+  std::vector<MemAccess> accesses;
+  /// Compute cycles after the last reference (final compare/return).
+  u32 tail_compute_cycles = 0;
+
+  u32 total_words() const {
+    u32 n = 0;
+    for (const MemAccess& a : accesses) n += a.words;
+    return n;
+  }
+  u32 total_compute() const {
+    u32 n = tail_compute_cycles;
+    for (const MemAccess& a : accesses) n += a.compute_cycles;
+    return n;
+  }
+  std::size_t access_count() const { return accesses.size(); }
+  void clear() {
+    accesses.clear();
+    tail_compute_cycles = 0;
+  }
+};
+
+/// Summary of a classifier's memory image, for Figure 6-style reporting.
+struct MemoryFootprint {
+  u64 bytes = 0;
+  u64 node_count = 0;   ///< Internal nodes / tables, structure-specific.
+  u64 leaf_count = 0;
+  u32 max_depth = 0;    ///< Worst-case accesses on the structure's own metric.
+  std::string detail;   ///< Free-form structure-specific breakdown.
+};
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Algorithm name for reports ("ExpCuts", "HiCuts", "HSM", "Linear").
+  virtual std::string name() const = 0;
+
+  /// Highest-priority matching rule id, or kNoMatch.
+  virtual RuleId classify(const PacketHeader& h) const = 0;
+
+  /// classify() plus the NP memory-access trace (appended to `trace`,
+  /// which the caller is expected to clear()).
+  virtual RuleId classify_traced(const PacketHeader& h,
+                                 LookupTrace& trace) const = 0;
+
+  virtual MemoryFootprint footprint() const = 0;
+};
+
+using ClassifierPtr = std::unique_ptr<Classifier>;
+
+}  // namespace pclass

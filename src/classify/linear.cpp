@@ -1,0 +1,39 @@
+#include "classify/linear.hpp"
+
+namespace pclass {
+
+LinearSearchClassifier::LinearSearchClassifier(const RuleSet& rules)
+    : rules_(rules) {}
+
+RuleId LinearSearchClassifier::classify(const PacketHeader& h) const {
+  for (RuleId i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].matches(h)) return i;
+  }
+  return kNoMatch;
+}
+
+RuleId LinearSearchClassifier::classify_traced(const PacketHeader& h,
+                                               LookupTrace& trace) const {
+  for (RuleId i = 0; i < rules_.size(); ++i) {
+    // One 6-word reference per examined rule, plus the 10-cycle 5-field
+    // compare once the rule is in registers.
+    trace.accesses.push_back(MemAccess{0, kRuleWords, 10});
+    if (rules_[i].matches(h)) {
+      trace.tail_compute_cycles = 4;
+      return i;
+    }
+  }
+  trace.tail_compute_cycles = 4;
+  return kNoMatch;
+}
+
+MemoryFootprint LinearSearchClassifier::footprint() const {
+  MemoryFootprint f;
+  f.bytes = static_cast<u64>(rules_.size()) * kRuleWords * 4;
+  f.leaf_count = rules_.size();
+  f.max_depth = static_cast<u32>(rules_.size());
+  f.detail = "rule table, 6 words/rule";
+  return f;
+}
+
+}  // namespace pclass

@@ -1,0 +1,30 @@
+// Reference classifier: priority-ordered linear search.
+//
+// Semantically authoritative (all other classifiers are differentially
+// tested against it) and also the cost model for HiCuts leaf search: every
+// rule examined costs one 6-word SRAM reference (paper Sec. 6.6).
+#pragma once
+
+#include "classify/classifier.hpp"
+
+namespace pclass {
+
+/// Words occupied by one rule in the NP memory image: 2×(IP lo,hi) +
+/// packed port ranges + proto/action — 6 32-bit words (paper Sec. 6.6/6.7).
+inline constexpr u32 kRuleWords = 6;
+
+class LinearSearchClassifier final : public Classifier {
+ public:
+  explicit LinearSearchClassifier(const RuleSet& rules);
+
+  std::string name() const override { return "Linear"; }
+  RuleId classify(const PacketHeader& h) const override;
+  RuleId classify_traced(const PacketHeader& h,
+                         LookupTrace& trace) const override;
+  MemoryFootprint footprint() const override;
+
+ private:
+  const RuleSet& rules_;
+};
+
+}  // namespace pclass

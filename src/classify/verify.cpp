@@ -1,0 +1,63 @@
+#include "classify/verify.hpp"
+
+#include <sstream>
+
+#include "classify/linear.hpp"
+
+namespace pclass {
+
+VerifyResult verify_against_linear(const Classifier& subject,
+                                   const RuleSet& rules, const Trace& trace) {
+  LinearSearchClassifier reference(rules);
+  VerifyResult res;
+  res.packets = trace.size();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const RuleId want = reference.classify(trace[i]);
+    const RuleId got = subject.classify(trace[i]);
+    if (want != got) {
+      if (res.mismatches == 0) {
+        res.first_bad = trace[i];
+        res.expected = want;
+        res.got = got;
+      }
+      ++res.mismatches;
+    }
+  }
+  return res;
+}
+
+VerifyResult verify_traced_consistency(const Classifier& subject,
+                                       const Trace& trace) {
+  VerifyResult res;
+  res.packets = trace.size();
+  LookupTrace lt;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    lt.clear();
+    const RuleId plain = subject.classify(trace[i]);
+    const RuleId traced = subject.classify_traced(trace[i], lt);
+    if (plain != traced) {
+      if (res.mismatches == 0) {
+        res.first_bad = trace[i];
+        res.expected = plain;
+        res.got = traced;
+      }
+      ++res.mismatches;
+    }
+  }
+  return res;
+}
+
+std::string VerifyResult::str() const {
+  std::ostringstream os;
+  if (ok()) {
+    os << packets << " packets verified, no mismatches";
+  } else {
+    os << mismatches << "/" << packets << " mismatches; first at packet ["
+       << first_bad.str() << "]: expected rule "
+       << (expected == kNoMatch ? -1 : static_cast<long>(expected))
+       << ", got " << (got == kNoMatch ? -1 : static_cast<long>(got));
+  }
+  return os.str();
+}
+
+}  // namespace pclass

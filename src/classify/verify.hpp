@@ -1,0 +1,32 @@
+// Differential verification of classifiers against the linear reference.
+#pragma once
+
+#include <string>
+
+#include "classify/classifier.hpp"
+#include "packet/trace.hpp"
+
+namespace pclass {
+
+struct VerifyResult {
+  std::size_t packets = 0;
+  std::size_t mismatches = 0;
+  /// First mismatching packet and the two answers, for diagnostics.
+  PacketHeader first_bad{};
+  RuleId expected = kNoMatch;
+  RuleId got = kNoMatch;
+
+  bool ok() const { return mismatches == 0; }
+  std::string str() const;
+};
+
+/// Classifies every packet of `trace` with both `subject` and a linear
+/// search over `rules`; counts disagreements on the matched rule id.
+VerifyResult verify_against_linear(const Classifier& subject,
+                                   const RuleSet& rules, const Trace& trace);
+
+/// Also checks classify_traced() returns the same id as classify().
+VerifyResult verify_traced_consistency(const Classifier& subject,
+                                       const Trace& trace);
+
+}  // namespace pclass

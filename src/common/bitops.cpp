@@ -1,0 +1,19 @@
+#include "common/bitops.hpp"
+
+namespace pclass {
+
+u32 risc_popcount_cycles(u32 x) {
+  // Shift-and-test loop: each iteration spends one AND, one ADD, one SHIFT
+  // and one BRANCH (4 cycles); the loop runs once per bit position up to the
+  // highest set bit. This matches the ">100 RISC instructions" the paper
+  // cites for a 32-bit operand.
+  u32 cycles = 2;  // setup
+  u32 v = x;
+  while (v != 0) {
+    cycles += 4;
+    v >>= 1;
+  }
+  return cycles;
+}
+
+}  // namespace pclass

@@ -1,0 +1,51 @@
+// Bit-level primitives used throughout the classifiers.
+//
+// The IXP2850 exposes a POP_COUNT instruction that counts the set bits of a
+// 32-bit word in 3 cycles; a plain RISC loop needs >100 instructions
+// (paper, Sec. 5.4). Both the value computation and the two cycle-cost
+// models live here so the NP simulator can charge either cost.
+#pragma once
+
+#include <bit>
+
+#include "common/types.hpp"
+
+namespace pclass {
+
+/// Number of set bits in x. Mirrors the IXP2850 POP_COUNT instruction.
+constexpr u32 popcount32(u32 x) { return static_cast<u32>(std::popcount(x)); }
+
+/// Cycles charged for POP_COUNT on the IXP2850 (paper, Sec. 5.4).
+inline constexpr u32 kPopCountCycles = 3;
+
+/// Cycle cost of emulating popcount with ADD/SHIFT/AND/BRANCH on a plain
+/// RISC pipeline; the paper reports >100 instructions. Used by the
+/// instruction-selection ablation.
+u32 risc_popcount_cycles(u32 x);
+
+/// Rank query for aggregation bit strings: number of set bits among bit
+/// positions [0, m] (inclusive) of `bits`. Requires m < 32.
+constexpr u32 rank_inclusive(u32 bits, u32 m) {
+  const u32 mask = (m >= 31) ? ~u32{0} : ((u32{2} << m) - 1);
+  return popcount32(bits & mask);
+}
+
+/// Extract `width` bits of `value` starting at bit `lsb` (bit 0 = LSB).
+constexpr u64 extract_bits(u64 value, u32 lsb, u32 width) {
+  const u64 shifted = value >> lsb;
+  return (width >= 64) ? shifted : (shifted & ((u64{1} << width) - 1));
+}
+
+/// True if x is a power of two (x > 0).
+constexpr bool is_pow2(u64 x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Integer log2 of a power of two.
+constexpr u32 log2_pow2(u64 x) { return static_cast<u32>(std::countr_zero(x)); }
+
+/// Smallest power of two >= x (x >= 1).
+constexpr u64 ceil_pow2(u64 x) { return std::bit_ceil(x); }
+
+/// Ceiling division for unsigned integers.
+constexpr u64 ceil_div(u64 a, u64 b) { return (a + b - 1) / b; }
+
+}  // namespace pclass

@@ -1,0 +1,43 @@
+#include "common/bitset.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace pclass {
+
+std::size_t DynBitset::count() const {
+  std::size_t n = 0;
+  for (u64 w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+std::size_t DynBitset::find_first() const {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] != 0) {
+      return (i << 6) + static_cast<std::size_t>(std::countr_zero(words_[i]));
+    }
+  }
+  return npos;
+}
+
+DynBitset DynBitset::and_with(const DynBitset& o) const {
+  check(bits_ == o.bits_, "DynBitset::and_with: size mismatch");
+  DynBitset r(bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    r.words_[i] = words_[i] & o.words_[i];
+  }
+  return r;
+}
+
+u64 DynBitset::hash() const {
+  u64 h = 0xcbf29ce484222325ULL ^ bits_;
+  for (u64 w : words_) {
+    h ^= w;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+}  // namespace pclass

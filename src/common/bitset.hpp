@@ -1,0 +1,59 @@
+// Dynamic fixed-capacity bitset used for rule-subset equivalence classes
+// (the HSM crossproduct stages intern these heavily, so hashing and
+// word-wise AND are the hot operations).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pclass {
+
+class DynBitset {
+ public:
+  DynBitset() = default;
+  explicit DynBitset(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  std::size_t size() const { return bits_; }
+
+  void set(std::size_t i) { words_[i >> 6] |= (u64{1} << (i & 63)); }
+  bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  bool any() const {
+    for (u64 w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  std::size_t count() const;
+
+  /// Index of the lowest set bit (== highest-priority rule), or npos.
+  static constexpr std::size_t npos = ~std::size_t{0};
+  std::size_t find_first() const;
+
+  /// this AND other, sizes must match.
+  DynBitset and_with(const DynBitset& o) const;
+
+  bool operator==(const DynBitset& o) const = default;
+
+  u64 hash() const;
+
+  const std::vector<u64>& words() const { return words_; }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<u64> words_;
+};
+
+struct DynBitsetHash {
+  std::size_t operator()(const DynBitset& b) const {
+    return static_cast<std::size_t>(b.hash());
+  }
+};
+
+}  // namespace pclass

@@ -1,0 +1,45 @@
+// Project exception types and precondition checking.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pclass {
+
+/// Base class for all errors raised by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed rule set / trace input.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, std::size_t line)
+      : Error("parse error at line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Configuration rejected (invalid stride, channel count, ...).
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Internal invariant violated; indicates a library bug.
+class InternalError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Throws InternalError when `cond` is false. Used for invariants that must
+/// hold regardless of user input; cheap enough to keep in release builds.
+inline void check(bool cond, const char* msg) {
+  if (!cond) throw InternalError(msg);
+}
+
+}  // namespace pclass

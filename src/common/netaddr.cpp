@@ -1,0 +1,14 @@
+#include "common/netaddr.hpp"
+
+#include <cstdio>
+
+namespace pclass {
+
+std::string ip_to_string(u32 ip) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (ip >> 24) & 0xff,
+                (ip >> 16) & 0xff, (ip >> 8) & 0xff, ip & 0xff);
+  return buf;
+}
+
+}  // namespace pclass

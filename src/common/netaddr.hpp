@@ -1,0 +1,13 @@
+// Network address formatting shared by rule and packet text I/O.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace pclass {
+
+/// Renders a 32-bit IPv4 address in dotted-quad notation.
+std::string ip_to_string(u32 ip);
+
+}  // namespace pclass

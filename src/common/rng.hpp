@@ -1,0 +1,45 @@
+// Deterministic, seedable pseudo-random generation.
+//
+// Every stochastic component of the reproduction (rule-set synthesis, trace
+// generation) draws from this generator so experiments are bit-reproducible
+// across runs and platforms; std::mt19937 distributions are avoided because
+// libstdc++/libc++ disagree on distribution algorithms.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pclass {
+
+/// xoshiro256** seeded via splitmix64. Small, fast, high quality.
+class Rng {
+ public:
+  explicit Rng(u64 seed);
+
+  /// Uniform 64-bit value.
+  u64 next_u64();
+
+  /// Uniform in [0, bound) for bound >= 1, via rejection (unbiased).
+  u64 next_below(u64 bound);
+
+  /// Uniform in the inclusive range [lo, hi].
+  u64 next_in(u64 lo, u64 hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p);
+
+  /// Pick an index according to non-negative weights (sum > 0).
+  std::size_t pick_weighted(const std::vector<double>& weights);
+
+  /// Derive an independent stream (for parallel/sub generators).
+  Rng split();
+
+ private:
+  u64 state_[4];
+};
+
+}  // namespace pclass

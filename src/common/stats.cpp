@@ -1,0 +1,60 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace pclass {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+std::string RunningStats::summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "mean=%.2f min=%.0f max=%.0f n=%zu", mean(),
+                min(), max(), count());
+  return buf;
+}
+
+Histogram::Histogram(std::size_t bucket_count) : buckets_(bucket_count, 0) {
+  if (bucket_count == 0) buckets_.resize(1);
+}
+
+void Histogram::add(u64 value) {
+  const std::size_t idx =
+      std::min<std::size_t>(static_cast<std::size_t>(value), buckets_.size() - 1);
+  ++buckets_[idx];
+  ++total_;
+}
+
+u64 Histogram::percentile(double fraction) const {
+  if (total_ == 0) return 0;
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const u64 target =
+      static_cast<u64>(std::ceil(fraction * static_cast<double>(total_)));
+  u64 seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return i;
+  }
+  return buckets_.size() - 1;
+}
+
+}  // namespace pclass

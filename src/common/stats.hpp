@@ -1,0 +1,58 @@
+// Running statistics accumulators used by tree builders (node fan-out, depth
+// distributions) and by the NP simulator (queue occupancy, latency).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pclass {
+
+/// Streaming min / max / mean / variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double total() const { return sum_; }
+
+  /// "mean=.. min=.. max=.. n=.." one-liner for logs.
+  std::string summary() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-bucket histogram over integer values [0, bucket_count).
+/// Values beyond the last bucket are clamped into it.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t bucket_count);
+
+  void add(u64 value);
+
+  u64 bucket(std::size_t i) const { return buckets_.at(i); }
+  std::size_t bucket_count() const { return buckets_.size(); }
+  u64 total() const { return total_; }
+
+  /// Smallest value v such that at least `fraction` of samples are <= v.
+  u64 percentile(double fraction) const;
+
+ private:
+  std::vector<u64> buckets_;
+  u64 total_ = 0;
+};
+
+}  // namespace pclass

@@ -1,0 +1,54 @@
+// Minimal aligned-text table writer for benchmark/report output.
+//
+// The benchmark binaries regenerate the paper's tables and figures as text;
+// this keeps their formatting consistent and diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pclass {
+
+class TextTable {
+ public:
+  /// Create a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with operator<<.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    add_row({to_cell(cells)...});
+  }
+
+  /// Render with aligned columns. `indent` spaces prefix every line.
+  std::string str(int indent = 2) const;
+
+  void print(std::ostream& os, int indent = 2) const;
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    return format_value(static_cast<double>(v));
+  }
+  static std::string format_value(double v);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a quantity in bytes as B/KB/MB with 1 decimal.
+std::string format_bytes(double bytes);
+
+/// Format a throughput in Mbps with thousands grouping ("7,261").
+std::string format_mbps(double mbps);
+
+/// Format a double with `digits` decimals.
+std::string format_fixed(double v, int digits);
+
+}  // namespace pclass

@@ -1,0 +1,64 @@
+// Fundamental fixed-width types and project-wide constants.
+//
+// The classification key is the 104-bit concatenation of the IPv4 5-tuple:
+// 32-bit source IP, 32-bit destination IP, 16-bit source port, 16-bit
+// destination port, 8-bit transport protocol (paper, Sec. 4.2.1: W = 104).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace pclass {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+/// Identifier of a rule inside a RuleSet. Lower id == higher priority.
+using RuleId = u32;
+
+/// Returned when no rule matches a packet.
+inline constexpr RuleId kNoMatch = std::numeric_limits<RuleId>::max();
+
+/// The five classification dimensions, in key order.
+enum class Dim : u8 {
+  kSrcIp = 0,
+  kDstIp = 1,
+  kSrcPort = 2,
+  kDstPort = 3,
+  kProto = 4,
+};
+
+inline constexpr std::size_t kNumDims = 5;
+
+/// Bit width of each dimension, indexed by Dim.
+inline constexpr u32 kDimBits[kNumDims] = {32, 32, 16, 16, 8};
+
+/// Total classification key width in bits (paper: W = 104).
+inline constexpr u32 kKeyBits = 104;
+
+/// Inclusive maximum value representable in a dimension.
+constexpr u64 dim_max(Dim d) {
+  return (u64{1} << kDimBits[static_cast<std::size_t>(d)]) - 1;
+}
+
+constexpr u32 dim_bits(Dim d) { return kDimBits[static_cast<std::size_t>(d)]; }
+
+constexpr std::size_t dim_index(Dim d) { return static_cast<std::size_t>(d); }
+
+/// Name for diagnostics and table output.
+constexpr const char* dim_name(Dim d) {
+  switch (d) {
+    case Dim::kSrcIp: return "sip";
+    case Dim::kDstIp: return "dip";
+    case Dim::kSrcPort: return "sport";
+    case Dim::kDstPort: return "dport";
+    case Dim::kProto: return "proto";
+  }
+  return "?";
+}
+
+}  // namespace pclass

@@ -1,0 +1,91 @@
+#include "engine/flow_cache.hpp"
+
+#include "common/error.hpp"
+
+namespace pclass {
+namespace {
+
+/// One hash bucket of the NP-resident flow table: key (3.25 words) +
+/// verdict, rounded to 4 32-bit words.
+constexpr u16 kBucketWords = 4;
+constexpr u32 kHashCycles = 12;   // 5-tuple hash + compare
+constexpr u32 kWriteCycles = 6;
+
+}  // namespace
+
+std::size_t FlowCache::KeyHash::operator()(const PacketHeader& h) const {
+  u64 x = (static_cast<u64>(h.sip) << 32) | h.dip;
+  x ^= (static_cast<u64>(h.sport) << 40) | (static_cast<u64>(h.dport) << 16) |
+       h.proto;
+  x *= 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 29;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 32;
+  return static_cast<std::size_t>(x);
+}
+
+FlowCache::FlowCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) throw ConfigError("FlowCache: capacity must be >= 1");
+}
+
+std::optional<RuleId> FlowCache::get(const PacketHeader& h) {
+  const auto it = map_.find(h);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->verdict;
+}
+
+void FlowCache::put(const PacketHeader& h, RuleId verdict) {
+  const auto it = map_.find(h);
+  if (it != map_.end()) {
+    it->second->verdict = verdict;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{h, verdict});
+  map_.emplace(h, lru_.begin());
+}
+
+CachedClassifier::CachedClassifier(const Classifier& inner,
+                                   std::size_t capacity)
+    : inner_(inner), cache_(capacity) {}
+
+RuleId CachedClassifier::classify(const PacketHeader& h) const {
+  if (const std::optional<RuleId> cached = cache_.get(h)) return *cached;
+  const RuleId verdict = inner_.classify(h);
+  cache_.put(h, verdict);
+  return verdict;
+}
+
+RuleId CachedClassifier::classify_traced(const PacketHeader& h,
+                                         LookupTrace& trace) const {
+  // Flow-table bucket probe.
+  trace.accesses.push_back(MemAccess{0, kBucketWords, kHashCycles});
+  if (const std::optional<RuleId> cached = cache_.get(h)) {
+    trace.tail_compute_cycles = 2;
+    return *cached;
+  }
+  const RuleId verdict = inner_.classify_traced(h, trace);
+  cache_.put(h, verdict);
+  // Write-back of the new entry.
+  trace.accesses.push_back(MemAccess{0, kBucketWords, kWriteCycles});
+  return verdict;
+}
+
+MemoryFootprint CachedClassifier::footprint() const {
+  MemoryFootprint f = inner_.footprint();
+  f.bytes += cache_.capacity() * kBucketWords * 4;
+  f.detail += " cache=" + std::to_string(cache_.capacity()) + " buckets";
+  return f;
+}
+
+}  // namespace pclass

@@ -1,0 +1,47 @@
+#include "engine/parallel.hpp"
+
+#include <atomic>
+#include <chrono>
+
+#include "common/error.hpp"
+#include "engine/thread_pool.hpp"
+
+namespace pclass {
+
+ParallelRunResult classify_parallel(const Classifier& cls, const Trace& trace,
+                                    unsigned threads, std::size_t batch_size) {
+  if (batch_size == 0) throw ConfigError("classify_parallel: batch_size == 0");
+  ParallelRunResult out;
+  out.threads = threads;
+  out.results.assign(trace.size(), kNoMatch);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      out.results[i] = cls.classify(trace[i]);
+    }
+  } else {
+    ThreadPool pool(threads);
+    // Workers claim batches via a shared cursor; each batch's results slice
+    // is private to its worker (no write sharing, Core Guidelines CP.2).
+    std::atomic<std::size_t> cursor{0};
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t begin =
+            cursor.fetch_add(batch_size, std::memory_order_relaxed);
+        if (begin >= trace.size()) return;
+        const std::size_t end = std::min(begin + batch_size, trace.size());
+        for (std::size_t i = begin; i < end; ++i) {
+          out.results[i] = cls.classify(trace[i]);
+        }
+      }
+    };
+    for (unsigned t = 0; t < threads; ++t) pool.submit(worker);
+    pool.wait_idle();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return out;
+}
+
+}  // namespace pclass

@@ -1,0 +1,32 @@
+// Host-parallel batch classification.
+//
+// The native analogue of the paper's multiprocessing mapping: N identical
+// workers classify disjoint batches of the trace through a shared
+// read-only classifier. Used by the examples and the host-side micro
+// benchmarks; the NP-cycle results come from npsim instead.
+#pragma once
+
+#include <vector>
+
+#include "classify/classifier.hpp"
+#include "packet/trace.hpp"
+
+namespace pclass {
+
+struct ParallelRunResult {
+  std::vector<RuleId> results;   ///< Per packet, trace order.
+  double seconds = 0.0;          ///< Wall time of the classification phase.
+  unsigned threads = 1;
+
+  double packets_per_second(std::size_t packets) const {
+    return seconds > 0 ? static_cast<double>(packets) / seconds : 0.0;
+  }
+};
+
+/// Classifies the whole trace with `threads` workers over fixed-size
+/// batches; results land in trace order (workers write disjoint slices).
+ParallelRunResult classify_parallel(const Classifier& cls, const Trace& trace,
+                                    unsigned threads,
+                                    std::size_t batch_size = 1024);
+
+}  // namespace pclass

@@ -1,0 +1,55 @@
+// Packet-order restoration.
+//
+// Parallel packet processing must not reorder flows (paper Sec. 3.2 lists
+// this among the NP programming challenges; the IXP solution is sequence
+// numbers plus strict thread ordering). ReorderBuffer implements the
+// sequence-number scheme: results may complete out of order but are
+// released strictly in sequence.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pclass {
+
+template <typename T>
+class ReorderBuffer {
+ public:
+  /// Offers result `value` for sequence number `seq` (each seq exactly
+  /// once, starting at 0). Returns every result that became releasable,
+  /// in sequence order.
+  std::vector<T> offer(u64 seq, T value) {
+    std::lock_guard lock(mu_);
+    pending_.emplace(seq, std::move(value));
+    std::vector<T> released;
+    for (auto it = pending_.begin();
+         it != pending_.end() && it->first == next_; it = pending_.begin()) {
+      released.push_back(std::move(it->second));
+      pending_.erase(it);
+      ++next_;
+    }
+    return released;
+  }
+
+  /// Sequence number the buffer is waiting for.
+  u64 expected() const {
+    std::lock_guard lock(mu_);
+    return next_;
+  }
+
+  std::size_t pending() const {
+    std::lock_guard lock(mu_);
+    return pending_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<u64, T> pending_;
+  u64 next_ = 0;
+};
+
+}  // namespace pclass

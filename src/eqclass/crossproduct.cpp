@@ -1,0 +1,71 @@
+#include "eqclass/crossproduct.hpp"
+
+#include <string>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace pclass {
+namespace eqclass {
+
+CrossTable cross(const std::vector<DynBitset>& a,
+                 const std::vector<DynBitset>& b, u64 max_entries,
+                 const char* stage) {
+  const u64 entries = static_cast<u64>(a.size()) * b.size();
+  if (entries > max_entries) {
+    throw ConfigError(std::string("crossproduct stage ") + stage +
+                      " exceeds table cap (" + std::to_string(entries) +
+                      " entries)");
+  }
+  CrossTable t;
+  t.cols = static_cast<u32>(b.size());
+  t.table.resize(static_cast<std::size_t>(entries));
+  std::unordered_map<DynBitset, u32, DynBitsetHash> classes;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      DynBitset inter = a[i].and_with(b[j]);
+      auto [it, inserted] = classes.emplace(
+          std::move(inter), static_cast<u32>(t.class_bitmaps.size()));
+      if (inserted) t.class_bitmaps.push_back(it->first);
+      t.table[i * t.cols + j] = it->second;
+    }
+  }
+  return t;
+}
+
+std::vector<RuleId> cross_final(const std::vector<DynBitset>& a,
+                                const std::vector<DynBitset>& b,
+                                u64 max_entries, const char* stage) {
+  const u64 entries = static_cast<u64>(a.size()) * b.size();
+  if (entries > max_entries) {
+    throw ConfigError(std::string("crossproduct stage ") + stage +
+                      " exceeds table cap (" + std::to_string(entries) +
+                      " entries)");
+  }
+  std::vector<RuleId> out(static_cast<std::size_t>(entries));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const DynBitset inter = a[i].and_with(b[j]);
+      const std::size_t first = inter.find_first();
+      out[i * b.size() + j] =
+          first == DynBitset::npos ? kNoMatch : static_cast<RuleId>(first);
+    }
+  }
+  return out;
+}
+
+std::vector<u32> intern_classes(std::vector<DynBitset> bitmaps,
+                                std::vector<DynBitset>& classes) {
+  std::unordered_map<DynBitset, u32, DynBitsetHash> interned;
+  std::vector<u32> ids(bitmaps.size());
+  for (std::size_t i = 0; i < bitmaps.size(); ++i) {
+    auto [it, inserted] =
+        interned.emplace(std::move(bitmaps[i]), static_cast<u32>(classes.size()));
+    if (inserted) classes.push_back(it->first);
+    ids[i] = it->second;
+  }
+  return ids;
+}
+
+}  // namespace eqclass
+}  // namespace pclass

@@ -1,0 +1,47 @@
+// Equivalence-class crossproduct tables.
+//
+// Shared machinery of the field-independent classifiers (HSM, RFC): a
+// combination stage takes two families of rule-subset equivalence classes
+// and produces a table mapping each (a, b) pair to the equivalence class
+// of the intersection of their rule subsets. Interning the intersection
+// bitmaps is what keeps table growth bounded by the rule set's real
+// structure instead of the full crossproduct.
+#pragma once
+
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "common/types.hpp"
+
+namespace pclass {
+namespace eqclass {
+
+struct CrossTable {
+  u32 cols = 0;                       ///< Index = a * cols + b.
+  std::vector<u32> table;             ///< Class id per (a, b).
+  std::vector<DynBitset> class_bitmaps;
+
+  u32 lookup(u32 a, u32 b) const { return table[a * cols + b]; }
+  std::size_t class_count() const { return class_bitmaps.size(); }
+  u64 bytes() const { return table.size() * 4; }
+};
+
+/// Combines two class-bitmap families; throws ConfigError when the table
+/// would exceed `max_entries` (the stage name is used in the message).
+CrossTable cross(const std::vector<DynBitset>& a,
+                 const std::vector<DynBitset>& b, u64 max_entries,
+                 const char* stage);
+
+/// Final-stage reduction: for each (a, b), the highest-priority rule in
+/// the intersection (kNoMatch when empty).
+std::vector<RuleId> cross_final(const std::vector<DynBitset>& a,
+                                const std::vector<DynBitset>& b,
+                                u64 max_entries, const char* stage);
+
+/// Interns `bitmaps[i]` into equivalence classes; returns the class id per
+/// input index and fills `classes` with one bitmap per distinct class.
+std::vector<u32> intern_classes(std::vector<DynBitset> bitmaps,
+                                std::vector<DynBitset>& classes);
+
+}  // namespace eqclass
+}  // namespace pclass

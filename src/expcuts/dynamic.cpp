@@ -1,0 +1,140 @@
+#include "expcuts/dynamic.hpp"
+
+#include <algorithm>
+
+#include "classify/linear.hpp"
+#include "common/error.hpp"
+
+namespace pclass {
+namespace expcuts {
+
+DynamicExpCutsClassifier::DynamicExpCutsClassifier(RuleSet initial,
+                                                   Config cfg,
+                                                   u32 rebuild_threshold)
+    : cfg_(cfg),
+      rebuild_threshold_(std::max(rebuild_threshold, 1u)),
+      current_(std::move(initial)) {
+  current_.validate();
+  rebuild();
+}
+
+void DynamicExpCutsClassifier::rebuild() {
+  // Compact: the snapshot becomes the current view.
+  snapshot_ = current_;
+  tree_ = std::make_unique<ExpCutsClassifier>(snapshot_, cfg_);
+  snap_to_cur_.resize(snapshot_.size());
+  for (RuleId i = 0; i < snapshot_.size(); ++i) snap_to_cur_[i] = i;
+  delta_.clear();
+  tombstones_ = 0;
+  ++rebuilds_;
+}
+
+void DynamicExpCutsClassifier::maybe_rebuild() {
+  if (pending_updates() >= rebuild_threshold_) rebuild();
+}
+
+void DynamicExpCutsClassifier::insert(const Rule& r, std::size_t pos) {
+  check(pos <= current_.size(), "DynamicExpCuts::insert: position out of range");
+  // Shift every current index at or past pos.
+  for (RuleId& m : snap_to_cur_) {
+    if (m != kNoMatch && m >= pos) ++m;
+  }
+  for (RuleId& d : delta_) {
+    if (d >= pos) ++d;
+  }
+  std::vector<Rule> rules = current_.rules();
+  rules.insert(rules.begin() + static_cast<std::ptrdiff_t>(pos), r);
+  current_ = RuleSet(std::move(rules), current_.name());
+  delta_.push_back(static_cast<RuleId>(pos));
+  std::sort(delta_.begin(), delta_.end());
+  maybe_rebuild();
+}
+
+void DynamicExpCutsClassifier::erase(std::size_t pos) {
+  check(pos < current_.size(), "DynamicExpCuts::erase: position out of range");
+  const RuleId target = static_cast<RuleId>(pos);
+  // Either a delta rule or a live snapshot rule.
+  const auto dit = std::find(delta_.begin(), delta_.end(), target);
+  if (dit != delta_.end()) {
+    delta_.erase(dit);
+  } else {
+    bool found = false;
+    for (RuleId& m : snap_to_cur_) {
+      if (m == target) {
+        m = kNoMatch;
+        ++tombstones_;
+        found = true;
+        break;
+      }
+    }
+    check(found, "DynamicExpCuts::erase: position not mapped");
+  }
+  for (RuleId& m : snap_to_cur_) {
+    if (m != kNoMatch && m > target) --m;
+  }
+  for (RuleId& d : delta_) {
+    if (d > target) --d;
+  }
+  std::vector<Rule> rules = current_.rules();
+  rules.erase(rules.begin() + static_cast<std::ptrdiff_t>(pos));
+  current_ = RuleSet(std::move(rules), current_.name());
+  maybe_rebuild();
+}
+
+RuleId DynamicExpCutsClassifier::classify(const PacketHeader& h) const {
+  return classify_impl(h, nullptr);
+}
+
+RuleId DynamicExpCutsClassifier::classify_traced(const PacketHeader& h,
+                                                 LookupTrace& trace) const {
+  return classify_impl(h, &trace);
+}
+
+RuleId DynamicExpCutsClassifier::classify_impl(const PacketHeader& h,
+                                               LookupTrace* trace) const {
+  // Tree lookup over the snapshot.
+  RuleId snap = trace != nullptr
+                    ? tree_->classify_traced(h, *trace)
+                    : tree_->classify(h);
+  RuleId best = kNoMatch;
+  if (snap != kNoMatch) {
+    if (snap_to_cur_[snap] != kNoMatch) {
+      best = snap_to_cur_[snap];
+    } else {
+      // Tombstoned match: scan the remaining snapshot priorities.
+      for (RuleId s = snap + 1; s < snapshot_.size(); ++s) {
+        if (trace != nullptr) {
+          trace->accesses.push_back(MemAccess{0, kRuleWords, 10});
+        }
+        if (snap_to_cur_[s] != kNoMatch && snapshot_[s].matches(h)) {
+          best = snap_to_cur_[s];
+          break;
+        }
+      }
+    }
+  }
+  // Delta rules (ascending current index = descending priority), each a
+  // 6-word reference like any linear search.
+  for (RuleId d : delta_) {
+    if (best != kNoMatch && d > best) break;  // cannot improve
+    if (trace != nullptr) {
+      trace->accesses.push_back(MemAccess{0, kRuleWords, 10});
+    }
+    if (current_[d].matches(h)) {
+      if (best == kNoMatch || d < best) best = d;
+      break;
+    }
+  }
+  return best;
+}
+
+MemoryFootprint DynamicExpCutsClassifier::footprint() const {
+  MemoryFootprint f = tree_->footprint();
+  f.bytes += delta_.size() * kRuleWords * 4 + snap_to_cur_.size() * 4;
+  f.detail += " delta=" + std::to_string(delta_.size()) +
+              " tombstones=" + std::to_string(tombstones_);
+  return f;
+}
+
+}  // namespace expcuts
+}  // namespace pclass

@@ -1,0 +1,137 @@
+// ExpCuts: Explicit Cuttings (the paper's contribution, Sec. 4.2).
+//
+// A decision tree with:
+//  * a fixed stride: every internal node cuts exactly 2^w sub-spaces,
+//    consuming the next w header bits of one field per the Schedule, giving
+//    an explicit worst-case depth of exactly W/w levels;
+//  * no leaf linear search: cutting continues until each sub-space is fully
+//    covered by its highest-priority intersecting rule (binth = 1), so a
+//    child pointer resolves directly to the final rule id;
+//  * HABS/CPA hierarchical aggregation of the per-node pointer arrays
+//    (habs.hpp) to avoid the memory burst the fixed stride would otherwise
+//    cause (Fig. 6 measures the effect).
+//
+// Aggregation-correctness note (implementation clarification of Sec. 4.2.2):
+// child pointers are indexed by absolute header chunk bits, so a run of
+// consecutive sub-spaces may share one child *node* only when every rule
+// intersecting the run covers the run's full span including all
+// lower-order bits; the builder enforces this "safe merge" condition. Runs
+// that resolve to leaf pointers (rule ids) aggregate unconditionally —
+// equal pointers compress through the HABS regardless. Under the safe-merge
+// invariant, every path is guaranteed to reach a decided leaf within W/w
+// levels (see tests/expcuts_test for the property checks).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "classify/classifier.hpp"
+#include "expcuts/habs.hpp"
+#include "expcuts/schedule.hpp"
+#include "geom/box.hpp"
+
+namespace pclass {
+namespace expcuts {
+
+struct Config {
+  /// Bits consumed per level; tree depth is 104/stride. The paper fixes 8.
+  u32 stride_w = 8;
+  /// HABS holds 2^habs_v bits; sub-arrays have 2^(stride_w - habs_v)
+  /// pointers. The paper uses habs_v = 4 (16-bit HABS in one long-word).
+  /// Clamped to stride_w.
+  u32 habs_v = 4;
+  ChunkOrder order = ChunkOrder::kInterleaved;
+  /// Share sub-trees across equivalent sub-problems (same rule list, same
+  /// level, same geometry up to saturated dimensions — an exact
+  /// equivalence, see build()). This is what makes "multiple pointers ...
+  /// point to a single child node" (Sec. 4.1) effective across the whole
+  /// structure; without it the fixed stride duplicates identical subtrees
+  /// and the memory burst returns. The layout ablation measures it off.
+  bool share_subtrees = true;
+};
+
+/// Tagged child pointer: bit 31 set = leaf (bits 0..30 = rule id, all-ones
+/// = no match); bit 31 clear = index of an internal node.
+using Ptr = u32;
+inline constexpr Ptr kLeafBit = 0x80000000u;
+inline constexpr Ptr kEmptyLeaf = 0xffffffffu;
+
+constexpr bool ptr_is_leaf(Ptr p) { return (p & kLeafBit) != 0; }
+constexpr Ptr make_leaf(RuleId id) { return kLeafBit | id; }
+constexpr RuleId leaf_rule(Ptr p) {
+  return (p == kEmptyLeaf) ? kNoMatch : (p & ~kLeafBit);
+}
+
+struct Node {
+  u16 level = 0;
+  std::vector<Ptr> ptrs;  ///< 2^w entries indexed by the header chunk.
+};
+
+struct TreeStats {
+  u64 node_count = 0;
+  u32 depth = 0;                 ///< Exactly 104/w (explicit bound).
+  double mean_distinct_children = 0.0;  ///< Paper: "less than 10" at w=8.
+  u32 max_distinct_children = 0;
+  double mean_habs_set_bits = 0.0;
+  u64 cpa_words = 0;             ///< Total CPA words across nodes.
+  u64 bytes_aggregated = 0;      ///< HABS+CPA image size (Fig. 6 "with").
+  u64 bytes_unaggregated = 0;    ///< Full pointer arrays (Fig. 6 "without").
+  u64 leaf_ptrs = 0;
+};
+
+class FlatImage;  // flat.hpp — the serialized SRAM image.
+
+class ExpCutsClassifier final : public Classifier {
+ public:
+  ExpCutsClassifier(const RuleSet& rules, const Config& cfg = {});
+  ~ExpCutsClassifier() override;
+
+  std::string name() const override { return "ExpCuts"; }
+  RuleId classify(const PacketHeader& h) const override;
+  RuleId classify_traced(const PacketHeader& h,
+                         LookupTrace& trace) const override;
+  MemoryFootprint footprint() const override;
+
+  const Config& config() const { return cfg_; }
+  const Schedule& schedule() const { return sched_; }
+  const TreeStats& stats() const { return stats_; }
+  Ptr root() const { return root_; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const RuleSet& rules() const { return rules_; }
+  /// The serialized word image traced lookups execute against.
+  const FlatImage& flat() const { return *flat_; }
+
+ private:
+  struct MemoKey {
+    u32 level;
+    std::vector<RuleId> ids;
+    /// Per-dim canonical extent: the actual (lo, hi) for discriminating
+    /// dimensions, or the (1, 0) sentinel when every rule in `ids` covers
+    /// the extent (then the extent provably cannot influence the subtree).
+    std::array<std::pair<u64, u64>, kNumDims> extents;
+
+    bool operator==(const MemoKey& o) const = default;
+  };
+  struct MemoKeyHash {
+    std::size_t operator()(const MemoKey& k) const;
+  };
+
+  Ptr build(const Box& box, std::vector<RuleId> ids, u32 level);
+  MemoKey make_key(const Box& box, const std::vector<RuleId>& ids,
+                   u32 level) const;
+  Ptr intern_node(Node&& n);
+  void finalize_stats();
+
+  const RuleSet& rules_;
+  Config cfg_;
+  Schedule sched_;
+  std::vector<Node> nodes_;
+  Ptr root_ = kEmptyLeaf;
+  TreeStats stats_;
+  std::unique_ptr<FlatImage> flat_;
+  std::unordered_map<MemoKey, Ptr, MemoKeyHash> memo_;
+};
+
+}  // namespace expcuts
+}  // namespace pclass

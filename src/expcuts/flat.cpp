@@ -1,0 +1,121 @@
+#include "expcuts/flat.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pclass {
+namespace expcuts {
+namespace {
+
+constexpr u32 kChunkExtractCycles = 2;  // shift + mask on the header field
+constexpr u32 kRankMathCycles = 6;      // HABS mask, add, shift for CPA index
+constexpr u32 kDirectIndexCycles = 3;   // unaggregated: add + issue
+
+}  // namespace
+
+FlatImage::FlatImage(std::vector<u32> words, Ptr root, u32 u, u32 stride_w,
+                     bool aggregated)
+    : words_(std::move(words)),
+      root_(root),
+      u_(u),
+      chunk_mask_((u32{1} << stride_w) - 1),
+      aggregated_(aggregated) {
+  check(u <= stride_w && stride_w <= 8, "FlatImage: bad stride/u");
+  check(ptr_is_leaf(root_) || root_ < words_.size(),
+        "FlatImage: root offset out of range");
+}
+
+FlatImage::FlatImage(const std::vector<Node>& nodes, Ptr root,
+                     const Config& cfg, bool aggregated)
+    : u_(cfg.stride_w - std::min({cfg.habs_v, cfg.stride_w, 4u})),
+      chunk_mask_((u32{1} << cfg.stride_w) - 1),
+      aggregated_(aggregated) {
+  const u32 v = std::min({cfg.habs_v, cfg.stride_w, 4u});
+  const std::size_t fanout = std::size_t{1} << cfg.stride_w;
+
+  // Pass 1: encode every node and assign word offsets.
+  std::vector<HabsEncoding> encodings;
+  std::vector<u64> offsets(nodes.size());
+  u64 next = 0;
+  if (aggregated_) {
+    encodings.reserve(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      encodings.push_back(habs_encode(nodes[i].ptrs, cfg.stride_w, v));
+      offsets[i] = next;
+      next += 1 + encodings[i].cpa_words();
+    }
+  } else {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      offsets[i] = next;
+      next += 1 + fanout;
+    }
+  }
+  check(next < kLeafBit, "FlatImage: image exceeds 2^31 words");
+  words_.resize(static_cast<std::size_t>(next));
+
+  // Pass 2: emit headers and pointer words, translating node indices to
+  // word offsets.
+  auto translate = [&](Ptr p) -> u32 {
+    return ptr_is_leaf(p) ? p : static_cast<u32>(offsets[p]);
+  };
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const u64 off = offsets[i];
+    const u32 habs = aggregated_ ? encodings[i].habs : 0;
+    words_[off] = habs | (static_cast<u32>(nodes[i].level & 0x7f) << 16) |
+                  (aggregated_ ? (1u << 23) : 0);
+    if (aggregated_) {
+      const auto& cpa = encodings[i].cpa;
+      for (std::size_t k = 0; k < cpa.size(); ++k) {
+        words_[off + 1 + k] = translate(cpa[k]);
+      }
+    } else {
+      for (std::size_t k = 0; k < fanout; ++k) {
+        words_[off + 1 + k] = translate(nodes[i].ptrs[k]);
+      }
+    }
+  }
+  root_ = translate(root);
+}
+
+RuleId FlatImage::lookup(const PacketHeader& h, const Schedule& sched,
+                         LookupTrace* trace, bool popcount_hw) const {
+  Ptr p = root_;
+  while (!ptr_is_leaf(p)) {
+    const u32 header = words_[p];
+    const u32 level = level_of_header(header);
+    const u32 chunk = sched.chunk_value(h, level);
+    u32 next_off;
+    if (aggregated_) {
+      const u32 habs = header & 0xffff;
+      const u32 m = chunk >> u_;
+      const u32 j = chunk & ((u32{1} << u_) - 1);
+      const u32 masked = habs & ((u32{2} << m) - 1);
+      const u32 i = popcount32(masked) - 1;
+      next_off = p + 1 + ((i << u_) + j);
+      if (trace != nullptr) {
+        // Header long-word, then the CPA entry.
+        trace->accesses.push_back(
+            MemAccess{static_cast<u16>(level), 1, kChunkExtractCycles});
+        const u32 pop_cost =
+            popcount_hw ? kPopCountCycles : risc_popcount_cycles(masked);
+        trace->accesses.push_back(MemAccess{static_cast<u16>(level), 1,
+                                            pop_cost + kRankMathCycles});
+      }
+    } else {
+      // Direct index into the full pointer array: a single reference.
+      next_off = p + 1 + chunk;
+      if (trace != nullptr) {
+        trace->accesses.push_back(MemAccess{
+            static_cast<u16>(level), 1,
+            kChunkExtractCycles + kDirectIndexCycles});
+      }
+    }
+    p = words_[next_off];
+  }
+  if (trace != nullptr) trace->tail_compute_cycles = 2;
+  return leaf_rule(p);
+}
+
+}  // namespace expcuts
+}  // namespace pclass

@@ -1,0 +1,64 @@
+// FlatImage: the serialized ExpCuts structure, as it would live in SRAM.
+//
+// Aggregated layout (paper Fig. 4), per node:
+//   word 0   : HABS (bits 0..15) | level (bits 16..22) | flags
+//   words 1..: CPA — the compressed pointer array, one 32-bit word per
+//              pointer (leaf-tagged rule id or child node word offset)
+// The root pointer is held in a register (loaded at configuration time),
+// so a lookup costs exactly two word references per level: the header
+// long-word, then one CPA entry.
+//
+// Unaggregated layout (the Fig. 6 "without aggregation" baseline): the
+// full 2^w pointer array follows the header; a lookup indexes it directly
+// (one word reference per level, no POP_COUNT) — faster, but at the memory
+// burst the paper rules out.
+//
+// Traced lookups execute against this image word-for-word, so the NP
+// simulator replays the exact reference stream real hardware would see.
+#pragma once
+
+#include <vector>
+
+#include "classify/classifier.hpp"
+#include "expcuts/expcuts.hpp"
+
+namespace pclass {
+namespace expcuts {
+
+class FlatImage {
+ public:
+  FlatImage(const std::vector<Node>& nodes, Ptr root, const Config& cfg,
+            bool aggregated = true);
+
+  /// Reconstructs an image from raw words (deserialization path;
+  /// see image_io.hpp). `u` is log2 pointers per CPA sub-array.
+  FlatImage(std::vector<u32> words, Ptr root, u32 u, u32 stride_w,
+            bool aggregated);
+
+  /// Executes a lookup against the image; when `trace` is non-null the
+  /// word references are appended to it. `popcount_hw` selects the 3-cycle
+  /// POP_COUNT instruction vs the >100-cycle RISC loop (paper Sec. 5.4).
+  RuleId lookup(const PacketHeader& h, const Schedule& sched,
+                LookupTrace* trace, bool popcount_hw = true) const;
+
+  u64 word_count() const { return words_.size(); }
+  u64 bytes() const { return words_.size() * 4 + 4; }
+  bool aggregated() const { return aggregated_; }
+  Ptr root_ptr() const { return root_; }
+
+  /// Raw image access for serialization tests.
+  const std::vector<u32>& words() const { return words_; }
+
+  /// Decodes the level tag of the node at `word_offset`.
+  static u32 level_of_header(u32 header) { return (header >> 16) & 0x7f; }
+
+ private:
+  std::vector<u32> words_;
+  Ptr root_ = kEmptyLeaf;  ///< Leaf-tagged or word offset of the root node.
+  u32 u_ = 4;              ///< log2 pointers per CPA sub-array.
+  u32 chunk_mask_ = 0xff;
+  bool aggregated_ = true;
+};
+
+}  // namespace expcuts
+}  // namespace pclass

@@ -1,0 +1,40 @@
+#include "expcuts/habs.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pclass {
+namespace expcuts {
+
+HabsEncoding habs_encode(const std::vector<u32>& pointers, u32 w, u32 v) {
+  check(v <= w, "habs_encode: v must be <= w");
+  check(v <= 5, "habs_encode: HABS wider than 32 bits");
+  check(pointers.size() == (std::size_t{1} << w),
+        "habs_encode: pointer array must have 2^w entries");
+  HabsEncoding enc;
+  enc.u = w - v;
+  const std::size_t sub_len = std::size_t{1} << enc.u;
+  const std::size_t sub_count = std::size_t{1} << v;
+  for (std::size_t k = 0; k < sub_count; ++k) {
+    const auto begin = pointers.begin() + static_cast<std::ptrdiff_t>(k * sub_len);
+    const bool differs =
+        k == 0 || !std::equal(begin, begin + static_cast<std::ptrdiff_t>(sub_len),
+                              begin - static_cast<std::ptrdiff_t>(sub_len));
+    if (differs) {
+      enc.habs |= (u32{1} << k);
+      enc.cpa.insert(enc.cpa.end(), begin,
+                     begin + static_cast<std::ptrdiff_t>(sub_len));
+    }
+  }
+  return enc;
+}
+
+std::vector<u32> habs_decode_all(const HabsEncoding& enc, u32 w) {
+  std::vector<u32> out(std::size_t{1} << w);
+  for (u32 n = 0; n < out.size(); ++n) out[n] = enc.lookup(n);
+  return out;
+}
+
+}  // namespace expcuts
+}  // namespace pclass

@@ -1,0 +1,55 @@
+// HABS: the Hierarchical Aggregation Bit String (paper Sec. 4.2.2, Fig. 3).
+//
+// A node's 2^w-entry pointer array is divided into 2^v sub-arrays of
+// 2^u = 2^(w-v) consecutive pointers. Bit k of the HABS is set iff
+// sub-array k differs from sub-array k-1 (bit 0 is always set); each set
+// bit appends its sub-array to the Compressed Pointer Array (CPA).
+//
+// Pointer n is recovered as:
+//   m = n >> u                         (sub-array index)
+//   j = n & (2^u - 1)                  (offset within sub-array)
+//   i = popcount(HABS & mask(0..m)) - 1  (compressed sub-array index)
+//   pointer = CPA[(i << u) + j]
+//
+// With the paper's parameters (w=8, v=4) the HABS is 16 bits and shares a
+// single 32-bit long-word with the node's cutting information (Fig. 4), so
+// the word-oriented IXP2850 SRAM controller loads it in one reference, and
+// the 3-cycle POP_COUNT instruction computes the rank (Sec. 5.4).
+#pragma once
+
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/types.hpp"
+
+namespace pclass {
+namespace expcuts {
+
+/// HABS + CPA encoding of one pointer array.
+struct HabsEncoding {
+  u32 habs = 0;            ///< 2^v bits used (v <= 5 fits u32).
+  std::vector<u32> cpa;    ///< Appended sub-arrays, 2^u pointers each.
+  u32 u = 4;               ///< log2(sub-array length).
+
+  /// Decode pointer n (the HABS lookup formula above).
+  u32 lookup(u32 n) const {
+    const u32 m = n >> u;
+    const u32 j = n & ((u32{1} << u) - 1);
+    const u32 i = rank_inclusive(habs, m) - 1;
+    return cpa[(static_cast<std::size_t>(i) << u) + j];
+  }
+
+  std::size_t cpa_words() const { return cpa.size(); }
+  u32 set_bits() const { return popcount32(habs); }
+};
+
+/// Encodes `pointers` (length 2^w) with sub-arrays of 2^(w-v) entries.
+/// Requires 0 <= v <= w and v <= 5 (HABS must fit one machine word; the
+/// paper uses v=4 so it shares a 32-bit word with the cutting info).
+HabsEncoding habs_encode(const std::vector<u32>& pointers, u32 w, u32 v);
+
+/// Expands an encoding back to the full 2^w pointer array (testing aid).
+std::vector<u32> habs_decode_all(const HabsEncoding& enc, u32 w);
+
+}  // namespace expcuts
+}  // namespace pclass

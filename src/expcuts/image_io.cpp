@@ -1,0 +1,107 @@
+#include "expcuts/image_io.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace pclass {
+namespace expcuts {
+namespace {
+
+constexpr char kMagic[4] = {'X', 'P', 'C', '1'};
+
+u64 fnv1a64(const void* data, std::size_t len, u64 h = 0xcbf29ce484222325ULL) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw ParseError("truncated ExpCuts image", 0);
+  return v;
+}
+
+}  // namespace
+
+void save_image(std::ostream& os, const ExpCutsClassifier& cls) {
+  const FlatImage& img = cls.flat();
+  const Config& cfg = cls.config();
+  os.write(kMagic, sizeof kMagic);
+  write_pod<u32>(os, cfg.stride_w);
+  write_pod<u32>(os, cfg.habs_v);
+  write_pod<u8>(os, static_cast<u8>(cfg.order));
+  write_pod<u8>(os, img.aggregated() ? 1 : 0);
+  write_pod<u32>(os, img.root_ptr());
+  write_pod<u64>(os, img.words().size());
+  os.write(reinterpret_cast<const char*>(img.words().data()),
+           static_cast<std::streamsize>(img.words().size() * sizeof(u32)));
+  u64 checksum = fnv1a64(&cfg.stride_w, sizeof cfg.stride_w);
+  checksum = fnv1a64(img.words().data(), img.words().size() * sizeof(u32),
+                     checksum);
+  write_pod<u64>(os, checksum);
+  if (!os) throw Error("failed to write ExpCuts image");
+}
+
+LoadedImage load_image(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof magic);
+  if (!is || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw ParseError("bad ExpCuts image magic", 0);
+  }
+  Config cfg;
+  cfg.stride_w = read_pod<u32>(is);
+  cfg.habs_v = read_pod<u32>(is);
+  cfg.order = static_cast<ChunkOrder>(read_pod<u8>(is));
+  const bool aggregated = read_pod<u8>(is) != 0;
+  const Ptr root = read_pod<u32>(is);
+  const u64 count = read_pod<u64>(is);
+  if (cfg.stride_w == 0 || cfg.stride_w > 8 ||
+      count > (u64{1} << 31)) {
+    throw ParseError("implausible ExpCuts image header", 0);
+  }
+  std::vector<u32> words(static_cast<std::size_t>(count));
+  is.read(reinterpret_cast<char*>(words.data()),
+          static_cast<std::streamsize>(count * sizeof(u32)));
+  if (!is) throw ParseError("truncated ExpCuts image body", 0);
+  const u64 stored = read_pod<u64>(is);
+  u64 checksum = fnv1a64(&cfg.stride_w, sizeof cfg.stride_w);
+  checksum = fnv1a64(words.data(), words.size() * sizeof(u32), checksum);
+  if (stored != checksum) {
+    throw ParseError("ExpCuts image checksum mismatch", 0);
+  }
+  const u32 v = std::min({cfg.habs_v, cfg.stride_w, 4u});
+  return LoadedImage{
+      FlatImage(std::move(words), root, cfg.stride_w - v, cfg.stride_w,
+                aggregated),
+      Schedule::make(cfg.stride_w, cfg.order), cfg};
+}
+
+void save_image_file(const std::string& path, const ExpCutsClassifier& cls) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw Error("cannot create image file: " + path);
+  save_image(os, cls);
+}
+
+LoadedImage load_image_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw Error("cannot open image file: " + path);
+  return load_image(is);
+}
+
+}  // namespace expcuts
+}  // namespace pclass

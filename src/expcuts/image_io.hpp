@@ -1,0 +1,45 @@
+// Binary (de)serialization of ExpCuts SRAM images.
+//
+// A control plane builds the tree once (possibly on another host — the
+// XScale core in the paper's deployment) and ships the flat word image to
+// the data plane. The format is versioned, little-endian, and checksummed:
+//
+//   magic "XPC1" | stride_w | habs_v | order | aggregated | root |
+//   word_count | words... | fnv1a64 checksum
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "expcuts/expcuts.hpp"
+#include "expcuts/flat.hpp"
+
+namespace pclass {
+namespace expcuts {
+
+/// A deserialized, immediately usable lookup structure.
+struct LoadedImage {
+  FlatImage image;
+  Schedule schedule;
+  Config config;
+
+  RuleId classify(const PacketHeader& h) const {
+    return image.lookup(h, schedule, nullptr);
+  }
+  RuleId classify_traced(const PacketHeader& h, LookupTrace& trace) const {
+    return image.lookup(h, schedule, &trace);
+  }
+};
+
+/// Writes the classifier's aggregated image.
+void save_image(std::ostream& os, const ExpCutsClassifier& cls);
+
+/// Reads an image; throws ParseError on malformed or corrupted input.
+LoadedImage load_image(std::istream& is);
+
+/// File-path convenience wrappers.
+void save_image_file(const std::string& path, const ExpCutsClassifier& cls);
+LoadedImage load_image_file(const std::string& path);
+
+}  // namespace expcuts
+}  // namespace pclass

@@ -1,0 +1,50 @@
+#include "expcuts/schedule.hpp"
+
+#include "common/error.hpp"
+
+namespace pclass {
+namespace expcuts {
+
+Schedule::Schedule(u32 w, std::vector<Chunk> chunks)
+    : w_(w), mask_((u64{1} << w) - 1), chunks_(std::move(chunks)) {}
+
+Schedule Schedule::make(u32 w, ChunkOrder order) {
+  if (w != 1 && w != 2 && w != 4 && w != 8) {
+    throw ConfigError("ExpCuts stride must be 1, 2, 4 or 8 bits");
+  }
+  std::vector<Chunk> chunks;
+  chunks.reserve(kKeyBits / w);
+  auto emit_field = [&](Dim d) {
+    for (u32 shift = dim_bits(d); shift > 0; shift -= w) {
+      chunks.push_back(Chunk{d, shift - w});
+    }
+  };
+  if (order == ChunkOrder::kSequential) {
+    emit_field(Dim::kSrcIp);
+    emit_field(Dim::kDstIp);
+    emit_field(Dim::kSrcPort);
+    emit_field(Dim::kDstPort);
+    emit_field(Dim::kProto);
+  } else {
+    // Round-robin across all five fields, MSB chunks first, until each
+    // field's bits are exhausted.
+    u32 remaining[kNumDims];
+    for (std::size_t d = 0; d < kNumDims; ++d) remaining[d] = kDimBits[d];
+    bool any = true;
+    while (any) {
+      any = false;
+      for (std::size_t d = 0; d < kNumDims; ++d) {
+        if (remaining[d] >= w) {
+          remaining[d] -= w;
+          chunks.push_back(Chunk{static_cast<Dim>(d), remaining[d]});
+          any = true;
+        }
+      }
+    }
+  }
+  check(chunks.size() == kKeyBits / w, "schedule must cover the whole key");
+  return Schedule(w, std::move(chunks));
+}
+
+}  // namespace expcuts
+}  // namespace pclass

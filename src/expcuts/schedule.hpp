@@ -1,0 +1,73 @@
+// Cut schedules: how ExpCuts consumes the 104-bit header.
+//
+// With a fixed stride w, every internal node cuts exactly 2^w sub-spaces,
+// consuming w header bits per level; the tree depth is exactly
+// W/w = 104/w levels (paper Sec. 4.2.1: "a worst-case bound of O(W/w)").
+// A schedule fixes which field's bits each level consumes, MSB first.
+//
+// Two built-in orders:
+//  * interleaved (default) — alternates source/destination IP chunks before
+//    the ports and protocol, so both IPs discriminate early;
+//  * sequential — SIP fully, then DIP, ports, protocol.
+// The choice only affects tree size/shape, never correctness; the
+// layout ablation bench quantifies it.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "packet/header.hpp"
+
+namespace pclass {
+namespace expcuts {
+
+/// One level's chunk: `w` bits of `dim` starting at bit `shift` (LSB
+/// numbering within the field).
+struct Chunk {
+  Dim dim = Dim::kSrcIp;
+  u32 shift = 0;
+
+  bool operator==(const Chunk& o) const = default;
+};
+
+enum class ChunkOrder : u8 {
+  kInterleaved = 0,
+  kSequential = 1,
+};
+
+class Schedule {
+ public:
+  /// Builds a schedule for stride `w`. Requires w in {1,2,4,8} so every
+  /// field width is divisible by w. Throws ConfigError otherwise.
+  static Schedule make(u32 w, ChunkOrder order = ChunkOrder::kInterleaved);
+
+  u32 stride() const { return w_; }
+  u32 depth() const { return static_cast<u32>(chunks_.size()); }
+  const Chunk& level(u32 l) const { return chunks_[l]; }
+  const std::vector<Chunk>& chunks() const { return chunks_; }
+
+  /// The w-bit chunk value of `h` at level `l`.
+  u32 chunk_value(const PacketHeader& h, u32 l) const {
+    const Chunk& c = chunks_[l];
+    return static_cast<u32>((h.field(c.dim) >> c.shift) & mask_);
+  }
+
+  /// Chunk value range [lo_chunk, hi_chunk] that interval [lo,hi] of the
+  /// chunk's field spans at level l, given that all higher chunks of that
+  /// field are already fixed (so lo and hi agree above shift+w).
+  std::pair<u32, u32> chunk_span(u64 lo, u64 hi, u32 l) const {
+    const Chunk& c = chunks_[l];
+    return {static_cast<u32>((lo >> c.shift) & mask_),
+            static_cast<u32>((hi >> c.shift) & mask_)};
+  }
+
+ private:
+  Schedule(u32 w, std::vector<Chunk> chunks);
+
+  u32 w_ = 8;
+  u64 mask_ = 0xff;
+  std::vector<Chunk> chunks_;
+};
+
+}  // namespace expcuts
+}  // namespace pclass

@@ -1,0 +1,62 @@
+#include "geom/box.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace pclass {
+
+Box Box::full() {
+  Box b;
+  for (std::size_t i = 0; i < kNumDims; ++i) {
+    b.dims[i] = Interval::full(kDimBits[i]);
+  }
+  return b;
+}
+
+bool Box::overlaps(const Box& o) const {
+  for (std::size_t i = 0; i < kNumDims; ++i) {
+    if (!dims[i].overlaps(o.dims[i])) return false;
+  }
+  return true;
+}
+
+bool Box::contains(const Box& o) const {
+  for (std::size_t i = 0; i < kNumDims; ++i) {
+    if (!dims[i].contains(o.dims[i])) return false;
+  }
+  return true;
+}
+
+bool Box::contains_point(const std::array<u64, kNumDims>& p) const {
+  for (std::size_t i = 0; i < kNumDims; ++i) {
+    if (!dims[i].contains(p[i])) return false;
+  }
+  return true;
+}
+
+Box Box::intersect(const Box& o) const {
+  Box r;
+  for (std::size_t i = 0; i < kNumDims; ++i) {
+    r.dims[i] = dims[i].intersect(o.dims[i]);
+  }
+  return r;
+}
+
+double Box::log2_volume() const {
+  double bits = 0.0;
+  for (const auto& iv : dims) {
+    bits += std::log2(static_cast<double>(iv.width()));
+  }
+  return bits;
+}
+
+std::string Box::str() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < kNumDims; ++i) {
+    if (i) os << " x ";
+    os << dim_name(static_cast<Dim>(i)) << dims[i].str();
+  }
+  return os.str();
+}
+
+}  // namespace pclass

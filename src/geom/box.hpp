@@ -1,0 +1,38 @@
+// Five-dimensional boxes over the classification key space.
+//
+// A Box is the cartesian product of one interval per dimension; decision
+// tree nodes cover boxes, rules cover boxes, and classification is point
+// location among overlapping rule boxes.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "geom/interval.hpp"
+
+namespace pclass {
+
+struct Box {
+  std::array<Interval, kNumDims> dims;
+
+  /// The full 104-bit search space.
+  static Box full();
+
+  const Interval& operator[](Dim d) const { return dims[dim_index(d)]; }
+  Interval& operator[](Dim d) { return dims[dim_index(d)]; }
+
+  bool operator==(const Box& o) const = default;
+
+  bool overlaps(const Box& o) const;
+  bool contains(const Box& o) const;
+  bool contains_point(const std::array<u64, kNumDims>& p) const;
+  Box intersect(const Box& o) const;
+
+  /// log2 of the number of key points in the box; exact because all builder
+  /// boxes have power-of-two extents per dimension.
+  double log2_volume() const;
+
+  std::string str() const;
+};
+
+}  // namespace pclass

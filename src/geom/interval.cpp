@@ -1,0 +1,102 @@
+#include "geom/interval.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace pclass {
+
+Interval Interval::from_prefix(u64 value, u32 len, u32 bits) {
+  check(bits <= 64, "from_prefix: bits > 64");
+  check(len <= bits, "from_prefix: len > bits");
+  if (len == 0) return full(bits);
+  const u64 host_bits = bits - len;
+  const u64 host_mask = (host_bits >= 64) ? ~u64{0} : (u64{1} << host_bits) - 1;
+  check((value & host_mask) == 0, "from_prefix: host bits set in value");
+  return Interval{value, value | host_mask};
+}
+
+u64 Interval::width() const {
+  check(valid(), "Interval::width on invalid interval");
+  const u64 span = hi - lo;
+  return span == ~u64{0} ? ~u64{0} : span + 1;
+}
+
+bool Interval::is_prefix(u32 bits) const {
+  if (!valid()) return false;
+  const u64 w = hi - lo + 1;  // full-domain 64-bit case not used in practice
+  if (hi - lo == ~u64{0}) return true;
+  if (!is_pow2(w)) return false;
+  if (lo % w != 0) return false;
+  const u64 domain = (bits >= 64) ? ~u64{0} : (u64{1} << bits) - 1;
+  return hi <= domain;
+}
+
+u32 Interval::prefix_len(u32 bits) const {
+  check(is_prefix(bits), "prefix_len: not a prefix interval");
+  if (hi - lo == ~u64{0}) return 0;
+  return bits - log2_pow2(hi - lo + 1);
+}
+
+std::string Interval::str() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "[%llu,%llu]",
+                static_cast<unsigned long long>(lo),
+                static_cast<unsigned long long>(hi));
+  return buf;
+}
+
+std::vector<Interval> split_equal(const Interval& iv, u64 n) {
+  check(n >= 1, "split_equal: n == 0");
+  const u64 w = iv.width();
+  check(w != ~u64{0} || n == 1, "split_equal: cannot split full 64-bit domain");
+  check(n == 1 || w % n == 0, "split_equal: width not divisible by n");
+  std::vector<Interval> out;
+  out.reserve(static_cast<std::size_t>(n));
+  if (n == 1) {
+    out.push_back(iv);
+    return out;
+  }
+  const u64 step = w / n;
+  u64 lo = iv.lo;
+  for (u64 i = 0; i < n; ++i) {
+    out.emplace_back(lo, lo + step - 1);
+    lo += step;
+  }
+  return out;
+}
+
+std::vector<Prefix> range_to_prefixes(const Interval& iv, u32 bits) {
+  check(iv.valid(), "range_to_prefixes: invalid interval");
+  check(bits <= 63, "range_to_prefixes: bits too wide");
+  check(iv.hi <= ((u64{1} << bits) - 1), "range_to_prefixes: out of domain");
+  std::vector<Prefix> out;
+  u64 lo = iv.lo;
+  while (lo <= iv.hi) {
+    // Largest aligned power-of-two block starting at lo that stays in
+    // range: limited by lo's alignment and by the remaining span.
+    u32 block_bits = (lo == 0) ? bits : std::min(bits, log2_pow2(lo & (~lo + 1)));
+    while (block_bits > 0 &&
+           (lo + (u64{1} << block_bits) - 1) > iv.hi) {
+      --block_bits;
+    }
+    out.push_back(Prefix{lo, bits - block_bits});
+    const u64 step = u64{1} << block_bits;
+    if (lo > iv.hi - step + 1) break;  // would wrap past hi
+    lo += step;
+    if (lo == 0) break;  // wrapped the domain
+  }
+  return out;
+}
+
+std::size_t segment_of(const std::vector<u64>& right_edges, u64 v) {
+  // right_edges[i] is the inclusive right edge of elementary segment i; the
+  // last edge must be the domain maximum so every v falls in some segment.
+  auto it = std::lower_bound(right_edges.begin(), right_edges.end(), v);
+  check(it != right_edges.end(), "segment_of: v beyond last edge");
+  return static_cast<std::size_t>(it - right_edges.begin());
+}
+
+}  // namespace pclass

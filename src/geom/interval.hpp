@@ -1,0 +1,92 @@
+// Closed integer intervals — the geometric primitive of all classifiers.
+//
+// Every rule field is a closed interval over an unsigned dimension domain:
+// IP prefixes become [net, net | host_mask], port ranges are used verbatim,
+// protocol is an exact value or the full domain. Decision-tree cutting and
+// HSM segmentation both operate on these intervals.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pclass {
+
+/// Closed interval [lo, hi] over u64 (fields narrower than 64 bits embed).
+struct Interval {
+  u64 lo = 0;
+  u64 hi = 0;
+
+  constexpr Interval() = default;
+  constexpr Interval(u64 l, u64 h) : lo(l), hi(h) {}
+
+  /// Full domain of a `bits`-wide dimension.
+  static constexpr Interval full(u32 bits) {
+    return Interval{0, (bits >= 64) ? ~u64{0} : (u64{1} << bits) - 1};
+  }
+
+  /// Single point.
+  static constexpr Interval point(u64 v) { return Interval{v, v}; }
+
+  /// Interval covered by prefix `value/len` in a `bits`-wide dimension.
+  /// `value` holds the prefix in the top `len` bits of the field
+  /// (i.e. already shifted to field position, host bits zero).
+  static Interval from_prefix(u64 value, u32 len, u32 bits);
+
+  constexpr bool valid() const { return lo <= hi; }
+  constexpr bool contains(u64 v) const { return lo <= v && v <= hi; }
+  constexpr bool contains(const Interval& o) const {
+    return lo <= o.lo && o.hi <= hi;
+  }
+  constexpr bool overlaps(const Interval& o) const {
+    return lo <= o.hi && o.lo <= hi;
+  }
+  constexpr bool operator==(const Interval& o) const = default;
+
+  /// Number of integer points (saturates at u64 max for the full domain).
+  u64 width() const;
+
+  /// Intersection; only meaningful when overlaps(o).
+  constexpr Interval intersect(const Interval& o) const {
+    return Interval{lo > o.lo ? lo : o.lo, hi < o.hi ? hi : o.hi};
+  }
+
+  /// True if this interval is exactly a prefix range (power-of-two size,
+  /// aligned). Used by rule-set analysis and the ClassBench writer.
+  bool is_prefix(u32 bits) const;
+
+  /// If is_prefix(bits), returns the prefix length.
+  u32 prefix_len(u32 bits) const;
+
+  std::string str() const;
+};
+
+/// Splits `iv` into `n` equal-width sub-intervals. Requires the width of
+/// `iv` to be divisible by n (always true for power-of-2 cuts of aligned
+/// boxes, which is the only way the builders call it).
+std::vector<Interval> split_equal(const Interval& iv, u64 n);
+
+/// Given sorted unique segment boundary points b_0 < b_1 < ... over a
+/// domain [0, max], `segment_of(points, v)` returns the index of the
+/// elementary segment containing v. See hsm/segmentation for construction.
+std::size_t segment_of(const std::vector<u64>& right_edges, u64 v);
+
+/// A prefix over a `bits`-wide field: `value` has the host bits zero.
+struct Prefix {
+  u64 value = 0;
+  u32 len = 0;
+
+  bool operator==(const Prefix& o) const = default;
+  Interval interval(u32 bits) const {
+    return Interval::from_prefix(value, len, bits);
+  }
+};
+
+/// Decomposes an arbitrary interval into the minimal set of maximal
+/// prefixes covering it exactly (at most 2*bits - 2 of them). This is the
+/// classic range-to-prefix conversion used by tuple-space and TCAM-style
+/// schemes.
+std::vector<Prefix> range_to_prefixes(const Interval& iv, u32 bits);
+
+}  // namespace pclass

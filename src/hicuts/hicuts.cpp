@@ -1,0 +1,243 @@
+#include "hicuts/hicuts.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "classify/linear.hpp"
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/texttable.hpp"
+#include "rules/analysis.hpp"
+
+namespace pclass {
+namespace hicuts {
+namespace {
+
+/// Hard recursion guard; real trees stay far below this.
+constexpr u16 kMaxDepth = 64;
+
+/// Cycle costs charged by traced lookups (see npsim/config.hpp for the
+/// machine model these are calibrated against).
+constexpr u32 kNodeHeaderCycles = 6;   // decode dim/step/base, div/shift
+constexpr u32 kPointerCycles = 4;      // index arithmetic + issue
+constexpr u32 kLeafRuleCycles = 10;    // 5-field compare of a loaded rule
+
+/// Sub-space width when cutting `iv` into nc pieces (last piece may be
+/// smaller — HiCuts cuts equal-sized except for domain truncation).
+u64 step_for(const Interval& iv, u32 nc) {
+  return ceil_div(iv.width(), nc);
+}
+
+u32 slots_for(const Interval& iv, u64 step) {
+  return static_cast<u32>(ceil_div(iv.width(), step));
+}
+
+}  // namespace
+
+HiCutsClassifier::HiCutsClassifier(const RuleSet& rules, const Config& cfg)
+    : rules_(rules), cfg_(cfg) {
+  if (cfg_.binth == 0) throw ConfigError("HiCuts: binth must be >= 1");
+  if (cfg_.spfac < 1.0) throw ConfigError("HiCuts: spfac must be >= 1");
+  if (cfg_.max_cuts < 2 || !is_pow2(cfg_.max_cuts)) {
+    throw ConfigError("HiCuts: max_cuts must be a power of two >= 2");
+  }
+  std::vector<RuleId> all(rules_.size());
+  for (RuleId i = 0; i < rules_.size(); ++i) all[i] = i;
+  build(Box::full(), std::move(all), 0);
+  finalize_stats();
+}
+
+u32 HiCutsClassifier::build(const Box& box, std::vector<RuleId> ids,
+                            u16 depth) {
+  // Priority pruning: once a rule fully covers this box, no later
+  // (lower-priority) rule can ever be the answer inside it.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (rules_[ids[i]].covers(box)) {
+      ids.resize(i + 1);
+      break;
+    }
+  }
+
+  if (nodes_.size() >= cfg_.max_nodes) {
+    throw ConfigError("HiCuts: tree exceeds max_nodes (binth/spfac too aggressive)");
+  }
+  const u32 index = static_cast<u32>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[index].depth = depth;
+
+  auto make_leaf = [&]() -> u32 {
+    nodes_[index].rules = std::move(ids);
+    nodes_[index].cut_step = 0;
+    return index;
+  };
+
+  if (ids.size() <= cfg_.binth || depth >= kMaxDepth) return make_leaf();
+
+  // --- Dimension selection: maximize distinct rule projections within the
+  // box (a standard HiCuts heuristic), tie-broken by wider extent.
+  Dim best_dim = Dim::kSrcIp;
+  std::size_t best_distinct = 0;
+  u64 best_width = 0;
+  for (std::size_t d = 0; d < kNumDims; ++d) {
+    const Dim dim = static_cast<Dim>(d);
+    const Interval& extent = box[dim];
+    if (extent.width() < 2) continue;  // cannot cut a point
+    const std::size_t distinct =
+        distinct_projections(rules_, ids, dim, extent);
+    if (distinct > best_distinct ||
+        (distinct == best_distinct && extent.width() > best_width)) {
+      best_distinct = distinct;
+      best_dim = dim;
+      best_width = extent.width();
+    }
+  }
+  if (best_distinct <= 1) {
+    // Every rule looks identical along every cuttable dimension inside this
+    // box; cutting cannot separate them.
+    return make_leaf();
+  }
+
+  const Interval extent = box[best_dim];
+
+  // --- Cut-count selection: largest power-of-two nc whose space measure
+  // sm(nc) = (duplicated rule refs) + nc stays within spfac * n.
+  const double budget = cfg_.spfac * static_cast<double>(ids.size());
+  u32 chosen_nc = 2;
+  const u64 max_nc_domain = std::min<u64>(cfg_.max_cuts, extent.width());
+  for (u32 nc = 2; nc <= max_nc_domain; nc *= 2) {
+    const u64 step = step_for(extent, nc);
+    u64 refs = 0;
+    for (RuleId id : ids) {
+      const Interval clipped = rules_[id].field(best_dim).intersect(extent);
+      const u64 c_lo = (clipped.lo - extent.lo) / step;
+      const u64 c_hi = (clipped.hi - extent.lo) / step;
+      refs += c_hi - c_lo + 1;
+    }
+    if (static_cast<double>(refs + nc) <= budget || nc == 2) {
+      chosen_nc = nc;
+    } else {
+      break;
+    }
+  }
+
+  const u64 step = step_for(extent, chosen_nc);
+  const u32 slots = slots_for(extent, step);
+
+  // --- Partition rules into child slots.
+  std::vector<std::vector<RuleId>> child_ids(slots);
+  for (RuleId id : ids) {
+    const Interval clipped = rules_[id].field(best_dim).intersect(extent);
+    const u64 c_lo = (clipped.lo - extent.lo) / step;
+    const u64 c_hi = (clipped.hi - extent.lo) / step;
+    for (u64 c = c_lo; c <= c_hi; ++c) {
+      child_ids[static_cast<std::size_t>(c)].push_back(id);
+    }
+  }
+
+  // No separation achieved: one slot holding everything.
+  if (slots < 2) return make_leaf();
+
+  nodes_[index].cut_dim = best_dim;
+  nodes_[index].cut_range = extent;
+  nodes_[index].cut_step = step;
+  nodes_[index].children.assign(slots, 0);
+
+  // --- Aggregate consecutive identical children (paper Fig. 2): one child
+  // node covers the union of its slots' sub-spaces.
+  u32 run_begin = 0;
+  while (run_begin < slots) {
+    u32 run_end = run_begin + 1;
+    while (run_end < slots && child_ids[run_end] == child_ids[run_begin]) {
+      ++run_end;
+    }
+    Box child_box = box;
+    const u64 lo = extent.lo + static_cast<u64>(run_begin) * step;
+    const u64 hi =
+        std::min(extent.hi, extent.lo + static_cast<u64>(run_end) * step - 1);
+    child_box[best_dim] = Interval{lo, hi};
+    const u32 child =
+        build(child_box, std::move(child_ids[run_begin]),
+              static_cast<u16>(depth + 1));
+    for (u32 c = run_begin; c < run_end; ++c) nodes_[index].children[c] = child;
+    run_begin = run_end;
+  }
+  return index;
+}
+
+RuleId HiCutsClassifier::classify(const PacketHeader& h) const {
+  const Node* n = &nodes_[0];
+  while (!n->is_leaf()) {
+    const u64 v = h.field(n->cut_dim);
+    const u64 idx = (v - n->cut_range.lo) / n->cut_step;
+    n = &nodes_[n->children[static_cast<std::size_t>(idx)]];
+  }
+  for (RuleId id : n->rules) {
+    if (rules_[id].matches(h)) return id;
+  }
+  return kNoMatch;
+}
+
+RuleId HiCutsClassifier::classify_traced(const PacketHeader& h,
+                                         LookupTrace& trace) const {
+  const Node* n = &nodes_[0];
+  while (!n->is_leaf()) {
+    // Node header (2 words: dim/step/base + child-array base), then the
+    // indexed pointer (1 word).
+    trace.accesses.push_back(MemAccess{n->depth, 2, kNodeHeaderCycles});
+    trace.accesses.push_back(MemAccess{n->depth, 1, kPointerCycles});
+    const u64 v = h.field(n->cut_dim);
+    const u64 idx = (v - n->cut_range.lo) / n->cut_step;
+    n = &nodes_[n->children[static_cast<std::size_t>(idx)]];
+  }
+  RuleId matched = kNoMatch;
+  for (RuleId id : n->rules) {
+    trace.accesses.push_back(MemAccess{n->depth, kRuleWords, kLeafRuleCycles});
+    if (matched == kNoMatch && rules_[id].matches(h)) {
+      matched = id;
+      if (!cfg_.worst_case_leaf_scan) break;
+    }
+  }
+  trace.tail_compute_cycles = 4;
+  return matched;
+}
+
+void HiCutsClassifier::finalize_stats() {
+  stats_ = TreeStats{};
+  stats_.node_count = nodes_.size();
+  RunningStats depth_stats;
+  for (const Node& n : nodes_) {
+    if (n.is_leaf()) {
+      ++stats_.leaf_count;
+      stats_.max_depth = std::max<u32>(stats_.max_depth, n.depth);
+      depth_stats.add(n.depth);
+      stats_.stored_leaf_rule_refs += n.rules.size();
+      stats_.max_leaf_rules =
+          std::max<u32>(stats_.max_leaf_rules, static_cast<u32>(n.rules.size()));
+    } else {
+      stats_.pointer_array_entries += n.children.size();
+    }
+  }
+  stats_.mean_depth = depth_stats.mean();
+  // Memory image: 16-byte node headers, 4-byte child pointers, 4-byte leaf
+  // rule references, plus the shared 6-word-per-rule table.
+  stats_.memory_bytes = stats_.node_count * 16 +
+                        stats_.pointer_array_entries * 4 +
+                        stats_.stored_leaf_rule_refs * 4 +
+                        static_cast<u64>(rules_.size()) * kRuleWords * 4;
+}
+
+MemoryFootprint HiCutsClassifier::footprint() const {
+  MemoryFootprint f;
+  f.bytes = stats_.memory_bytes;
+  f.node_count = stats_.node_count - stats_.leaf_count;
+  f.leaf_count = stats_.leaf_count;
+  f.max_depth = stats_.max_depth;
+  f.detail = "binth=" + std::to_string(cfg_.binth) + " spfac=" +
+             format_fixed(cfg_.spfac, 1) +
+             " max_leaf=" + std::to_string(stats_.max_leaf_rules);
+  return f;
+}
+
+}  // namespace hicuts
+}  // namespace pclass

@@ -1,0 +1,92 @@
+// HiCuts: Hierarchical Intelligent Cuttings (Gupta & McKeown, HotI 1999).
+//
+// The field-dependent baseline the paper builds on. Preprocessing builds a
+// decision tree: each internal node cuts the current box into equal-sized
+// sub-spaces along one dimension (dimension and cut count chosen by
+// heuristics); leaves hold at most `binth` rules searched linearly.
+// Consecutive children with identical rule sets are merged, the node's
+// pointer array aggregating multiple sub-spaces onto one child (paper
+// Fig. 2).
+//
+// The paper's critique (Sec. 4.2.1) — which this implementation reproduces
+// measurably — is (a) the tree depth is input-dependent, so there is no
+// explicit worst-case bound, and (b) leaf linear search costs up to binth
+// 6-word SRAM references, capping NP throughput (Fig. 8).
+#pragma once
+
+#include <vector>
+
+#include "classify/classifier.hpp"
+#include "geom/box.hpp"
+
+namespace pclass {
+namespace hicuts {
+
+struct Config {
+  /// Maximum rules in a leaf (paper uses binth = 8 in Sec. 6.6).
+  u32 binth = 8;
+  /// Space-measure factor: a node may use at most spfac * n child slots
+  /// plus duplicated rules (HiCuts' sm(C) <= spfac * n heuristic).
+  double spfac = 2.0;
+  /// Upper bound on cuts per node (keeps pointer arrays bounded).
+  u32 max_cuts = 64;
+  /// When true, traced lookups charge the worst case at leaves: the whole
+  /// leaf list is scanned even after a match. Matches the paper's
+  /// worst-case throughput accounting (Sec. 6.6).
+  bool worst_case_leaf_scan = false;
+  /// Build-size guard: aggressive binth/spfac combinations can blow the
+  /// tree up; the build throws ConfigError past this many nodes.
+  u64 max_nodes = 4'000'000;
+};
+
+struct Node {
+  // Internal node fields.
+  Dim cut_dim = Dim::kSrcIp;
+  Interval cut_range;        ///< Box extent along cut_dim at this node.
+  u64 cut_step = 0;          ///< Sub-space width; 0 marks a leaf.
+  std::vector<u32> children; ///< Pointer array: cut index -> node index.
+  // Leaf fields.
+  std::vector<RuleId> rules; ///< Priority-sorted leaf rule ids.
+  u16 depth = 0;
+
+  bool is_leaf() const { return cut_step == 0; }
+};
+
+struct TreeStats {
+  u64 node_count = 0;
+  u64 leaf_count = 0;
+  u32 max_depth = 0;
+  double mean_depth = 0.0;      ///< Over leaves.
+  u64 pointer_array_entries = 0;
+  u64 stored_leaf_rule_refs = 0;
+  u32 max_leaf_rules = 0;
+  u64 memory_bytes = 0;
+};
+
+class HiCutsClassifier final : public Classifier {
+ public:
+  HiCutsClassifier(const RuleSet& rules, const Config& cfg = {});
+
+  std::string name() const override { return "HiCuts"; }
+  RuleId classify(const PacketHeader& h) const override;
+  RuleId classify_traced(const PacketHeader& h,
+                         LookupTrace& trace) const override;
+  MemoryFootprint footprint() const override;
+
+  const TreeStats& stats() const { return stats_; }
+  const Config& config() const { return cfg_; }
+  std::size_t node_count() const { return nodes_.size(); }
+  const Node& node(std::size_t i) const { return nodes_[i]; }
+
+ private:
+  u32 build(const Box& box, std::vector<RuleId> ids, u16 depth);
+  void finalize_stats();
+
+  const RuleSet& rules_;
+  Config cfg_;
+  std::vector<Node> nodes_;  ///< nodes_[0] is the root.
+  TreeStats stats_;
+};
+
+}  // namespace hicuts
+}  // namespace pclass

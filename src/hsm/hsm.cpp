@@ -1,0 +1,122 @@
+#include "hsm/hsm.hpp"
+
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace pclass {
+namespace hsm {
+namespace {
+
+constexpr u32 kProbeCycles = 4;       // compare/branch per search probe
+constexpr u32 kIndexCycles = 5;       // multiply-add table indexing
+
+using eqclass::cross;
+
+}  // namespace
+
+HsmClassifier::HsmClassifier(const RuleSet& rules, const Config& cfg)
+    : rules_(rules), cfg_(cfg) {
+  for (std::size_t d = 0; d < kNumDims; ++d) {
+    segs_[d] = segment_dimension(rules_, static_cast<Dim>(d));
+  }
+  // Protocol: direct-index table of class ids.
+  const DimSegmentation& ps = segs_[dim_index(Dim::kProto)];
+  for (u32 v = 0; v < 256; ++v) proto_table_[v] = ps.lookup(v);
+
+  x1_ = cross(segs_[dim_index(Dim::kSrcIp)].class_bitmaps,
+              segs_[dim_index(Dim::kDstIp)].class_bitmaps,
+              cfg_.max_table_entries, "X1 (sip x dip)");
+  x2_ = cross(segs_[dim_index(Dim::kSrcPort)].class_bitmaps,
+              segs_[dim_index(Dim::kDstPort)].class_bitmaps,
+              cfg_.max_table_entries, "X2 (sport x dport)");
+  x3_ = cross(x1_.class_bitmaps, x2_.class_bitmaps, cfg_.max_table_entries,
+              "X3 (X1 x X2)");
+
+  // Final stage: X3 class x protocol class -> highest-priority rule.
+  const auto& pc = ps.class_bitmaps;
+  final_cols_ = static_cast<u32>(pc.size());
+  final_ = eqclass::cross_final(x3_.class_bitmaps, pc, cfg_.max_table_entries,
+                                "HSM final (X3 x proto)");
+  finalize_stats();
+}
+
+RuleId HsmClassifier::classify(const PacketHeader& h) const {
+  const u32 a = segs_[dim_index(Dim::kSrcIp)].lookup(h.sip);
+  const u32 b = segs_[dim_index(Dim::kDstIp)].lookup(h.dip);
+  const u32 c = segs_[dim_index(Dim::kSrcPort)].lookup(h.sport);
+  const u32 d = segs_[dim_index(Dim::kDstPort)].lookup(h.dport);
+  const u32 e = proto_class(h.proto);
+  const u32 x1 = x1_.lookup(a, b);
+  const u32 x2 = x2_.lookup(c, d);
+  const u32 x3 = x3_.lookup(x1, x2);
+  return final_[static_cast<std::size_t>(x3) * final_cols_ + e];
+}
+
+RuleId HsmClassifier::classify_traced(const PacketHeader& h,
+                                      LookupTrace& trace) const {
+  // Field stages: every binary-search probe reads one 32-bit word
+  // (paper Sec. 6.6: HSM accesses each refer to a single long-word).
+  u16 stage = 0;
+  for (std::size_t d = 0; d < 4; ++d) {
+    const u32 steps = segs_[d].search_steps();
+    for (u32 s = 0; s < steps; ++s) {
+      trace.accesses.push_back(MemAccess{stage, 1, kProbeCycles});
+    }
+    // Class-id table read for the located segment.
+    trace.accesses.push_back(MemAccess{stage, 1, kIndexCycles});
+    ++stage;
+  }
+  trace.accesses.push_back(MemAccess{stage++, 1, kIndexCycles});  // proto
+  trace.accesses.push_back(MemAccess{stage++, 1, kIndexCycles});  // X1
+  trace.accesses.push_back(MemAccess{stage++, 1, kIndexCycles});  // X2
+  trace.accesses.push_back(MemAccess{stage++, 1, kIndexCycles});  // X3
+  trace.accesses.push_back(MemAccess{stage++, 1, kIndexCycles});  // final
+  trace.tail_compute_cycles = 2;
+  return classify(h);
+}
+
+void HsmClassifier::finalize_stats() {
+  stats_ = HsmStats{};
+  u64 bytes = 0;
+  for (std::size_t d = 0; d < kNumDims; ++d) {
+    stats_.segments[d] = segs_[d].segment_count();
+    stats_.classes[d] = segs_[d].class_count();
+    if (d == dim_index(Dim::kProto)) {
+      bytes += 256 * 4;  // direct-index class table
+    } else {
+      // Edge array + class-id array, one word per segment each.
+      bytes += segs_[d].segment_count() * 8;
+    }
+  }
+  stats_.x1_entries = x1_.table.size();
+  stats_.x2_entries = x2_.table.size();
+  stats_.x3_entries = x3_.table.size();
+  stats_.final_entries = final_.size();
+  stats_.x1_classes = x1_.class_count();
+  stats_.x2_classes = x2_.class_count();
+  stats_.x3_classes = x3_.class_count();
+  bytes += x1_.bytes() + x2_.bytes() + x3_.bytes() + final_.size() * 4;
+  stats_.memory_bytes = bytes;
+  u32 probes = 5;  // proto + X1 + X2 + X3 + final
+  for (std::size_t d = 0; d < 4; ++d) {
+    probes += segs_[d].search_steps() + 1;
+  }
+  stats_.worst_case_probes = probes;
+}
+
+MemoryFootprint HsmClassifier::footprint() const {
+  MemoryFootprint f;
+  f.bytes = stats_.memory_bytes;
+  f.node_count = 4 + stats_.x1_classes + stats_.x2_classes + stats_.x3_classes;
+  f.leaf_count = stats_.final_entries;
+  f.max_depth = stats_.worst_case_probes;
+  f.detail = "x1=" + std::to_string(stats_.x1_entries) +
+             " x2=" + std::to_string(stats_.x2_entries) +
+             " x3=" + std::to_string(stats_.x3_entries) +
+             " final=" + std::to_string(stats_.final_entries);
+  return f;
+}
+
+}  // namespace hsm
+}  // namespace pclass

@@ -1,0 +1,81 @@
+// HSM: Hierarchical Space Mapping (Xu, Jiang & Li, AINA 2005).
+//
+// The field-independent baseline of the paper's evaluation. Lookup runs
+// five independent field mappings (binary search over segment edges for
+// the four range fields; direct index for protocol), then combines the
+// class ids through hierarchical crossproduct tables:
+//
+//        sip ── X1 ──┐
+//        dip ──┘      X3 ── F ── rule id
+//        sport ─ X2 ─┘     │
+//        dport ─┘   proto ─┘
+//
+// Each table entry stores the equivalence class of the intersection of its
+// two operands' rule subsets; the final table stores the highest-priority
+// rule id directly. Every lookup probe is a single 32-bit word, and the
+// total probe count is Θ(log N) — fast, but the crossproduct tables grow
+// with the rule count, and so does the binary-search depth, which is the
+// degradation Fig. 9 shows for large rule sets.
+#pragma once
+
+#include <array>
+
+#include "classify/classifier.hpp"
+#include "eqclass/crossproduct.hpp"
+#include "hsm/segmentation.hpp"
+
+namespace pclass {
+namespace hsm {
+
+struct Config {
+  /// Safety cap on any single crossproduct table, in entries. Build throws
+  /// ConfigError beyond it (the IXP2850 has 4 x 8 MB of SRAM).
+  u64 max_table_entries = 64ull * 1024 * 1024;
+};
+
+using CrossTable = eqclass::CrossTable;
+
+struct HsmStats {
+  std::array<std::size_t, kNumDims> segments{};
+  std::array<std::size_t, kNumDims> classes{};
+  u64 x1_entries = 0, x2_entries = 0, x3_entries = 0, final_entries = 0;
+  std::size_t x1_classes = 0, x2_classes = 0, x3_classes = 0;
+  u64 memory_bytes = 0;
+  u32 worst_case_probes = 0;  ///< Words read by the slowest lookup.
+};
+
+class HsmClassifier final : public Classifier {
+ public:
+  explicit HsmClassifier(const RuleSet& rules, const Config& cfg = {});
+
+  std::string name() const override { return "HSM"; }
+  RuleId classify(const PacketHeader& h) const override;
+  RuleId classify_traced(const PacketHeader& h,
+                         LookupTrace& trace) const override;
+  MemoryFootprint footprint() const override;
+
+  const HsmStats& stats() const { return stats_; }
+  const DimSegmentation& segmentation(Dim d) const {
+    return segs_[dim_index(d)];
+  }
+
+ private:
+  u32 proto_class(u8 proto) const { return proto_table_[proto]; }
+  void finalize_stats();
+
+  const RuleSet& rules_;
+  Config cfg_;
+  std::array<DimSegmentation, kNumDims> segs_;
+  /// Protocol is 8-bit: a 256-entry direct-index class table replaces the
+  /// binary search.
+  std::array<u32, 256> proto_table_{};
+  CrossTable x1_;     ///< sip x dip
+  CrossTable x2_;     ///< sport x dport
+  CrossTable x3_;     ///< x1 x x2
+  u32 final_cols_ = 0;
+  std::vector<RuleId> final_;  ///< x3 x proto -> rule id.
+  HsmStats stats_;
+};
+
+}  // namespace hsm
+}  // namespace pclass

@@ -1,0 +1,64 @@
+#include "hsm/segmentation.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/bitops.hpp"
+
+namespace pclass {
+namespace hsm {
+
+u32 DimSegmentation::search_steps() const {
+  // Binary search over n edges probes ceil(log2(n)) + 1 words.
+  u32 steps = 1;
+  std::size_t n = right_edges.size();
+  while (n > 1) {
+    n = (n + 1) / 2;
+    ++steps;
+  }
+  return steps;
+}
+
+DimSegmentation segment_dimension(const RuleSet& rules, Dim dim) {
+  DimSegmentation seg;
+  seg.dim = dim;
+  const u64 domain_max = dim_max(dim);
+
+  // Elementary segment edges: each rule interval [lo,hi] contributes a
+  // right edge at lo-1 (the segment ending just before it) and at hi.
+  std::vector<u64> edges;
+  edges.reserve(rules.size() * 2 + 1);
+  for (const Rule& r : rules.rules()) {
+    const Interval& iv = r.field(dim);
+    if (iv.lo > 0) edges.push_back(iv.lo - 1);
+    edges.push_back(iv.hi);
+  }
+  edges.push_back(domain_max);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  seg.right_edges = std::move(edges);
+
+  // Rule subset per segment.
+  std::vector<DynBitset> seg_bitmaps(seg.right_edges.size(),
+                                     DynBitset(rules.size()));
+  for (RuleId id = 0; id < rules.size(); ++id) {
+    const Interval& iv = rules[id].field(dim);
+    const std::size_t s_lo = segment_of(seg.right_edges, iv.lo);
+    const std::size_t s_hi = segment_of(seg.right_edges, iv.hi);
+    for (std::size_t s = s_lo; s <= s_hi; ++s) seg_bitmaps[s].set(id);
+  }
+
+  // Collapse to equivalence classes.
+  std::unordered_map<DynBitset, u32, DynBitsetHash> classes;
+  seg.class_of_segment.resize(seg.right_edges.size());
+  for (std::size_t s = 0; s < seg_bitmaps.size(); ++s) {
+    auto [it, inserted] = classes.emplace(
+        std::move(seg_bitmaps[s]), static_cast<u32>(seg.class_bitmaps.size()));
+    if (inserted) seg.class_bitmaps.push_back(it->first);
+    seg.class_of_segment[s] = it->second;
+  }
+  return seg;
+}
+
+}  // namespace hsm
+}  // namespace pclass

@@ -1,0 +1,45 @@
+// Per-field space segmentation for HSM.
+//
+// Projecting all rule intervals of one dimension onto its axis induces
+// elementary segments; two segments are equivalent when exactly the same
+// set of rules covers them. HSM's first stage maps a field value to its
+// segment's equivalence class by binary search over segment edges.
+#pragma once
+
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "geom/interval.hpp"
+#include "rules/ruleset.hpp"
+
+namespace pclass {
+namespace hsm {
+
+struct DimSegmentation {
+  Dim dim = Dim::kSrcIp;
+  /// Inclusive right edge of each elementary segment, ascending; the last
+  /// edge is the domain maximum.
+  std::vector<u64> right_edges;
+  /// Equivalence class of each segment (index parallel to right_edges).
+  std::vector<u32> class_of_segment;
+  /// Rule subset (bitmap over the rule set) of each class.
+  std::vector<DynBitset> class_bitmaps;
+
+  std::size_t segment_count() const { return right_edges.size(); }
+  std::size_t class_count() const { return class_bitmaps.size(); }
+
+  /// Class id for a field value (binary search + one table read).
+  u32 lookup(u64 value) const {
+    return class_of_segment[segment_of(right_edges, value)];
+  }
+
+  /// Number of binary-search probes a lookup performs (worst case);
+  /// each probe is one word reference on the NP (paper Sec. 6.6).
+  u32 search_steps() const;
+};
+
+/// Builds the segmentation of `dim` over all rules.
+DimSegmentation segment_dimension(const RuleSet& rules, Dim dim);
+
+}  // namespace hsm
+}  // namespace pclass

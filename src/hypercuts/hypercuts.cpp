@@ -1,0 +1,337 @@
+#include "hypercuts/hypercuts.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "classify/linear.hpp"
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/texttable.hpp"
+#include "rules/analysis.hpp"
+
+namespace pclass {
+namespace hypercuts {
+namespace {
+
+constexpr u16 kMaxDepth = 64;
+constexpr u32 kNodeHeaderCycles = 8;   // decode multi-dim cut descriptor
+constexpr u32 kPointerCycles = 6;      // per-dim index math + grid fold
+constexpr u32 kLeafRuleCycles = 10;
+
+u64 step_for(const Interval& iv, u32 nc) { return ceil_div(iv.width(), nc); }
+
+u32 slots_for(const Interval& iv, u64 step) {
+  return static_cast<u32>(ceil_div(iv.width(), step));
+}
+
+}  // namespace
+
+HyperCutsClassifier::HyperCutsClassifier(const RuleSet& rules,
+                                         const Config& cfg)
+    : rules_(rules), cfg_(cfg) {
+  if (cfg_.binth == 0) throw ConfigError("HyperCuts: binth must be >= 1");
+  if (cfg_.spfac < 1.0) throw ConfigError("HyperCuts: spfac must be >= 1");
+  if (cfg_.max_children < 4 || !is_pow2(cfg_.max_children)) {
+    throw ConfigError("HyperCuts: max_children must be a power of two >= 4");
+  }
+  if (cfg_.max_cut_dims < 1 || cfg_.max_cut_dims > kNumDims) {
+    throw ConfigError("HyperCuts: max_cut_dims out of range");
+  }
+  std::vector<RuleId> all(rules_.size());
+  for (RuleId i = 0; i < rules_.size(); ++i) all[i] = i;
+  build(Box::full(), std::move(all), 0);
+  finalize_stats();
+}
+
+u32 HyperCutsClassifier::build(const Box& box, std::vector<RuleId> ids,
+                               u16 depth) {
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (rules_[ids[i]].covers(box)) {
+      ids.resize(i + 1);
+      break;
+    }
+  }
+  if (nodes_.size() >= cfg_.max_nodes) {
+    throw ConfigError("HyperCuts: tree exceeds max_nodes");
+  }
+  const u32 index = static_cast<u32>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[index].depth = depth;
+
+  auto make_leaf = [&]() -> u32 {
+    nodes_[index].rules = std::move(ids);
+    return index;
+  };
+  if (ids.size() <= cfg_.binth || depth >= kMaxDepth) return make_leaf();
+
+  // --- Dimension selection (HyperCuts heuristic): cut every dimension
+  // whose distinct-projection count exceeds the mean, up to max_cut_dims.
+  struct DimScore {
+    Dim dim;
+    std::size_t distinct;
+    u64 width;
+  };
+  std::vector<DimScore> scores;
+  double mean = 0.0;
+  for (std::size_t d = 0; d < kNumDims; ++d) {
+    const Dim dim = static_cast<Dim>(d);
+    if (box[dim].width() < 2) continue;
+    const std::size_t distinct = distinct_projections(rules_, ids, dim, box[dim]);
+    if (distinct < 2) continue;
+    scores.push_back({dim, distinct, box[dim].width()});
+    mean += static_cast<double>(distinct);
+  }
+  if (scores.empty()) return make_leaf();
+  mean /= static_cast<double>(scores.size());
+  std::sort(scores.begin(), scores.end(), [](const DimScore& a, const DimScore& b) {
+    return a.distinct != b.distinct ? a.distinct > b.distinct
+                                    : a.width > b.width;
+  });
+  std::vector<DimScore> chosen;
+  for (const DimScore& s : scores) {
+    if (chosen.size() >= cfg_.max_cut_dims) break;
+    if (chosen.empty() || static_cast<double>(s.distinct) >= mean) {
+      chosen.push_back(s);
+    }
+  }
+
+  // --- Cut-count allocation: spend log2(total) bits over the chosen dims,
+  // total bounded by max_children and the spfac space budget.
+  const double budget = cfg_.spfac * static_cast<double>(ids.size());
+  u32 total_bits = log2_pow2(ceil_pow2(std::max<u64>(
+      4, static_cast<u64>(cfg_.spfac * std::sqrt(static_cast<double>(ids.size()))))));
+  total_bits = std::min(total_bits, log2_pow2(cfg_.max_children));
+  std::vector<u32> bits(chosen.size(), 0);
+  for (u32 spent = 0; spent < total_bits;) {
+    bool progressed = false;
+    for (std::size_t k = 0; k < chosen.size() && spent < total_bits; ++k) {
+      const u64 width = chosen[k].width;
+      if ((u64{1} << (bits[k] + 1)) <= width) {
+        ++bits[k];
+        ++spent;
+        progressed = true;
+      }
+    }
+    if (!progressed) break;
+  }
+
+  std::vector<NodeCut> cuts;
+  u64 grid = 1;
+  for (std::size_t k = 0; k < chosen.size(); ++k) {
+    if (bits[k] == 0) continue;
+    NodeCut c;
+    c.dim = chosen[k].dim;
+    c.range = box[c.dim];
+    c.step = step_for(c.range, 1u << bits[k]);
+    c.count = slots_for(c.range, c.step);
+    if (c.count < 2) continue;
+    cuts.push_back(c);
+    grid *= c.count;
+  }
+  if (cuts.empty() || grid < 2) return make_leaf();
+
+  // --- Partition rules into the grid, pushing rules that span every cell
+  // up into this node instead of replicating them (the HyperCuts "common
+  // rule subset" optimization — essential against wildcard blow-up).
+  std::vector<std::vector<RuleId>> cell_ids(static_cast<std::size_t>(grid));
+  std::vector<RuleId> pushed;
+  u64 refs = 0;
+  for (RuleId id : ids) {
+    // Per-dim slot spans, then the product of spans.
+    u32 span_lo[kNumDims], span_hi[kNumDims];
+    u64 span_cells = 1;
+    for (std::size_t k = 0; k < cuts.size(); ++k) {
+      const Interval clipped =
+          rules_[id].field(cuts[k].dim).intersect(cuts[k].range);
+      span_lo[k] = static_cast<u32>((clipped.lo - cuts[k].range.lo) / cuts[k].step);
+      span_hi[k] = static_cast<u32>((clipped.hi - cuts[k].range.lo) / cuts[k].step);
+      span_cells *= span_hi[k] - span_lo[k] + 1;
+    }
+    if (span_cells == grid) {
+      pushed.push_back(id);
+      continue;
+    }
+    // Enumerate the grid cells covered by this rule.
+    u32 idx[kNumDims];
+    for (std::size_t k = 0; k < cuts.size(); ++k) idx[k] = span_lo[k];
+    for (;;) {
+      u64 cell = 0;
+      for (std::size_t k = 0; k < cuts.size(); ++k) {
+        cell = cell * cuts[k].count + idx[k];
+      }
+      cell_ids[static_cast<std::size_t>(cell)].push_back(id);
+      ++refs;
+      // Advance the multi-index.
+      std::size_t k = cuts.size();
+      while (k > 0) {
+        --k;
+        if (idx[k] < span_hi[k]) {
+          ++idx[k];
+          for (std::size_t j = k + 1; j < cuts.size(); ++j) idx[j] = span_lo[j];
+          break;
+        }
+        if (k == 0) goto done_rule;
+      }
+    }
+  done_rule:;
+  }
+  if (static_cast<double>(refs + grid) > budget * 4.0 + 64.0 &&
+      ids.size() <= cfg_.binth * 4) {
+    // Grid too wasteful for a small node; a leaf is cheaper.
+    return make_leaf();
+  }
+
+  // Progress check: if no cell is smaller than the non-pushed input, the
+  // cut separated nothing and recursion would not terminate.
+  const std::size_t non_pushed = ids.size() - pushed.size();
+  bool separated = pushed.empty() ? false : true;
+  for (const auto& cell : cell_ids) {
+    if (cell.size() < non_pushed) {
+      separated = true;
+      break;
+    }
+  }
+  if (!separated) return make_leaf();
+
+  nodes_[index].pushed = std::move(pushed);
+  nodes_[index].cuts = cuts;
+  nodes_[index].children.assign(static_cast<std::size_t>(grid), 0);
+
+  // Build children; share one child for empty cells.
+  u32 empty_leaf = 0;
+  bool have_empty = false;
+  for (u64 cell = 0; cell < grid; ++cell) {
+    auto& cids = cell_ids[static_cast<std::size_t>(cell)];
+    if (cids.empty()) {
+      if (!have_empty) {
+        empty_leaf = static_cast<u32>(nodes_.size());
+        nodes_.emplace_back();
+        nodes_[empty_leaf].depth = static_cast<u16>(depth + 1);
+        have_empty = true;
+      }
+      nodes_[index].children[static_cast<std::size_t>(cell)] = empty_leaf;
+      continue;
+    }
+    // Child box: intersect per-dim sub-ranges for this cell.
+    Box child_box = box;
+    u64 rem = cell;
+    for (std::size_t k = cuts.size(); k > 0;) {
+      --k;
+      const u32 slot = static_cast<u32>(rem % cuts[k].count);
+      rem /= cuts[k].count;
+      const u64 lo = cuts[k].range.lo + u64{slot} * cuts[k].step;
+      const u64 hi = std::min(cuts[k].range.hi, lo + cuts[k].step - 1);
+      child_box[cuts[k].dim] = Interval{lo, hi};
+    }
+    const u32 child =
+        build(child_box, std::move(cids), static_cast<u16>(depth + 1));
+    nodes_[index].children[static_cast<std::size_t>(cell)] = child;
+  }
+  return index;
+}
+
+RuleId HyperCutsClassifier::classify(const PacketHeader& h) const {
+  const Node* n = &nodes_[0];
+  RuleId best = kNoMatch;
+  while (!n->is_leaf()) {
+    for (RuleId id : n->pushed) {
+      if (rules_[id].matches(h)) {
+        best = std::min(best, id);
+        break;  // pushed list is priority-sorted
+      }
+    }
+    u64 cell = 0;
+    for (const NodeCut& c : n->cuts) {
+      const u64 v = h.field(c.dim);
+      cell = cell * c.count + (v - c.range.lo) / c.step;
+    }
+    n = &nodes_[n->children[static_cast<std::size_t>(cell)]];
+  }
+  for (RuleId id : n->rules) {
+    if (rules_[id].matches(h)) {
+      best = std::min(best, id);
+      break;
+    }
+  }
+  return best;
+}
+
+RuleId HyperCutsClassifier::classify_traced(const PacketHeader& h,
+                                            LookupTrace& trace) const {
+  const Node* n = &nodes_[0];
+  RuleId best = kNoMatch;
+  while (!n->is_leaf()) {
+    // Multi-dim cut descriptor (3 words) then the grid pointer (1 word).
+    trace.accesses.push_back(MemAccess{n->depth, 3, kNodeHeaderCycles});
+    bool pushed_matched = false;
+    for (RuleId id : n->pushed) {
+      trace.accesses.push_back(
+          MemAccess{n->depth, kRuleWords, kLeafRuleCycles});
+      if (!pushed_matched && rules_[id].matches(h)) {
+        best = std::min(best, id);
+        pushed_matched = true;
+        if (!cfg_.worst_case_leaf_scan) break;
+      }
+    }
+    trace.accesses.push_back(MemAccess{n->depth, 1, kPointerCycles});
+    u64 cell = 0;
+    for (const NodeCut& c : n->cuts) {
+      const u64 v = h.field(c.dim);
+      cell = cell * c.count + (v - c.range.lo) / c.step;
+    }
+    n = &nodes_[n->children[static_cast<std::size_t>(cell)]];
+  }
+  bool leaf_matched = false;
+  for (RuleId id : n->rules) {
+    trace.accesses.push_back(MemAccess{n->depth, kRuleWords, kLeafRuleCycles});
+    if (!leaf_matched && rules_[id].matches(h)) {
+      best = std::min(best, id);
+      leaf_matched = true;
+      if (!cfg_.worst_case_leaf_scan) break;
+    }
+  }
+  trace.tail_compute_cycles = 4;
+  return best;
+}
+
+void HyperCutsClassifier::finalize_stats() {
+  stats_ = TreeStats{};
+  stats_.node_count = nodes_.size();
+  RunningStats depth_stats, dims_stats;
+  for (const Node& n : nodes_) {
+    if (n.is_leaf()) {
+      ++stats_.leaf_count;
+      stats_.max_depth = std::max<u32>(stats_.max_depth, n.depth);
+      depth_stats.add(n.depth);
+      stats_.stored_leaf_rule_refs += n.rules.size();
+      stats_.max_leaf_rules = std::max<u32>(
+          stats_.max_leaf_rules, static_cast<u32>(n.rules.size()));
+    } else {
+      stats_.pointer_array_entries += n.children.size();
+      stats_.pushed_rule_refs += n.pushed.size();
+      dims_stats.add(static_cast<double>(n.cuts.size()));
+    }
+  }
+  stats_.mean_depth = depth_stats.mean();
+  stats_.mean_cut_dims = dims_stats.mean();
+  stats_.memory_bytes = stats_.node_count * 24 +
+                        stats_.pointer_array_entries * 4 +
+                        (stats_.stored_leaf_rule_refs + stats_.pushed_rule_refs) * 4 +
+                        static_cast<u64>(rules_.size()) * kRuleWords * 4;
+}
+
+MemoryFootprint HyperCutsClassifier::footprint() const {
+  MemoryFootprint f;
+  f.bytes = stats_.memory_bytes;
+  f.node_count = stats_.node_count - stats_.leaf_count;
+  f.leaf_count = stats_.leaf_count;
+  f.max_depth = stats_.max_depth;
+  f.detail = "binth=" + std::to_string(cfg_.binth) + " spfac=" +
+             format_fixed(cfg_.spfac, 1) +
+             " mean_cut_dims=" + format_fixed(stats_.mean_cut_dims, 2);
+  return f;
+}
+
+}  // namespace hypercuts
+}  // namespace pclass

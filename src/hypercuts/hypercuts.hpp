@@ -1,0 +1,92 @@
+// HyperCuts (Singh, Baboescu, Varghese & Wang, SIGCOMM 2003).
+//
+// The second field-dependent baseline in the paper's taxonomy (Sec. 2).
+// Unlike HiCuts, an internal node may cut *several* dimensions at once:
+// the node picks the set of dimensions with above-average distinct
+// projections and splits each into a power-of-two number of equal
+// sub-ranges, producing a multi-dimensional child grid. This trades wider,
+// shallower trees (fewer dependent memory references) for larger child
+// arrays — a useful midpoint between HiCuts and ExpCuts' fixed stride.
+//
+// Leaves fall back to binth-bounded linear search like HiCuts, so the
+// paper's linear-search critique applies here too.
+#pragma once
+
+#include <vector>
+
+#include "classify/classifier.hpp"
+#include "geom/box.hpp"
+
+namespace pclass {
+namespace hypercuts {
+
+struct Config {
+  u32 binth = 8;
+  double spfac = 2.0;
+  /// Upper bound on the total child-grid size of one node.
+  u32 max_children = 256;
+  /// Maximum dimensions cut simultaneously at one node.
+  u32 max_cut_dims = 2;
+  bool worst_case_leaf_scan = false;
+  u64 max_nodes = 4'000'000;
+};
+
+struct NodeCut {
+  Dim dim = Dim::kSrcIp;
+  Interval range;   ///< Node extent along dim.
+  u64 step = 0;     ///< Sub-range width.
+  u32 count = 0;    ///< Number of sub-ranges (power of two).
+};
+
+struct Node {
+  std::vector<NodeCut> cuts;   ///< Empty marks a leaf.
+  std::vector<u32> children;   ///< Row-major over the cut grid.
+  std::vector<RuleId> rules;   ///< Leaf rules, priority order.
+  /// HyperCuts' "common rule subset pushed upwards": rules spanning every
+  /// child cell live here (linear-searched during descent) instead of
+  /// being replicated into each child.
+  std::vector<RuleId> pushed;
+  u16 depth = 0;
+
+  bool is_leaf() const { return cuts.empty(); }
+};
+
+struct TreeStats {
+  u64 node_count = 0;
+  u64 leaf_count = 0;
+  u32 max_depth = 0;
+  double mean_depth = 0.0;
+  double mean_cut_dims = 0.0;    ///< Dimensions cut per internal node.
+  u64 pointer_array_entries = 0;
+  u64 stored_leaf_rule_refs = 0;
+  u64 pushed_rule_refs = 0;
+  u32 max_leaf_rules = 0;
+  u64 memory_bytes = 0;
+};
+
+class HyperCutsClassifier final : public Classifier {
+ public:
+  HyperCutsClassifier(const RuleSet& rules, const Config& cfg = {});
+
+  std::string name() const override { return "HyperCuts"; }
+  RuleId classify(const PacketHeader& h) const override;
+  RuleId classify_traced(const PacketHeader& h,
+                         LookupTrace& trace) const override;
+  MemoryFootprint footprint() const override;
+
+  const TreeStats& stats() const { return stats_; }
+  std::size_t node_count() const { return nodes_.size(); }
+  const Node& node(std::size_t i) const { return nodes_[i]; }
+
+ private:
+  u32 build(const Box& box, std::vector<RuleId> ids, u16 depth);
+  void finalize_stats();
+
+  const RuleSet& rules_;
+  Config cfg_;
+  std::vector<Node> nodes_;
+  TreeStats stats_;
+};
+
+}  // namespace hypercuts
+}  // namespace pclass

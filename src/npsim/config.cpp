@@ -1,0 +1,35 @@
+#include "npsim/config.hpp"
+
+#include <sstream>
+
+namespace pclass {
+namespace npsim {
+
+NpuConfig NpuConfig::ixp2850() { return NpuConfig{}; }
+
+std::string NpuConfig::describe() const {
+  std::ostringstream os;
+  os << "Intel IXP2850 (simulated)\n"
+     << "  XScale core           : 32-bit RISC control processor (not on the fast path)\n"
+     << "  Microengines          : " << max_mes << " x " << threads_per_me
+     << " hardware threads @ " << me_clock_ghz << " GHz\n"
+     << "  QDR SRAM              : " << sram_channels << " channels x "
+     << sram_size_mb << " MB, read latency " << sram_read_latency
+     << " cycles, " << sram_cycles_per_word << " cycles/word, cmd FIFO "
+     << sram_cmd_fifo << "\n"
+     << "  RDRAM                 : " << dram_channels
+     << " channels, read latency " << dram_read_latency << " cycles\n"
+     << "  Media interfaces      : SPI-4 / CSIX-L1 (modelled only as the 64B packet budget)\n";
+  return os.str();
+}
+
+std::string MeAllocation::describe() const {
+  std::ostringstream os;
+  os << "ME allocation (paper Table 3): receive=" << receive
+     << " classify+forward=" << classify << " scheduling=" << scheduling
+     << " transmit=" << transmit;
+  return os.str();
+}
+
+}  // namespace npsim
+}  // namespace pclass

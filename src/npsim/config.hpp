@@ -1,0 +1,91 @@
+// The simulated network-processor model and its IXP2850 preset.
+//
+// What the model captures (and why) — see DESIGN.md §2:
+//  * microengines with N hardware thread contexts that swap on every
+//    off-chip reference (latency hiding, paper Sec. 3.2);
+//  * word-oriented SRAM channels with a fixed read latency, per-word
+//    service time (QDR bandwidth) and per-command controller overhead —
+//    the two bottlenecks the paper isolates in Sec. 6.7 (raw bandwidth
+//    and I/O command processing);
+//  * a finite command FIFO per channel: when it fills, the issuing
+//    microengine stalls (the "enqueue/dequeue mechanisms slow down the
+//    I/O operations" effect);
+//  * per-channel bandwidth headroom: the fraction not already consumed by
+//    the rest of the packet-processing application (paper Table 4);
+//  * burst-oriented DRAM for packet data;
+//  * a per-packet application budget for the non-classification stages
+//    running on the classify microengines (header fetch, verdict
+//    write-back, ring operations).
+//
+// Absolute throughputs depend on the calibration constants below;
+// the comparative shapes (Figs. 7-9, Table 5) are emergent from the
+// classifiers' real access traces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pclass {
+namespace npsim {
+
+struct NpuConfig {
+  double me_clock_ghz = 1.4;   ///< Microengine clock (paper Table 1).
+  u32 max_mes = 16;            ///< Microengines on the die.
+  u32 threads_per_me = 8;     ///< Hardware contexts per ME.
+  u32 context_switch_cycles = 1;
+  u32 issue_cycles = 2;        ///< I/O instruction cost on the ME.
+
+  // --- QDR SRAM (4 channels on the IXP2850, 8 MB each) ---
+  u32 sram_channels = 4;
+  u32 sram_size_mb = 8;                 ///< Per channel.
+  u32 sram_read_latency = 300;          ///< Loaded round-trip, ME cycles.
+  double sram_cycles_per_word = 3.0;    ///< 233 MHz QDR ~ 466M words/s.
+  double sram_cmd_overhead = 4.5;       ///< Controller cost per command.
+  u32 sram_cmd_fifo = 16;               ///< Command FIFO depth.
+  /// Fraction of each channel's bandwidth left to classification after the
+  /// rest of the application (paper Table 4: 44/100/53/69 %).
+  std::vector<double> sram_headroom = {0.44, 1.00, 0.53, 0.69};
+
+  // --- RDRAM (3 channels) ---
+  u32 dram_channels = 3;
+  u32 dram_read_latency = 350;
+  double dram_cycles_per_word = 2.0;    ///< Burst-oriented.
+  double dram_cmd_overhead = 4.0;
+  u32 dram_cmd_fifo = 32;
+
+  /// The default preset used throughout the reproduction.
+  static NpuConfig ixp2850();
+
+  /// Total SRAM bytes available.
+  u64 sram_bytes() const {
+    return static_cast<u64>(sram_channels) * sram_size_mb * 1024 * 1024;
+  }
+
+  /// Human-readable hardware overview (regenerates paper Table 1).
+  std::string describe() const;
+};
+
+/// Per-packet cost of the packet-processing stages surrounding
+/// classification on the classify microengines (paper Sec. 5.2: receive /
+/// reassembly and CSIX transmit run on dedicated MEs; the classify ME
+/// still loads the header from DRAM, parses it, and writes the verdict).
+struct AppModel {
+  u32 pre_compute = 150;   ///< Ring get, header parse, validation.
+  u32 header_dram_words = 16;  ///< Packet header + descriptor fetch.
+  u32 post_compute = 100;  ///< Verdict write, ring put, ordering.
+};
+
+/// Microengine allocation of the full application (paper Table 3).
+struct MeAllocation {
+  u32 receive = 2;
+  u32 classify = 9;   ///< "1~9" in the paper; 9 is the full configuration.
+  u32 scheduling = 3;
+  u32 transmit = 2;
+
+  std::string describe() const;
+};
+
+}  // namespace npsim
+}  // namespace pclass

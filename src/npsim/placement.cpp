@@ -1,0 +1,111 @@
+#include "npsim/placement.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pclass {
+namespace npsim {
+
+Placement Placement::single(u32 depth, u8 channel) {
+  return Placement(std::vector<u8>(std::max(depth, 1u), channel));
+}
+
+Placement Placement::round_robin(u32 depth, u32 channels) {
+  check(channels >= 1, "Placement: need at least one channel");
+  std::vector<u8> map(std::max(depth, 1u));
+  for (std::size_t l = 0; l < map.size(); ++l) {
+    map[l] = static_cast<u8>(l % channels);
+  }
+  return Placement(std::move(map));
+}
+
+Placement Placement::headroom_proportional(u32 depth,
+                                           std::span<const double> headroom,
+                                           u32 channels) {
+  check(channels >= 1, "Placement: need at least one channel");
+  check(headroom.size() >= channels, "Placement: headroom vector too short");
+  depth = std::max(depth, 1u);
+  const double total =
+      std::accumulate(headroom.begin(), headroom.begin() + channels, 0.0);
+  check(total > 0.0, "Placement: zero total headroom");
+
+  // Largest-remainder apportionment of `depth` levels over the channels.
+  std::vector<u32> share(channels, 0);
+  std::vector<std::pair<double, u32>> remainder(channels);
+  u32 assigned = 0;
+  for (u32 c = 0; c < channels; ++c) {
+    const double exact = depth * headroom[c] / total;
+    share[c] = static_cast<u32>(exact);
+    remainder[c] = {exact - share[c], c};
+    assigned += share[c];
+  }
+  std::sort(remainder.begin(), remainder.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (u32 i = 0; assigned < depth; ++i, ++assigned) {
+    ++share[remainder[i % channels].second];
+  }
+  // Channels in order hold contiguous level ranges (levels near the root
+  // first), mirroring Table 4's "level 0~1 / 2~6 / 7~9 / 10~13" rows.
+  std::vector<u8> map;
+  map.reserve(depth);
+  for (u32 c = 0; c < channels; ++c) {
+    for (u32 k = 0; k < share[c]; ++k) map.push_back(static_cast<u8>(c));
+  }
+  return Placement(std::move(map));
+}
+
+Placement Placement::weighted(std::span<const double> level_weights,
+                              std::span<const double> headroom, u32 channels) {
+  check(channels >= 1, "Placement: need at least one channel");
+  check(headroom.size() >= channels, "Placement: headroom vector too short");
+  check(!level_weights.empty(), "Placement: no levels");
+  std::vector<std::size_t> order(level_weights.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return level_weights[a] > level_weights[b];
+  });
+  std::vector<double> load(channels, 0.0);
+  std::vector<u8> map(level_weights.size(), 0);
+  for (std::size_t l : order) {
+    u32 best = 0;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (u32 c = 0; c < channels; ++c) {
+      check(headroom[c] > 0.0, "Placement: zero headroom channel");
+      const double cost = (load[c] + level_weights[l]) / headroom[c];
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = c;
+      }
+    }
+    load[best] += level_weights[l];
+    map[l] = static_cast<u8>(best);
+  }
+  return Placement(std::move(map));
+}
+
+std::string Placement::describe() const {
+  std::ostringstream os;
+  std::size_t l = 0;
+  bool first = true;
+  while (l < map_.size()) {
+    std::size_t r = l;
+    while (r + 1 < map_.size() && map_[r + 1] == map_[l]) ++r;
+    if (!first) os << ", ";
+    first = false;
+    if (l == r) {
+      os << "level " << l;
+    } else {
+      os << "levels " << l << "~" << r;
+    }
+    os << " -> ch" << static_cast<int>(map_[l]);
+    l = r + 1;
+  }
+  return os.str();
+}
+
+}  // namespace npsim
+}  // namespace pclass

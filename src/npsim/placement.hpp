@@ -1,0 +1,60 @@
+// Mapping of data-structure levels onto SRAM channels.
+//
+// Each MemAccess carries a logical level tag (tree level / HSM stage); a
+// Placement maps tags to channels. The paper's optimized allocation
+// (Table 4) distributes decision-tree levels over the four channels in
+// proportion to each channel's bandwidth headroom.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pclass {
+namespace npsim {
+
+class Placement {
+ public:
+  Placement() = default;
+
+  /// Channel for a level tag (tags beyond the table use the last entry).
+  u8 channel_for(u16 level) const {
+    if (map_.empty()) return 0;
+    return level < map_.size() ? map_[level] : map_.back();
+  }
+
+  std::size_t levels() const { return map_.size(); }
+
+  /// All levels on one channel.
+  static Placement single(u32 depth, u8 channel);
+
+  /// Levels striped over the first `channels` channels.
+  static Placement round_robin(u32 depth, u32 channels);
+
+  /// Paper Table 4: contiguous level ranges sized proportionally to each
+  /// channel's bandwidth headroom (largest-remainder apportionment over
+  /// the first `channels` entries of `headroom`).
+  static Placement headroom_proportional(u32 depth,
+                                         std::span<const double> headroom,
+                                         u32 channels);
+
+  /// Frequency-aware allocation: `level_weights[l]` is the expected
+  /// per-packet service demand of level l (commands/words measured from
+  /// traces). Levels are placed greedily (heaviest first) on the channel
+  /// with the lowest headroom-normalized load. Used for the HiCuts/HSM
+  /// baselines, whose per-level access frequencies are highly non-uniform.
+  static Placement weighted(std::span<const double> level_weights,
+                            std::span<const double> headroom, u32 channels);
+
+  /// "levels a-b -> ch k" summary (regenerates Table 4's allocation row).
+  std::string describe() const;
+
+ private:
+  explicit Placement(std::vector<u8> map) : map_(std::move(map)) {}
+  std::vector<u8> map_;
+};
+
+}  // namespace npsim
+}  // namespace pclass

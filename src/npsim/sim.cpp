@@ -1,0 +1,529 @@
+#include "npsim/sim.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace pclass {
+namespace npsim {
+namespace {
+
+enum class MemKind : u8 { kSram = 0, kDram = 1 };
+
+/// Which part of the application a hardware thread runs. kMono is the
+/// multiprocessing partitioning (whole program per thread, paper Table 2);
+/// the other three form the context pipeline.
+enum class Stage : u8 { kMono = 0, kRx = 1, kCls = 2, kTx = 3 };
+
+/// One step of a thread's per-packet program: compute, then (optionally)
+/// one memory reference.
+struct Step {
+  u32 compute = 0;
+  bool has_mem = false;
+  MemKind kind = MemKind::kSram;
+  u8 channel = 0;
+  u16 words = 0;
+};
+
+struct ThreadCtx {
+  u32 me = 0;
+  Stage stage = Stage::kMono;
+  i64 packet = -1;           ///< Current packet index, -1 = idle/finished.
+  std::size_t step = 0;
+  std::vector<Step> program;
+};
+
+struct MeCtx {
+  std::deque<u32> ready;     ///< Thread ids awaiting the execution unit.
+  bool cpu_busy = false;
+};
+
+struct ChannelCtx {
+  double server_free = 0.0;  ///< When the controller/bus frees up.
+  u32 in_fifo = 0;
+  std::deque<u32> fifo_waiters;  ///< Threads stalled on a full FIFO.
+  // Model parameters (resolved from config).
+  double latency = 0.0;
+  double cycles_per_word = 0.0;
+  double cmd_overhead = 0.0;
+  u32 fifo_depth = 0;
+  double headroom = 1.0;
+  ChannelStats stats;
+};
+
+/// A bounded scratch ring between pipeline stages.
+struct Ring {
+  std::deque<u32> items;       ///< Packet indices in flight.
+  u32 capacity = 128;
+  std::deque<u32> pop_waiters; ///< Consumer threads parked on empty.
+  struct PendingPush {
+    u32 thread;
+    u32 packet;
+  };
+  std::deque<PendingPush> push_waiters;  ///< Producers parked on full.
+};
+
+enum class EvKind : u8 { kBurstEnd, kMemDone, kSlotFree };
+
+struct Event {
+  double time;
+  u64 seq;
+  EvKind kind;
+  u32 a;  ///< thread id (kBurstEnd/kMemDone) or channel key (kSlotFree).
+  bool operator>(const Event& o) const {
+    if (time != o.time) return time > o.time;
+    return seq > o.seq;
+  }
+};
+
+class Sim {
+ public:
+  Sim(const std::vector<LookupTrace>& traces, const SimConfig& cfg)
+      : traces_(traces), cfg_(cfg) {
+    validate();
+    init_channels();
+    init_threads();
+    thread_start_.assign(threads_.size(), 0.0);
+    if (cfg_.pipeline.enabled) {
+      packet_start_.assign(traces_.size(), 0.0);
+      rings_[0].capacity = cfg_.pipeline.ring_capacity;
+      rings_[1].capacity = cfg_.pipeline.ring_capacity;
+    }
+  }
+
+  SimResult run() {
+    for (u32 t = 0; t < threads_.size(); ++t) {
+      begin_next_packet(t, 0.0);
+    }
+    while (!events_.empty()) {
+      const Event ev = events_.top();
+      events_.pop();
+      now_ = ev.time;
+      switch (ev.kind) {
+        case EvKind::kBurstEnd: on_burst_end(ev.a); break;
+        case EvKind::kMemDone: on_mem_done(ev.a); break;
+        case EvKind::kSlotFree: on_slot_free(ev.a); break;
+      }
+    }
+    if (cfg_.pipeline.enabled) {
+      check(completed_ == traces_.size(), "pipeline sim: packets stranded");
+    }
+    return finish();
+  }
+
+ private:
+  void validate() const {
+    if (cfg_.classify_mes < 1) {
+      throw ConfigError("simulate: classify_mes out of range");
+    }
+    u32 total_mes = cfg_.classify_mes;
+    if (cfg_.pipeline.enabled) {
+      if (cfg_.pipeline.rx_mes < 1 || cfg_.pipeline.tx_mes < 1) {
+        throw ConfigError("simulate: pipeline needs rx and tx MEs");
+      }
+      if (cfg_.pipeline.ring_capacity < 1) {
+        throw ConfigError("simulate: ring capacity must be >= 1");
+      }
+      total_mes += cfg_.pipeline.rx_mes + cfg_.pipeline.tx_mes;
+    }
+    if (total_mes > cfg_.npu.max_mes) {
+      throw ConfigError("simulate: ME allocation exceeds the die");
+    }
+    if (cfg_.threads < 1 ||
+        cfg_.threads > cfg_.classify_mes * cfg_.npu.threads_per_me) {
+      throw ConfigError("simulate: thread count exceeds ME contexts");
+    }
+    if (cfg_.placement.levels() == 0) {
+      throw ConfigError("simulate: empty placement");
+    }
+    if (cfg_.npu.sram_channels > cfg_.npu.sram_headroom.size()) {
+      throw ConfigError("simulate: headroom vector shorter than channels");
+    }
+  }
+
+  void init_channels() {
+    sram_.resize(cfg_.npu.sram_channels);
+    for (u32 c = 0; c < sram_.size(); ++c) {
+      ChannelCtx& ch = sram_[c];
+      ch.latency = cfg_.npu.sram_read_latency;
+      ch.cycles_per_word = cfg_.npu.sram_cycles_per_word;
+      ch.cmd_overhead = cfg_.npu.sram_cmd_overhead;
+      ch.fifo_depth = cfg_.npu.sram_cmd_fifo;
+      ch.headroom = cfg_.npu.sram_headroom[c];
+      check(ch.headroom > 0.0, "simulate: channel with zero headroom");
+    }
+    dram_.resize(cfg_.npu.dram_channels);
+    for (ChannelCtx& ch : dram_) {
+      ch.latency = cfg_.npu.dram_read_latency;
+      ch.cycles_per_word = cfg_.npu.dram_cycles_per_word;
+      ch.cmd_overhead = cfg_.npu.dram_cmd_overhead;
+      ch.fifo_depth = cfg_.npu.dram_cmd_fifo;
+      ch.headroom = 1.0;
+    }
+  }
+
+  void init_threads() {
+    if (!cfg_.pipeline.enabled) {
+      threads_.resize(cfg_.threads);
+      mes_.resize(cfg_.classify_mes);
+      for (u32 t = 0; t < cfg_.threads; ++t) {
+        threads_[t].me = t % cfg_.classify_mes;
+        threads_[t].stage = Stage::kMono;
+      }
+      return;
+    }
+    const u32 per_me = cfg_.npu.threads_per_me;
+    const u32 rx_threads = cfg_.pipeline.rx_mes * per_me;
+    const u32 tx_threads = cfg_.pipeline.tx_mes * per_me;
+    mes_.resize(cfg_.pipeline.rx_mes + cfg_.classify_mes +
+                cfg_.pipeline.tx_mes);
+    threads_.resize(rx_threads + cfg_.threads + tx_threads);
+    u32 t = 0;
+    for (u32 i = 0; i < rx_threads; ++i, ++t) {
+      threads_[t].me = i % cfg_.pipeline.rx_mes;
+      threads_[t].stage = Stage::kRx;
+    }
+    for (u32 i = 0; i < cfg_.threads; ++i, ++t) {
+      threads_[t].me = cfg_.pipeline.rx_mes + (i % cfg_.classify_mes);
+      threads_[t].stage = Stage::kCls;
+    }
+    for (u32 i = 0; i < tx_threads; ++i, ++t) {
+      threads_[t].me =
+          cfg_.pipeline.rx_mes + cfg_.classify_mes + (i % cfg_.pipeline.tx_mes);
+      threads_[t].stage = Stage::kTx;
+    }
+  }
+
+  /// Builds the thread's per-packet program for its stage.
+  void build_program(ThreadCtx& th, std::size_t packet) {
+    const PipelineConfig& pl = cfg_.pipeline;
+    th.program.clear();
+    th.step = 0;
+    auto dram_step = [&](u32 compute, u32 words) {
+      Step s;
+      s.compute = compute;
+      if (words > 0) {
+        s.has_mem = true;
+        s.kind = MemKind::kDram;
+        s.channel = static_cast<u8>(packet % dram_.size());
+        s.words = static_cast<u16>(words);
+      }
+      return s;
+    };
+    switch (th.stage) {
+      case Stage::kRx:
+        th.program.push_back(dram_step(pl.rx_compute, pl.rx_dram_words));
+        th.program.push_back(Step{pl.ring_op_cycles, false, {}, 0, 0});
+        return;
+      case Stage::kTx:
+        th.program.push_back(
+            dram_step(pl.ring_op_cycles + pl.tx_compute, pl.tx_dram_words));
+        th.program.push_back(Step{8, false, {}, 0, 0});
+        return;
+      case Stage::kCls:
+      case Stage::kMono:
+        break;
+    }
+    const LookupTrace& lt = traces_[packet];
+    th.program.reserve(lt.accesses.size() + 2);
+    if (th.stage == Stage::kMono) {
+      th.program.push_back(
+          dram_step(cfg_.app.pre_compute, cfg_.app.header_dram_words));
+    } else {
+      // Pipeline classify stage: the header arrives via the ring; no DRAM
+      // fetch, but the ring get costs cycles.
+      th.program.push_back(Step{pl.ring_op_cycles, false, {}, 0, 0});
+    }
+    for (const MemAccess& a : lt.accesses) {
+      Step s;
+      s.compute = a.compute_cycles;
+      s.has_mem = true;
+      s.kind = MemKind::kSram;
+      s.channel = cfg_.placement.channel_for(a.level);
+      check(s.channel < sram_.size(), "simulate: placement channel out of range");
+      s.words = a.words;
+      th.program.push_back(s);
+    }
+    Step post;
+    post.compute = lt.tail_compute_cycles +
+                   (th.stage == Stage::kMono ? cfg_.app.post_compute
+                                             : pl.ring_op_cycles);
+    th.program.push_back(post);
+  }
+
+  /// Starts the thread's next unit of work (arrival pull or ring pop).
+  void begin_next_packet(u32 t, double time) {
+    ThreadCtx& th = threads_[t];
+    switch (th.stage) {
+      case Stage::kMono:
+      case Stage::kRx:
+        if (next_packet_ >= traces_.size()) {
+          th.packet = -1;
+          return;
+        }
+        th.packet = static_cast<i64>(next_packet_++);
+        if (th.stage == Stage::kRx) {
+          packet_start_[static_cast<std::size_t>(th.packet)] = time;
+        }
+        thread_start_[t] = time;
+        build_program(th, static_cast<std::size_t>(th.packet));
+        enqueue_ready(t, time);
+        return;
+      case Stage::kCls:
+        pop_or_park(rings_[0], t, time);
+        return;
+      case Stage::kTx:
+        pop_or_park(rings_[1], t, time);
+        return;
+    }
+  }
+
+  void pop_or_park(Ring& ring, u32 t, double time) {
+    if (ring.items.empty()) {
+      ring.pop_waiters.push_back(t);
+      threads_[t].packet = -1;
+      return;
+    }
+    const u32 packet = ring.items.front();
+    ring.items.pop_front();
+    drain_push_waiters(ring, time);
+    ThreadCtx& th = threads_[t];
+    th.packet = packet;
+    build_program(th, packet);
+    enqueue_ready(t, time);
+  }
+
+  /// A slot opened up: complete one parked producer's push.
+  void drain_push_waiters(Ring& ring, double time) {
+    if (ring.push_waiters.empty() || ring.items.size() >= ring.capacity) {
+      return;
+    }
+    const Ring::PendingPush pending = ring.push_waiters.front();
+    ring.push_waiters.pop_front();
+    push_to_ring(ring, pending.packet, time);
+    begin_next_packet(pending.thread, time);
+  }
+
+  void push_to_ring(Ring& ring, u32 packet, double time) {
+    if (!ring.pop_waiters.empty()) {
+      // Hand the item straight to a parked consumer.
+      const u32 consumer = ring.pop_waiters.front();
+      ring.pop_waiters.pop_front();
+      ThreadCtx& th = threads_[consumer];
+      th.packet = packet;
+      build_program(th, packet);
+      enqueue_ready(consumer, time);
+      return;
+    }
+    ring.items.push_back(packet);
+  }
+
+  void enqueue_ready(u32 t, double time) {
+    MeCtx& me = mes_[threads_[t].me];
+    me.ready.push_back(t);
+    if (!me.cpu_busy) grant_cpu(threads_[t].me, time);
+  }
+
+  void grant_cpu(u32 me_id, double time) {
+    MeCtx& me = mes_[me_id];
+    if (me.ready.empty()) {
+      me.cpu_busy = false;
+      return;
+    }
+    me.cpu_busy = true;
+    const u32 t = me.ready.front();
+    me.ready.pop_front();
+    const ThreadCtx& th = threads_[t];
+    const Step& s = th.program[th.step];
+    double burst = cfg_.npu.context_switch_cycles + s.compute;
+    if (s.has_mem) burst += cfg_.npu.issue_cycles;
+    push_event(time + burst, EvKind::kBurstEnd, t);
+  }
+
+  ChannelCtx& channel_of(const Step& s) {
+    return s.kind == MemKind::kSram ? sram_[s.channel] : dram_[s.channel];
+  }
+
+  u32 channel_key(const Step& s) const {
+    return (s.kind == MemKind::kSram ? 0u : 0x100u) | s.channel;
+  }
+
+  void on_burst_end(u32 t) {
+    ThreadCtx& th = threads_[t];
+    const Step& s = th.program[th.step];
+    if (!s.has_mem) {
+      if (th.step + 1 < th.program.size()) {
+        // Compute-only intermediate step (ring ops): requeue behind any
+        // sibling thread and hand the execution unit on.
+        ++th.step;
+        mes_[th.me].ready.push_back(t);
+        grant_cpu(th.me, now_);
+        return;
+      }
+      finish_packet(t);
+      return;
+    }
+    ChannelCtx& ch = channel_of(s);
+    if (ch.in_fifo >= ch.fifo_depth) {
+      // Command FIFO full: the thread stalls holding the execution unit
+      // until the controller drains a slot (paper Sec. 6.7).
+      ++ch.stats.fifo_stalls;
+      ch.fifo_waiters.push_back(t);
+      return;
+    }
+    accept_request(t, now_);
+    grant_cpu(th.me, now_);
+  }
+
+  /// The last program step of the current packet completed.
+  void finish_packet(u32 t) {
+    ThreadCtx& th = threads_[t];
+    const u32 me_id = th.me;
+    const u32 packet = static_cast<u32>(th.packet);
+    switch (th.stage) {
+      case Stage::kMono:
+        packet_latency_.add(now_ - thread_start_[t]);
+        ++completed_;
+        begin_next_packet(t, now_);
+        break;
+      case Stage::kRx:
+        if (rings_[0].items.size() >= rings_[0].capacity &&
+            rings_[0].pop_waiters.empty()) {
+          rings_[0].push_waiters.push_back({t, packet});
+          th.packet = -1;
+        } else {
+          push_to_ring(rings_[0], packet, now_);
+          begin_next_packet(t, now_);
+        }
+        break;
+      case Stage::kCls:
+        if (rings_[1].items.size() >= rings_[1].capacity &&
+            rings_[1].pop_waiters.empty()) {
+          rings_[1].push_waiters.push_back({t, packet});
+          th.packet = -1;
+        } else {
+          push_to_ring(rings_[1], packet, now_);
+          begin_next_packet(t, now_);
+        }
+        break;
+      case Stage::kTx:
+        packet_latency_.add(now_ - packet_start_[packet]);
+        ++completed_;
+        begin_next_packet(t, now_);
+        break;
+    }
+    grant_cpu(me_id, now_);
+  }
+
+  void accept_request(u32 t, double time) {
+    ThreadCtx& th = threads_[t];
+    const Step& s = th.program[th.step];
+    ChannelCtx& ch = channel_of(s);
+    const double service =
+        (ch.cmd_overhead + s.words * ch.cycles_per_word) / ch.headroom;
+    const double begin = std::max(ch.server_free, time);
+    ch.server_free = begin + service;
+    ++ch.in_fifo;
+    ch.stats.commands += 1;
+    ch.stats.words += s.words;
+    ch.stats.busy_cycles += service;
+    push_event(ch.server_free, EvKind::kSlotFree, channel_key(s));
+    push_event(ch.server_free + ch.latency, EvKind::kMemDone, t);
+  }
+
+  void on_slot_free(u32 key) {
+    ChannelCtx& ch = (key & 0x100u) ? dram_[key & 0xff] : sram_[key & 0xff];
+    check(ch.in_fifo > 0, "simulate: FIFO underflow");
+    --ch.in_fifo;
+    if (!ch.fifo_waiters.empty()) {
+      const u32 t = ch.fifo_waiters.front();
+      ch.fifo_waiters.pop_front();
+      accept_request(t, now_);
+      // The stalled thread was holding its ME; release it now.
+      grant_cpu(threads_[t].me, now_);
+    }
+  }
+
+  void on_mem_done(u32 t) {
+    ThreadCtx& th = threads_[t];
+    ++th.step;
+    check(th.step < th.program.size(), "simulate: program overrun");
+    enqueue_ready(t, now_);
+  }
+
+  void push_event(double time, EvKind kind, u32 a) {
+    events_.push(Event{time, seq_++, kind, a});
+  }
+
+  SimResult finish() {
+    SimResult res;
+    res.packets = traces_.size();
+    res.cycles = now_;
+    res.mean_packet_cycles = packet_latency_.mean();
+    if (now_ > 0) {
+      const double seconds = now_ / (cfg_.npu.me_clock_ghz * 1e9);
+      const double bits =
+          static_cast<double>(res.packets) * cfg_.packet_bytes * 8.0;
+      res.mbps = bits / seconds / 1e6;
+    }
+    res.sram.reserve(sram_.size());
+    for (const ChannelCtx& ch : sram_) {
+      ChannelStats s = ch.stats;
+      s.utilization = now_ > 0 ? s.busy_cycles / now_ : 0.0;
+      res.sram.push_back(s);
+    }
+    for (const ChannelCtx& ch : dram_) {
+      res.dram.commands += ch.stats.commands;
+      res.dram.words += ch.stats.words;
+      res.dram.busy_cycles += ch.stats.busy_cycles;
+    }
+    res.dram.utilization =
+        now_ > 0 ? res.dram.busy_cycles / (now_ * dram_.size()) : 0.0;
+    return res;
+  }
+
+  const std::vector<LookupTrace>& traces_;
+  const SimConfig& cfg_;
+  std::vector<ThreadCtx> threads_;
+  std::vector<MeCtx> mes_;
+  std::vector<ChannelCtx> sram_;
+  std::vector<ChannelCtx> dram_;
+  Ring rings_[2];  ///< RX->CLS and CLS->TX (pipeline mode).
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::size_t next_packet_ = 0;
+  std::size_t completed_ = 0;
+  double now_ = 0.0;
+  u64 seq_ = 0;
+  RunningStats packet_latency_;
+  std::vector<double> packet_start_;   ///< Pipeline arrival times.
+  std::vector<double> thread_start_;   ///< Per-thread packet start times.
+};
+
+}  // namespace
+
+std::vector<LookupTrace> collect_traces(const Classifier& cls,
+                                        const Trace& trace) {
+  std::vector<LookupTrace> out(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    cls.classify_traced(trace[i], out[i]);
+  }
+  return out;
+}
+
+SimResult simulate(const std::vector<LookupTrace>& packet_traces,
+                   const SimConfig& cfg) {
+  if (packet_traces.empty()) throw ConfigError("simulate: no packets");
+  return Sim(packet_traces, cfg).run();
+}
+
+SimResult simulate_classifier(const Classifier& cls, const Trace& trace,
+                              const SimConfig& cfg) {
+  const std::vector<LookupTrace> traces = collect_traces(cls, trace);
+  return simulate(traces, cfg);
+}
+
+}  // namespace npsim
+}  // namespace pclass

@@ -1,0 +1,83 @@
+// Discrete-event simulation of classification on the NP.
+//
+// Inputs: one LookupTrace per packet (the classifier's real memory-access
+// stream), a Placement (level -> SRAM channel), the machine model and the
+// number of classify microengines/threads. Threads pull packets from a
+// shared pool (the paper's multiprocessing partitioning, Sec. 5.1),
+// execute the per-packet program — application preamble, the dependent
+// chain of memory references with their compute gaps, postamble — and the
+// simulator accounts CPU arbitration per ME, channel queuing, command
+// FIFO stalls and per-channel background load.
+//
+// The headline output is throughput in Mbps for back-to-back 64-byte
+// packets, the unit of every figure/table in the paper's evaluation.
+#pragma once
+
+#include <vector>
+
+#include "classify/classifier.hpp"
+#include "npsim/config.hpp"
+#include "npsim/placement.hpp"
+#include "packet/trace.hpp"
+
+namespace pclass {
+namespace npsim {
+
+/// Context-pipelining task partitioning (paper Table 2): dedicated
+/// receive and transmit microengines connected to the classify stage by
+/// bounded scratch rings, instead of every ME running the whole program.
+struct PipelineConfig {
+  bool enabled = false;
+  u32 rx_mes = 2;            ///< Paper Table 3.
+  u32 tx_mes = 2;
+  u32 ring_capacity = 128;   ///< Scratch-ring entries between stages.
+  u32 ring_op_cycles = 16;   ///< Scratch put/get cost on the ME.
+  u32 rx_compute = 140;      ///< Reassembly + header extraction.
+  u32 rx_dram_words = 16;    ///< Packet store.
+  u32 tx_compute = 90;       ///< CSIX segmentation bookkeeping.
+  u32 tx_dram_words = 16;    ///< Packet fetch.
+};
+
+struct SimConfig {
+  NpuConfig npu = NpuConfig::ixp2850();
+  AppModel app;
+  Placement placement;      ///< Level tag -> SRAM channel.
+  u32 classify_mes = 9;     ///< Paper Table 3: 1..9 classify MEs.
+  u32 threads = 71;         ///< Total worker threads (<= mes * 8).
+  u32 packet_bytes = 64;    ///< Minimum-size TCP packets (Sec. 6.4).
+  PipelineConfig pipeline;  ///< Off = multiprocessing partitioning.
+};
+
+struct ChannelStats {
+  u64 commands = 0;
+  u64 words = 0;
+  double busy_cycles = 0.0;   ///< Controller/bus occupancy (our share).
+  u64 fifo_stalls = 0;        ///< Commands that found the FIFO full.
+  double utilization = 0.0;   ///< busy / total cycles.
+};
+
+struct SimResult {
+  u64 packets = 0;
+  double cycles = 0.0;          ///< Simulated ME cycles to drain the trace.
+  double mbps = 0.0;            ///< Throughput at 64B/packet.
+  double mean_packet_cycles = 0.0;  ///< Latency per packet.
+  std::vector<ChannelStats> sram;
+  ChannelStats dram;
+
+  double gbps() const { return mbps / 1000.0; }
+};
+
+/// Precomputes per-packet lookup traces for `trace` under `cls`.
+std::vector<LookupTrace> collect_traces(const Classifier& cls,
+                                        const Trace& trace);
+
+/// Runs the simulation over the per-packet traces.
+SimResult simulate(const std::vector<LookupTrace>& packet_traces,
+                   const SimConfig& cfg);
+
+/// Convenience: collect_traces + simulate.
+SimResult simulate_classifier(const Classifier& cls, const Trace& trace,
+                              const SimConfig& cfg);
+
+}  // namespace npsim
+}  // namespace pclass

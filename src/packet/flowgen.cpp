@@ -1,0 +1,54 @@
+#include "packet/flowgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "packet/tracegen.hpp"
+
+namespace pclass {
+
+Trace generate_flow_trace(const RuleSet& rules, const FlowTraceConfig& cfg) {
+  if (cfg.flows == 0) throw ConfigError("generate_flow_trace: no flows");
+  Rng rng(cfg.seed);
+
+  // Flow endpoints.
+  std::vector<PacketHeader> flows;
+  flows.reserve(cfg.flows);
+  for (std::size_t f = 0; f < cfg.flows; ++f) {
+    if (!rules.empty() && rng.chance(cfg.rule_directed_fraction)) {
+      const RuleId r = static_cast<RuleId>(rng.next_below(rules.size()));
+      flows.push_back(sample_in_rule(rules[r], rng));
+    } else {
+      flows.push_back(sample_uniform(rng));
+    }
+  }
+
+  // Zipf cumulative weights over a shuffled rank assignment (so heavy
+  // flows are not correlated with rule priority).
+  std::vector<std::size_t> rank(cfg.flows);
+  for (std::size_t i = 0; i < cfg.flows; ++i) rank[i] = i;
+  for (std::size_t i = cfg.flows; i > 1; --i) {
+    std::swap(rank[i - 1], rank[rng.next_below(i)]);
+  }
+  std::vector<double> cumulative(cfg.flows);
+  double total = 0.0;
+  for (std::size_t i = 0; i < cfg.flows; ++i) {
+    total += cfg.zipf_s == 0.0
+                 ? 1.0
+                 : std::pow(static_cast<double>(rank[i] + 1), -cfg.zipf_s);
+    cumulative[i] = total;
+  }
+
+  Trace t;
+  for (std::size_t p = 0; p < cfg.packets; ++p) {
+    const double x = rng.next_double() * total;
+    const std::size_t f = static_cast<std::size_t>(
+        std::upper_bound(cumulative.begin(), cumulative.end(), x) -
+        cumulative.begin());
+    t.push_back(flows[std::min(f, cfg.flows - 1)]);
+  }
+  return t;
+}
+
+}  // namespace pclass

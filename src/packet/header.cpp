@@ -1,0 +1,14 @@
+#include "packet/header.hpp"
+
+#include <cstdio>
+
+namespace pclass {
+
+std::string PacketHeader::str() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s %s %u %u %u", ip_to_string(sip).c_str(),
+                ip_to_string(dip).c_str(), sport, dport, proto);
+  return buf;
+}
+
+}  // namespace pclass

@@ -1,0 +1,47 @@
+// Packet headers: the 104-bit classification key (IPv4 5-tuple).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/netaddr.hpp"
+#include "common/types.hpp"
+
+namespace pclass {
+
+struct PacketHeader {
+  u32 sip = 0;
+  u32 dip = 0;
+  u16 sport = 0;
+  u16 dport = 0;
+  u8 proto = 0;
+
+  constexpr bool operator==(const PacketHeader& o) const = default;
+
+  /// Value of one dimension, widened to u64.
+  constexpr u64 field(Dim d) const {
+    switch (d) {
+      case Dim::kSrcIp: return sip;
+      case Dim::kDstIp: return dip;
+      case Dim::kSrcPort: return sport;
+      case Dim::kDstPort: return dport;
+      case Dim::kProto: return proto;
+    }
+    return 0;
+  }
+
+  /// All five dimensions as a point in key space.
+  std::array<u64, kNumDims> as_point() const {
+    return {sip, dip, sport, dport, proto};
+  }
+
+  /// "a.b.c.d a.b.c.d sp dp proto" diagnostic form.
+  std::string str() const;
+};
+
+/// Common IANA protocol numbers used by generators and examples.
+inline constexpr u8 kProtoIcmp = 1;
+inline constexpr u8 kProtoTcp = 6;
+inline constexpr u8 kProtoUdp = 17;
+
+}  // namespace pclass

@@ -1,0 +1,46 @@
+#include "packet/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pclass {
+
+void Trace::append(const Trace& o) {
+  packets_.insert(packets_.end(), o.packets_.begin(), o.packets_.end());
+}
+
+void Trace::save(std::ostream& os) const {
+  for (const PacketHeader& p : packets_) {
+    os << p.sip << ' ' << p.dip << ' ' << p.sport << ' ' << p.dport << ' '
+       << static_cast<unsigned>(p.proto) << '\n';
+  }
+}
+
+Trace Trace::load(std::istream& is) {
+  Trace t;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    u64 sip, dip, sp, dp, proto;
+    if (!(ls >> sip >> dip >> sp >> dp >> proto)) {
+      throw ParseError("expected 5 integer fields", lineno);
+    }
+    if (sip > 0xffffffffULL || dip > 0xffffffffULL || sp > 0xffff ||
+        dp > 0xffff || proto > 0xff) {
+      throw ParseError("field value out of domain", lineno);
+    }
+    t.push_back(PacketHeader{static_cast<u32>(sip), static_cast<u32>(dip),
+                             static_cast<u16>(sp), static_cast<u16>(dp),
+                             static_cast<u8>(proto)});
+  }
+  return t;
+}
+
+}  // namespace pclass

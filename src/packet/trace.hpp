@@ -1,0 +1,34 @@
+// Packet traces: sequences of headers fed to classifiers and simulators.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "packet/header.hpp"
+
+namespace pclass {
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<PacketHeader> packets)
+      : packets_(std::move(packets)) {}
+
+  std::size_t size() const { return packets_.size(); }
+  bool empty() const { return packets_.empty(); }
+  const PacketHeader& operator[](std::size_t i) const { return packets_[i]; }
+  const std::vector<PacketHeader>& packets() const { return packets_; }
+
+  void push_back(const PacketHeader& h) { packets_.push_back(h); }
+  void append(const Trace& o);
+
+  /// Text round-trip: one "sip dip sport dport proto" line per packet
+  /// (decimal integers). Tolerates blank lines and '#' comments.
+  void save(std::ostream& os) const;
+  static Trace load(std::istream& is);
+
+ private:
+  std::vector<PacketHeader> packets_;
+};
+
+}  // namespace pclass

@@ -1,0 +1,59 @@
+#include "packet/tracegen.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pclass {
+
+PacketHeader sample_in_rule(const Rule& rule, Rng& rng) {
+  PacketHeader h;
+  h.sip = static_cast<u32>(
+      rng.next_in(rule.field(Dim::kSrcIp).lo, rule.field(Dim::kSrcIp).hi));
+  h.dip = static_cast<u32>(
+      rng.next_in(rule.field(Dim::kDstIp).lo, rule.field(Dim::kDstIp).hi));
+  h.sport = static_cast<u16>(
+      rng.next_in(rule.field(Dim::kSrcPort).lo, rule.field(Dim::kSrcPort).hi));
+  h.dport = static_cast<u16>(
+      rng.next_in(rule.field(Dim::kDstPort).lo, rule.field(Dim::kDstPort).hi));
+  h.proto = static_cast<u8>(
+      rng.next_in(rule.field(Dim::kProto).lo, rule.field(Dim::kProto).hi));
+  return h;
+}
+
+PacketHeader sample_uniform(Rng& rng) {
+  PacketHeader h;
+  h.sip = static_cast<u32>(rng.next_u64());
+  h.dip = static_cast<u32>(rng.next_u64());
+  h.sport = static_cast<u16>(rng.next_u64());
+  h.dport = static_cast<u16>(rng.next_u64());
+  h.proto = static_cast<u8>(rng.next_u64());
+  return h;
+}
+
+Trace generate_trace(const RuleSet& rules, const TraceGenConfig& cfg) {
+  check(!rules.empty() || cfg.rule_directed_fraction == 0.0,
+        "generate_trace: rule-directed fraction on empty rule set");
+  Rng rng(cfg.seed);
+  std::vector<double> weights;
+  if (!rules.empty() && cfg.rule_directed_fraction > 0.0) {
+    weights.resize(rules.size());
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      weights[i] = cfg.rule_skew == 0.0
+                       ? 1.0
+                       : std::pow(static_cast<double>(i + 1), -cfg.rule_skew);
+    }
+  }
+  Trace t;
+  for (std::size_t i = 0; i < cfg.count; ++i) {
+    if (!weights.empty() && rng.chance(cfg.rule_directed_fraction)) {
+      const std::size_t r = rng.pick_weighted(weights);
+      t.push_back(sample_in_rule(rules[static_cast<RuleId>(r)], rng));
+    } else {
+      t.push_back(sample_uniform(rng));
+    }
+  }
+  return t;
+}
+
+}  // namespace pclass

@@ -1,0 +1,34 @@
+// Trace generators.
+//
+// The paper drives the IXP2850 with back-to-back 64-byte TCP packets whose
+// headers exercise the rule sets. We synthesize equivalent traffic:
+// rule-directed packets (uniformly sampled points inside randomly chosen
+// rules — the diverse-header case that defeats CPU caches, Sec. 1) mixed
+// with uniform-random headers (mostly default-rule traffic).
+#pragma once
+
+#include "common/rng.hpp"
+#include "packet/trace.hpp"
+#include "rules/ruleset.hpp"
+
+namespace pclass {
+
+struct TraceGenConfig {
+  std::size_t count = 10000;  ///< Packets to generate.
+  double rule_directed_fraction = 0.9;  ///< Rest is uniform random.
+  /// Skew over rules: probability mass of rule i ∝ (i+1)^-skew.
+  /// 0 = uniform over rules; ~1 = Zipf-like, matching flow-size skew.
+  double rule_skew = 0.0;
+  u64 seed = 1;
+};
+
+/// Samples one packet inside the given rule's box.
+PacketHeader sample_in_rule(const Rule& rule, Rng& rng);
+
+/// Uniform random header over the whole key space.
+PacketHeader sample_uniform(Rng& rng);
+
+/// Generates a trace per the config against `rules`.
+Trace generate_trace(const RuleSet& rules, const TraceGenConfig& cfg);
+
+}  // namespace pclass

@@ -1,0 +1,167 @@
+#include "rfc/rfc.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pclass {
+namespace rfc {
+namespace {
+
+constexpr u32 kIndexCycles = 4;  // shift/mask + add per direct index
+
+struct ChunkSpec {
+  Dim dim;
+  u32 shift;   ///< Field bits right-shifted to obtain the chunk value.
+  u32 bits;    ///< Chunk width (16 or 8).
+};
+
+constexpr ChunkSpec kChunkSpecs[kNumChunks] = {
+    {Dim::kSrcIp, 16, 16},  {Dim::kSrcIp, 0, 16}, {Dim::kDstIp, 16, 16},
+    {Dim::kDstIp, 0, 16},   {Dim::kSrcPort, 0, 16}, {Dim::kDstPort, 0, 16},
+    {Dim::kProto, 0, 8},
+};
+
+/// Projection of a rule's field interval onto one chunk. Exact for the
+/// intervals this library produces: IP fields are prefixes (checked by the
+/// builder), ports/protocol are whole chunks.
+Interval chunk_projection(const Interval& field, const ChunkSpec& spec) {
+  const u64 mask = (u64{1} << spec.bits) - 1;
+  if (spec.shift == 0 && spec.bits >= dim_bits(spec.dim)) {
+    return field;  // whole field
+  }
+  const u64 lo_hi = field.lo >> spec.shift;
+  const u64 hi_hi = field.hi >> spec.shift;
+  if (spec.shift > 0) {
+    return Interval{lo_hi, hi_hi};  // hi half
+  }
+  // lo half: constrained only when the hi halves coincide.
+  if ((field.lo >> spec.bits) == (field.hi >> spec.bits)) {
+    return Interval{field.lo & mask, field.hi & mask};
+  }
+  return Interval{0, mask};
+}
+
+ChunkTable build_chunk(const RuleSet& rules, const ChunkSpec& spec) {
+  const u64 domain = (u64{1} << spec.bits) - 1;
+  // Elementary segments of the chunk domain.
+  std::vector<u64> edges;
+  edges.reserve(rules.size() * 2 + 1);
+  for (const Rule& r : rules.rules()) {
+    const Interval proj = chunk_projection(r.field(spec.dim), spec);
+    if (proj.lo > 0) edges.push_back(proj.lo - 1);
+    edges.push_back(proj.hi);
+  }
+  edges.push_back(domain);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  std::vector<DynBitset> seg_bitmaps(edges.size(), DynBitset(rules.size()));
+  for (RuleId id = 0; id < rules.size(); ++id) {
+    const Interval proj = chunk_projection(rules[id].field(spec.dim), spec);
+    const std::size_t s_lo = segment_of(edges, proj.lo);
+    const std::size_t s_hi = segment_of(edges, proj.hi);
+    for (std::size_t s = s_lo; s <= s_hi; ++s) seg_bitmaps[s].set(id);
+  }
+
+  ChunkTable t;
+  const std::vector<u32> seg_class =
+      eqclass::intern_classes(std::move(seg_bitmaps), t.class_bitmaps);
+  t.class_of_value.resize(static_cast<std::size_t>(domain) + 1);
+  u64 v = 0;
+  for (std::size_t s = 0; s < edges.size(); ++s) {
+    for (; v <= edges[s]; ++v) {
+      t.class_of_value[static_cast<std::size_t>(v)] = seg_class[s];
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+RfcClassifier::RfcClassifier(const RuleSet& rules, const Config& cfg)
+    : rules_(rules), cfg_(cfg) {
+  // The hi/lo chunk decomposition is exact only for prefix IP fields.
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const Rule& r = rules_[static_cast<RuleId>(i)];
+    if (!r.field(Dim::kSrcIp).is_prefix(32) ||
+        !r.field(Dim::kDstIp).is_prefix(32)) {
+      throw ConfigError("RFC: IP fields must be prefixes (rule " +
+                        std::to_string(i) + ")");
+    }
+  }
+  for (std::size_t c = 0; c < kNumChunks; ++c) {
+    chunks_[c] = build_chunk(rules_, kChunkSpecs[c]);
+  }
+  const u64 cap = cfg_.max_table_entries;
+  a_ = eqclass::cross(chunks_[kSipHi].class_bitmaps,
+                      chunks_[kSipLo].class_bitmaps, cap, "RFC A (sip)");
+  b_ = eqclass::cross(chunks_[kDipHi].class_bitmaps,
+                      chunks_[kDipLo].class_bitmaps, cap, "RFC B (dip)");
+  c_ = eqclass::cross(chunks_[kSport].class_bitmaps,
+                      chunks_[kDport].class_bitmaps, cap, "RFC C (ports)");
+  d_ = eqclass::cross(a_.class_bitmaps, b_.class_bitmaps, cap, "RFC D (AxB)");
+  e_ = eqclass::cross(c_.class_bitmaps, chunks_[kProto].class_bitmaps, cap,
+                      "RFC E (Cxproto)");
+  final_cols_ = static_cast<u32>(e_.class_count());
+  final_ = eqclass::cross_final(d_.class_bitmaps, e_.class_bitmaps, cap,
+                                "RFC final (DxE)");
+  finalize_stats();
+}
+
+RuleId RfcClassifier::classify(const PacketHeader& h) const {
+  const u32 a0 = chunks_[kSipHi].lookup(h.sip >> 16);
+  const u32 a1 = chunks_[kSipLo].lookup(h.sip & 0xffff);
+  const u32 b0 = chunks_[kDipHi].lookup(h.dip >> 16);
+  const u32 b1 = chunks_[kDipLo].lookup(h.dip & 0xffff);
+  const u32 c0 = chunks_[kSport].lookup(h.sport);
+  const u32 c1 = chunks_[kDport].lookup(h.dport);
+  const u32 p = chunks_[kProto].lookup(h.proto);
+  const u32 a = a_.lookup(a0, a1);
+  const u32 b = b_.lookup(b0, b1);
+  const u32 c = c_.lookup(c0, c1);
+  const u32 d = d_.lookup(a, b);
+  const u32 e = e_.lookup(c, p);
+  return final_[static_cast<std::size_t>(d) * final_cols_ + e];
+}
+
+RuleId RfcClassifier::classify_traced(const PacketHeader& h,
+                                      LookupTrace& trace) const {
+  // 7 phase-0 direct indexes, then A,B,C, D,E, final — 13 single-word
+  // references at fixed stage tags (placement spreads them).
+  for (u16 stage = 0; stage < 13; ++stage) {
+    trace.accesses.push_back(MemAccess{stage, 1, kIndexCycles});
+  }
+  trace.tail_compute_cycles = 2;
+  return classify(h);
+}
+
+void RfcClassifier::finalize_stats() {
+  stats_ = RfcStats{};
+  for (std::size_t c = 0; c < kNumChunks; ++c) {
+    stats_.chunk_classes[c] = chunks_[c].class_count();
+    stats_.phase0_bytes += chunks_[c].bytes();
+  }
+  stats_.phase1_bytes = a_.bytes() + b_.bytes() + c_.bytes();
+  stats_.phase2_bytes = d_.bytes() + e_.bytes();
+  stats_.final_bytes = final_.size() * 4;
+  stats_.memory_bytes = stats_.phase0_bytes + stats_.phase1_bytes +
+                        stats_.phase2_bytes + stats_.final_bytes;
+  stats_.probes = 13;
+}
+
+MemoryFootprint RfcClassifier::footprint() const {
+  MemoryFootprint f;
+  f.bytes = stats_.memory_bytes;
+  f.node_count = kNumChunks + 5;
+  f.leaf_count = final_.size();
+  f.max_depth = stats_.probes;
+  f.detail = "phase0=" + std::to_string(stats_.phase0_bytes / 1024) +
+             "K phase1=" + std::to_string(stats_.phase1_bytes / 1024) +
+             "K phase2=" + std::to_string(stats_.phase2_bytes / 1024) +
+             "K final=" + std::to_string(stats_.final_bytes / 1024) + "K";
+  return f;
+}
+
+}  // namespace rfc
+}  // namespace pclass

@@ -1,0 +1,102 @@
+// RFC: Recursive Flow Classification (Gupta & McKeown, SIGCOMM 1999).
+//
+// The canonical field-independent scheme the paper's taxonomy cites
+// alongside HSM (Sec. 2). The 104-bit header is split into seven chunks
+// (four 16-bit IP halves, two 16-bit ports, the 8-bit protocol); phase 0
+// maps each chunk through a direct-indexed table to an equivalence-class
+// id, and subsequent phases recursively combine pairs of ids through
+// crossproduct tables until a single table yields the rule:
+//
+//   sip_hi ┐                          ┌ A ┐
+//   sip_lo ┘-> A   dip_hi ┐           │   ├ D ┐
+//                  dip_lo ┘-> B  ->   └ B ┘   ├ final -> rule id
+//   sport ┐                           ┌ C ┐   │
+//   dport ┘-> C   proto ───────────-> └───┴ E ┘
+//
+// Splitting the 32-bit IPs into 16-bit halves is exact because IP fields
+// are prefixes: a prefix constraint decomposes into independent hi/lo
+// chunk constraints. Ports are kept whole (arbitrary ranges do not
+// decompose), protocol is direct-indexed.
+//
+// Compared to HSM: every probe is a direct index (no binary search), so
+// lookups need only 13 single-word references regardless of N — but the
+// phase-0 tables alone cost 6 x 64K entries and the deeper phases grow
+// faster with rule-set structure, which is RFC's classic memory cost.
+#pragma once
+
+#include <array>
+
+#include "classify/classifier.hpp"
+#include "eqclass/crossproduct.hpp"
+
+namespace pclass {
+namespace rfc {
+
+struct Config {
+  /// Safety cap on any single phase table, in entries.
+  u64 max_table_entries = 64ull * 1024 * 1024;
+};
+
+/// One phase-0 chunk: a direct-indexed table value -> equivalence class.
+struct ChunkTable {
+  std::vector<u32> class_of_value;   ///< 2^16 (or 2^8) entries.
+  std::vector<DynBitset> class_bitmaps;
+
+  u32 lookup(u32 value) const { return class_of_value[value]; }
+  std::size_t class_count() const { return class_bitmaps.size(); }
+  u64 bytes() const { return class_of_value.size() * 4; }
+};
+
+/// The seven phase-0 chunks in lookup order.
+enum Chunk : std::size_t {
+  kSipHi = 0,
+  kSipLo = 1,
+  kDipHi = 2,
+  kDipLo = 3,
+  kSport = 4,
+  kDport = 5,
+  kProto = 6,
+  kNumChunks = 7,
+};
+
+struct RfcStats {
+  std::array<std::size_t, kNumChunks> chunk_classes{};
+  u64 phase0_bytes = 0;
+  u64 phase1_bytes = 0;  ///< A, B, C tables.
+  u64 phase2_bytes = 0;  ///< D, E tables.
+  u64 final_bytes = 0;
+  u64 memory_bytes = 0;
+  u32 probes = 0;        ///< Single-word references per lookup (constant).
+};
+
+class RfcClassifier final : public Classifier {
+ public:
+  explicit RfcClassifier(const RuleSet& rules, const Config& cfg = {});
+
+  std::string name() const override { return "RFC"; }
+  RuleId classify(const PacketHeader& h) const override;
+  RuleId classify_traced(const PacketHeader& h,
+                         LookupTrace& trace) const override;
+  MemoryFootprint footprint() const override;
+
+  const RfcStats& stats() const { return stats_; }
+  const ChunkTable& chunk(Chunk c) const { return chunks_[c]; }
+
+ private:
+  void finalize_stats();
+
+  const RuleSet& rules_;
+  Config cfg_;
+  std::array<ChunkTable, kNumChunks> chunks_;
+  eqclass::CrossTable a_;  ///< sip_hi x sip_lo
+  eqclass::CrossTable b_;  ///< dip_hi x dip_lo
+  eqclass::CrossTable c_;  ///< sport x dport
+  eqclass::CrossTable d_;  ///< A x B
+  eqclass::CrossTable e_;  ///< C x proto
+  u32 final_cols_ = 0;
+  std::vector<RuleId> final_;  ///< D x E -> rule id.
+  RfcStats stats_;
+};
+
+}  // namespace rfc
+}  // namespace pclass

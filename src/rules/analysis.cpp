@@ -1,0 +1,72 @@
+#include "rules/analysis.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace pclass {
+
+RuleSetProfile profile_ruleset(const RuleSet& rules) {
+  RuleSetProfile p;
+  p.rule_count = rules.size();
+  for (std::size_t d = 0; d < kNumDims; ++d) {
+    const Dim dim = static_cast<Dim>(d);
+    const Interval full = Interval::full(dim_bits(dim));
+    std::set<std::pair<u64, u64>> distinct;
+    std::set<u64> edges;
+    for (const Rule& r : rules.rules()) {
+      const Interval& iv = r.field(dim);
+      distinct.insert({iv.lo, iv.hi});
+      if (iv == full) ++p.dims[d].wildcards;
+      if (iv.lo == iv.hi) ++p.dims[d].exact_values;
+      if (iv.lo > 0) edges.insert(iv.lo - 1);
+      edges.insert(iv.hi);
+    }
+    edges.insert(full.hi);
+    p.dims[d].distinct_intervals = distinct.size();
+    p.dims[d].elementary_segments = edges.size();
+  }
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    bool shadowed = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (rules[static_cast<RuleId>(j)].box.overlaps(
+              rules[static_cast<RuleId>(i)].box)) {
+        ++p.overlapping_pairs;
+        if (rules[static_cast<RuleId>(j)].covers(
+                rules[static_cast<RuleId>(i)].box)) {
+          shadowed = true;
+        }
+      }
+    }
+    if (shadowed) ++p.shadowed_rules;
+  }
+  return p;
+}
+
+std::size_t distinct_projections(const RuleSet& rules,
+                                 const std::vector<RuleId>& ids, Dim d,
+                                 const Interval& within) {
+  std::set<std::pair<u64, u64>> distinct;
+  for (RuleId id : ids) {
+    const Interval& iv = rules[id].field(d);
+    if (!iv.overlaps(within)) continue;
+    const Interval clipped = iv.intersect(within);
+    distinct.insert({clipped.lo, clipped.hi});
+  }
+  return distinct.size();
+}
+
+std::string RuleSetProfile::str(const std::string& name) const {
+  std::ostringstream os;
+  os << name << ": " << rule_count << " rules, " << overlapping_pairs
+     << " overlapping pairs, " << shadowed_rules << " shadowed\n";
+  for (std::size_t d = 0; d < kNumDims; ++d) {
+    os << "  " << dim_name(static_cast<Dim>(d)) << ": "
+       << dims[d].distinct_intervals << " distinct, " << dims[d].wildcards
+       << " wild, " << dims[d].exact_values << " exact, "
+       << dims[d].elementary_segments << " segments\n";
+  }
+  return os.str();
+}
+
+}  // namespace pclass

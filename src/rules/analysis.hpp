@@ -1,0 +1,44 @@
+// Structural analysis of rule sets.
+//
+// HiCuts' cutting heuristics and the paper's memory discussion both hinge
+// on rule-set structure: how many distinct projections each dimension has,
+// how much rules overlap, how wildcard-heavy each field is. This module
+// computes those statistics for reporting and for the builder heuristics.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "rules/ruleset.hpp"
+
+namespace pclass {
+
+struct DimensionProfile {
+  std::size_t distinct_intervals = 0;  ///< Unique [lo,hi] projections.
+  std::size_t wildcards = 0;           ///< Rules with the full domain.
+  std::size_t exact_values = 0;        ///< Point intervals.
+  std::size_t elementary_segments = 0; ///< Segments induced by endpoints.
+};
+
+struct RuleSetProfile {
+  std::size_t rule_count = 0;
+  std::array<DimensionProfile, kNumDims> dims;
+  /// Number of ordered rule pairs (i < j) whose boxes overlap — the paper's
+  /// "extent of rule-overlapping" driver of memory usage (Sec. 6.3).
+  std::size_t overlapping_pairs = 0;
+  /// Rules never matched because an earlier rule fully covers them.
+  std::size_t shadowed_rules = 0;
+
+  std::string str(const std::string& name) const;
+};
+
+RuleSetProfile profile_ruleset(const RuleSet& rules);
+
+/// Distinct projections of the rules onto dimension d restricted to `box`
+/// — the quantity HiCuts' dimension-selection heuristic maximizes.
+std::size_t distinct_projections(const RuleSet& rules,
+                                 const std::vector<RuleId>& ids, Dim d,
+                                 const Interval& within);
+
+}  // namespace pclass

@@ -1,0 +1,235 @@
+#include "rules/generator.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "packet/header.hpp"
+
+namespace pclass {
+namespace {
+
+/// Draws a random aligned prefix of length `len` inside `block` (which is
+/// itself a prefix interval). len must be >= the block's prefix length.
+Interval random_subprefix(const Interval& block, u32 len, Rng& rng) {
+  const u32 block_len = block.prefix_len(32);
+  check(len >= block_len && len <= 32, "random_subprefix: bad length");
+  const u32 free_bits = len - block_len;
+  const u64 slot = free_bits == 0 ? 0 : rng.next_below(u64{1} << free_bits);
+  const u64 base = block.lo + (slot << (32 - len));
+  return Interval::from_prefix(base, len, 32);
+}
+
+/// Well-known service ports used by the firewall profile.
+constexpr u16 kServices[] = {20, 21, 22, 23, 25, 53, 80, 110, 123, 143,
+                             161, 389, 443, 445, 514, 993, 995, 1433, 1521,
+                             3306, 3389, 5060, 8080};
+
+u32 pick_len(Rng& rng, std::initializer_list<std::pair<u32, double>> dist) {
+  std::vector<double> w;
+  std::vector<u32> lens;
+  for (const auto& [len, weight] : dist) {
+    lens.push_back(len);
+    w.push_back(weight);
+  }
+  return lens[rng.pick_weighted(w)];
+}
+
+/// Site blocks: distinct /8../16 provider prefixes rules cluster into.
+std::vector<Interval> make_site_blocks(std::size_t n, Rng& rng) {
+  std::vector<Interval> blocks;
+  blocks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const u32 len = static_cast<u32>(8 + rng.next_below(9));  // /8 .. /16
+    const u64 base = rng.next_below(u64{1} << len) << (32 - len);
+    blocks.push_back(Interval::from_prefix(base, len, 32));
+  }
+  return blocks;
+}
+
+/// Field-value pools. Real-life rule sets contain far fewer *distinct*
+/// field values than rules (the same protected subnets, service ports and
+/// peer prefixes recur across many rules); drawing from bounded pools
+/// reproduces that redundancy, which is what keeps decision trees and
+/// crossproduct tables at realistic sizes.
+struct Pools {
+  std::vector<Interval> sip;
+  std::vector<Interval> dip;
+  std::vector<Interval> sport;
+  std::vector<Interval> dport;
+  std::vector<Interval> proto;
+  double sip_wild;  ///< Probability of a wildcard source address.
+  double dip_wild;
+  double sport_wild;
+  double dport_wild;
+  double proto_wild;
+};
+
+std::vector<Interval> make_prefix_pool(const std::vector<Interval>& blocks,
+                                       std::size_t blocks_used, std::size_t n,
+                                       std::initializer_list<std::pair<u32, double>> lens,
+                                       Rng& rng) {
+  std::vector<Interval> pool;
+  pool.reserve(n);
+  const std::size_t usable = std::min(blocks_used, blocks.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Interval& blk = blocks[rng.next_below(usable)];
+    const u32 len = std::max(pick_len(rng, lens), blk.prefix_len(32));
+    pool.push_back(random_subprefix(blk, len, rng));
+  }
+  return pool;
+}
+
+std::vector<Interval> make_port_pool(std::size_t n_services,
+                                     std::size_t n_ranges, Rng& rng) {
+  std::vector<Interval> pool;
+  std::vector<u16> services(std::begin(kServices), std::end(kServices));
+  for (std::size_t i = services.size(); i > 1; --i) {
+    std::swap(services[i - 1], services[rng.next_below(i)]);
+  }
+  for (std::size_t i = 0; i < std::min(n_services, services.size()); ++i) {
+    pool.push_back(Interval::point(services[i]));
+  }
+  pool.push_back(Interval{1024, 65535});  // ephemeral
+  for (std::size_t i = 0; i < n_ranges; ++i) {
+    const u64 lo = rng.next_below(60000);
+    const u64 span = 1 + rng.next_below(4000);
+    pool.push_back(Interval{lo, std::min<u64>(lo + span, 65535)});
+  }
+  return pool;
+}
+
+Pools make_pools(const GeneratorConfig& cfg, const std::vector<Interval>& blocks,
+                 Rng& rng) {
+  Pools p;
+  const std::size_t n = cfg.rule_count;
+  if (cfg.profile == RuleProfile::kFirewall) {
+    p.sip = make_prefix_pool(blocks, blocks.size(), std::max<std::size_t>(4, n / 8),
+                             {{16, 2}, {20, 2}, {24, 4}, {28, 1}, {32, 2}}, rng);
+    // Destinations cluster in the first few (protected) site blocks.
+    p.dip = make_prefix_pool(blocks, 4, std::max<std::size_t>(6, n / 4),
+                             {{24, 4}, {27, 1}, {28, 1}, {30, 1}, {32, 5}}, rng);
+    p.sport = make_port_pool(2, 4, rng);
+    p.dport = make_port_pool(18, 8, rng);
+    p.sip_wild = 0.55;
+    p.dip_wild = 0.12;
+    p.sport_wild = 0.80;
+    p.dport_wild = 0.15;
+    p.proto_wild = 0.10;
+  } else {
+    p.sip = make_prefix_pool(blocks, blocks.size(), std::max<std::size_t>(8, n / 4),
+                             {{16, 2}, {18, 1}, {20, 2}, {21, 1}, {22, 1},
+                              {24, 6}, {26, 1}, {28, 1}, {30, 1}, {32, 3}},
+                             rng);
+    p.dip = make_prefix_pool(blocks, blocks.size(), std::max<std::size_t>(8, n / 4),
+                             {{16, 2}, {18, 1}, {20, 2}, {21, 1}, {22, 1},
+                              {24, 6}, {26, 1}, {28, 1}, {30, 1}, {32, 3}},
+                             rng);
+    p.sport = make_port_pool(4, 3, rng);
+    p.dport = make_port_pool(20, 6, rng);
+    p.sip_wild = 0.10;
+    p.dip_wild = 0.06;
+    p.sport_wild = 0.72;
+    p.dport_wild = 0.42;
+    p.proto_wild = 0.16;
+  }
+  p.proto = {Interval::point(kProtoTcp), Interval::point(kProtoUdp),
+             Interval::point(kProtoIcmp)};
+  return p;
+}
+
+Interval pick_field(const std::vector<Interval>& pool, double p_wild, u32 bits,
+                    Rng& rng) {
+  if (rng.chance(p_wild)) return Interval::full(bits);
+  return pool[rng.next_below(pool.size())];
+}
+
+Rule sample_rule(const Pools& p, RuleProfile profile, Rng& rng) {
+  Rule r;
+  r.box[Dim::kSrcIp] = pick_field(p.sip, p.sip_wild, 32, rng);
+  r.box[Dim::kDstIp] = pick_field(p.dip, p.dip_wild, 32, rng);
+  r.box[Dim::kSrcPort] = pick_field(p.sport, p.sport_wild, 16, rng);
+  r.box[Dim::kDstPort] = pick_field(p.dport, p.dport_wild, 16, rng);
+  r.box[Dim::kProto] = pick_field(p.proto, p.proto_wild, 8, rng);
+  const double deny_p = profile == RuleProfile::kFirewall ? 0.25 : 0.10;
+  r.action = rng.chance(deny_p) ? Action::kDeny : Action::kPermit;
+  return r;
+}
+
+struct BoxLess {
+  bool operator()(const Rule& a, const Rule& b) const {
+    for (std::size_t d = 0; d < kNumDims; ++d) {
+      if (a.box.dims[d].lo != b.box.dims[d].lo)
+        return a.box.dims[d].lo < b.box.dims[d].lo;
+      if (a.box.dims[d].hi != b.box.dims[d].hi)
+        return a.box.dims[d].hi < b.box.dims[d].hi;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+RuleSet generate_ruleset(const GeneratorConfig& cfg) {
+  if (cfg.rule_count == 0) throw ConfigError("generate_ruleset: rule_count == 0");
+  if (cfg.site_blocks == 0) throw ConfigError("generate_ruleset: site_blocks == 0");
+  Rng rng(cfg.seed);
+  const std::vector<Interval> blocks = make_site_blocks(cfg.site_blocks, rng);
+  const Pools pools = make_pools(cfg, blocks, rng);
+
+  const std::size_t body = cfg.with_default ? cfg.rule_count - 1 : cfg.rule_count;
+  // Sample distinct match regions (duplicate regions with distinct
+  // priorities would be dead rules).
+  std::vector<Rule> rules;
+  rules.reserve(body);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = body * 200 + 1000;
+  while (rules.size() < body) {
+    if (++attempts > max_attempts) {
+      throw ConfigError(
+          "generate_ruleset: field pools too small for requested distinct "
+          "rule count");
+    }
+    Rule r = sample_rule(pools, cfg.profile, rng);
+    if (std::none_of(rules.begin(), rules.end(),
+                     [&](const Rule& x) { return x.box == r.box; })) {
+      rules.push_back(r);
+    }
+  }
+  if (cfg.with_default) rules.push_back(Rule::any(Action::kDeny));
+  RuleSet rs(std::move(rules));
+  rs.validate();
+  return rs;
+}
+
+const std::vector<PaperRuleSetSpec>& paper_rulesets() {
+  // Sizes mirror the scale reported for FW01..CR04 in the paper and its
+  // companion evaluations [6][22]; CR04 = 1945 is stated explicitly.
+  static const std::vector<PaperRuleSetSpec> specs = {
+      {"FW01", RuleProfile::kFirewall, 68, 0xF001},
+      {"FW02", RuleProfile::kFirewall, 183, 0xF002},
+      {"FW03", RuleProfile::kFirewall, 340, 0xF003},
+      {"CR01", RuleProfile::kCoreRouter, 410, 0xC001},
+      {"CR02", RuleProfile::kCoreRouter, 920, 0xC002},
+      {"CR03", RuleProfile::kCoreRouter, 1530, 0xC003},
+      {"CR04", RuleProfile::kCoreRouter, 1945, 0xC004},
+  };
+  return specs;
+}
+
+RuleSet generate_paper_ruleset(const std::string& name) {
+  for (const PaperRuleSetSpec& spec : paper_rulesets()) {
+    if (name == spec.name) {
+      GeneratorConfig cfg;
+      cfg.profile = spec.profile;
+      cfg.rule_count = spec.rule_count;
+      cfg.seed = spec.seed;
+      cfg.site_blocks = spec.profile == RuleProfile::kFirewall ? 8 : 24;
+      RuleSet rs = generate_ruleset(cfg);
+      rs.set_name(name);
+      return rs;
+    }
+  }
+  throw ConfigError("unknown paper rule set: " + name);
+}
+
+}  // namespace pclass

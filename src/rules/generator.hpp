@@ -1,0 +1,62 @@
+// Synthetic rule-set generation.
+//
+// The paper evaluates on seven proprietary real-life rule sets — three
+// firewall sets (FW01..FW03) and four core-router sets (CR01..CR04, largest
+// 1945 rules) from refs [6][22]. Those files are not publicly available, so
+// this module synthesizes structurally equivalent sets (the documented
+// substitution; see DESIGN.md §2):
+//
+//  * firewall profile — wildcard-heavy source IPs, protected destination
+//    prefixes drawn from a few site blocks, well-known destination service
+//    ports, TCP/UDP/ICMP mix, heavy overlap, trailing default rule;
+//  * core-router profile — source/destination prefix pairs with
+//    backbone-like length distributions, mostly wildcarded ports, sparser
+//    overlap.
+//
+// Both are fully deterministic given the seed. Rule counts follow the
+// paper's naming and scale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "rules/ruleset.hpp"
+
+namespace pclass {
+
+enum class RuleProfile : u8 {
+  kFirewall = 0,
+  kCoreRouter = 1,
+};
+
+struct GeneratorConfig {
+  RuleProfile profile = RuleProfile::kFirewall;
+  std::size_t rule_count = 100;
+  u64 seed = 42;
+  /// Number of distinct site/provider prefix blocks rules cluster into.
+  std::size_t site_blocks = 12;
+  /// Append a match-all default rule (firewalls end in deny-all).
+  bool with_default = true;
+};
+
+/// Generates one rule set from a profile.
+RuleSet generate_ruleset(const GeneratorConfig& cfg);
+
+/// Descriptor of one of the paper's evaluation rule sets.
+struct PaperRuleSetSpec {
+  const char* name;
+  RuleProfile profile;
+  std::size_t rule_count;  ///< Matches the scale reported in the paper/[22].
+  u64 seed;
+};
+
+/// The seven evaluation rule sets (FW01..CR04). CR04 is the paper's largest
+/// at 1945 rules.
+const std::vector<PaperRuleSetSpec>& paper_rulesets();
+
+/// Generates one of the seven by name ("FW01".."CR04"); throws ConfigError
+/// for unknown names.
+RuleSet generate_paper_ruleset(const std::string& name);
+
+}  // namespace pclass

@@ -1,0 +1,181 @@
+#include "rules/parser.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "packet/header.hpp"
+
+namespace pclass {
+namespace {
+
+struct Cursor {
+  const std::string& s;
+  std::size_t pos = 0;
+  std::size_t line;
+
+  void skip_ws() {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t')) ++pos;
+  }
+  bool done() {
+    skip_ws();
+    return pos >= s.size();
+  }
+  char peek() { return pos < s.size() ? s[pos] : '\0'; }
+  void expect(char c, const char* what) {
+    skip_ws();
+    if (pos >= s.size() || s[pos] != c) {
+      throw ParseError(std::string("expected '") + c + "' in " + what, line);
+    }
+    ++pos;
+  }
+  u64 number(const char* what) {
+    skip_ws();
+    std::size_t start = pos;
+    u64 v = 0;
+    if (pos + 1 < s.size() && s[pos] == '0' &&
+        (s[pos + 1] == 'x' || s[pos + 1] == 'X')) {
+      pos += 2;
+      std::size_t digits = 0;
+      while (pos < s.size() && std::isxdigit(static_cast<unsigned char>(s[pos]))) {
+        v = v * 16 + static_cast<u64>(std::isdigit(static_cast<unsigned char>(s[pos]))
+                                          ? s[pos] - '0'
+                                          : std::tolower(s[pos]) - 'a' + 10);
+        ++pos;
+        ++digits;
+      }
+      if (digits == 0) throw ParseError(std::string("bad hex number in ") + what, line);
+      return v;
+    }
+    while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos]))) {
+      v = v * 10 + static_cast<u64>(s[pos] - '0');
+      ++pos;
+    }
+    if (pos == start) throw ParseError(std::string("expected number in ") + what, line);
+    return v;
+  }
+  /// dotted-quad IPv4 address.
+  u32 ip(const char* what) {
+    u64 a = number(what);
+    expect('.', what);
+    u64 b = number(what);
+    expect('.', what);
+    u64 c = number(what);
+    expect('.', what);
+    u64 d = number(what);
+    if (a > 255 || b > 255 || c > 255 || d > 255) {
+      throw ParseError(std::string("IP octet out of range in ") + what, line);
+    }
+    return static_cast<u32>((a << 24) | (b << 16) | (c << 8) | d);
+  }
+};
+
+Interval parse_ip_prefix(Cursor& cur, const char* what) {
+  const u32 addr = cur.ip(what);
+  cur.expect('/', what);
+  const u64 len = cur.number(what);
+  if (len > 32) throw ParseError(std::string("prefix length > 32 in ") + what, cur.line);
+  // ClassBench files occasionally carry host bits inside short prefixes;
+  // mask them off rather than reject.
+  const u32 l = static_cast<u32>(len);
+  const u32 mask = (l == 0) ? 0u : (l == 32 ? ~0u : ~((1u << (32 - l)) - 1));
+  return Interval::from_prefix(addr & mask, l, 32);
+}
+
+Interval parse_port_range(Cursor& cur, const char* what) {
+  const u64 lo = cur.number(what);
+  cur.expect(':', what);
+  const u64 hi = cur.number(what);
+  if (lo > hi) throw ParseError(std::string("inverted port range in ") + what, cur.line);
+  if (hi > 0xffff) throw ParseError(std::string("port > 65535 in ") + what, cur.line);
+  return Interval{lo, hi};
+}
+
+Interval parse_proto(Cursor& cur) {
+  const u64 value = cur.number("proto");
+  cur.expect('/', "proto");
+  const u64 mask = cur.number("proto mask");
+  if (value > 0xff) throw ParseError("protocol value > 255", cur.line);
+  if (mask == 0xff) return Interval::point(value);
+  if (mask == 0x00) return Interval::full(8);
+  throw ParseError("unsupported protocol mask (only 0xFF / 0x00)", cur.line);
+}
+
+}  // namespace
+
+RuleSet parse_classbench(std::istream& is, std::string name) {
+  std::vector<Rule> rules;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    Cursor cur{line, 0, lineno};
+    if (cur.done()) continue;
+    if (cur.peek() == '#') continue;
+    if (cur.peek() != '@') {
+      throw ParseError("rule line must start with '@'", lineno);
+    }
+    ++cur.pos;
+    Rule r;
+    r.box[Dim::kSrcIp] = parse_ip_prefix(cur, "source IP");
+    r.box[Dim::kDstIp] = parse_ip_prefix(cur, "destination IP");
+    r.box[Dim::kSrcPort] = parse_port_range(cur, "source port");
+    r.box[Dim::kDstPort] = parse_port_range(cur, "destination port");
+    r.box[Dim::kProto] = parse_proto(cur);
+    // Optional trailing flags/mask column (ClassBench emits one) — ignored.
+    rules.push_back(r);
+  }
+  return RuleSet(std::move(rules), std::move(name));
+}
+
+RuleSet parse_classbench_string(const std::string& text, std::string name) {
+  std::istringstream is(text);
+  return parse_classbench(is, std::move(name));
+}
+
+void write_classbench(std::ostream& os, const RuleSet& rules) {
+  for (const Rule& r : rules.rules()) {
+    const Interval& sip = r.field(Dim::kSrcIp);
+    const Interval& dip = r.field(Dim::kDstIp);
+    check(sip.is_prefix(32) && dip.is_prefix(32),
+          "write_classbench: IP field is not a prefix");
+    os << '@' << ip_to_string(static_cast<u32>(sip.lo)) << '/'
+       << sip.prefix_len(32) << '\t' << ip_to_string(static_cast<u32>(dip.lo))
+       << '/' << dip.prefix_len(32) << '\t' << r.field(Dim::kSrcPort).lo
+       << " : " << r.field(Dim::kSrcPort).hi << '\t'
+       << r.field(Dim::kDstPort).lo << " : " << r.field(Dim::kDstPort).hi
+       << '\t';
+    const Interval& proto = r.field(Dim::kProto);
+    if (proto == Interval::full(8)) {
+      os << "0x00/0x00";
+    } else {
+      check(proto.lo == proto.hi, "write_classbench: protocol range");
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "0x%02llX/0xFF",
+                    static_cast<unsigned long long>(proto.lo));
+      os << buf;
+    }
+    os << '\n';
+  }
+}
+
+std::string write_classbench_string(const RuleSet& rules) {
+  std::ostringstream os;
+  write_classbench(os, rules);
+  return os.str();
+}
+
+RuleSet load_ruleset_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw Error("cannot open rule set file: " + path);
+  return parse_classbench(is, path);
+}
+
+void save_ruleset_file(const std::string& path, const RuleSet& rules) {
+  std::ofstream os(path);
+  if (!os) throw Error("cannot create rule set file: " + path);
+  write_classbench(os, rules);
+}
+
+}  // namespace pclass

@@ -1,0 +1,35 @@
+// Rule-set text I/O in the ClassBench filter format.
+//
+// Each line:
+//   @sip/len  dip/len  splo : sphi  dplo : dphi  proto/mask [flags/mask]
+// e.g.
+//   @198.12.130.31/32 0.0.0.0/0 0 : 65535 1521 : 1521 0x06/0xFF
+// Protocol mask 0xFF means exact, 0x00 means wildcard (other masks are
+// rejected: the library models protocol as exact-or-any, like the paper's
+// rule sets). A trailing flags/mask column, if present, is ignored.
+//
+// This lets real rule sets (e.g. ClassBench seeds) be dropped into every
+// benchmark in place of the synthetic FW/CR sets.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "rules/ruleset.hpp"
+
+namespace pclass {
+
+/// Parses a rule set; throws ParseError with a line number on bad input.
+RuleSet parse_classbench(std::istream& is, std::string name = "");
+RuleSet parse_classbench_string(const std::string& text, std::string name = "");
+
+/// Writes in the same format (port ranges verbatim; IP intervals must be
+/// prefixes, which holds for every RuleSet this library produces).
+void write_classbench(std::ostream& os, const RuleSet& rules);
+std::string write_classbench_string(const RuleSet& rules);
+
+/// Loads/saves from a file path.
+RuleSet load_ruleset_file(const std::string& path);
+void save_ruleset_file(const std::string& path, const RuleSet& rules);
+
+}  // namespace pclass

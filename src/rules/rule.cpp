@@ -1,0 +1,51 @@
+#include "rules/rule.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "packet/header.hpp"
+
+namespace pclass {
+
+Rule Rule::make(u32 sip, u32 sip_len, u32 dip, u32 dip_len, u16 sp_lo,
+                u16 sp_hi, u16 dp_lo, u16 dp_hi, u8 proto, bool proto_wildcard,
+                Action action) {
+  Rule r;
+  r.box[Dim::kSrcIp] = Interval::from_prefix(sip, sip_len, 32);
+  r.box[Dim::kDstIp] = Interval::from_prefix(dip, dip_len, 32);
+  r.box[Dim::kSrcPort] = Interval{sp_lo, sp_hi};
+  r.box[Dim::kDstPort] = Interval{dp_lo, dp_hi};
+  r.box[Dim::kProto] =
+      proto_wildcard ? Interval::full(8) : Interval::point(proto);
+  r.action = action;
+  check(r.box[Dim::kSrcPort].valid() && r.box[Dim::kDstPort].valid(),
+        "Rule::make: inverted port range");
+  return r;
+}
+
+Rule Rule::any(Action action) {
+  Rule r;
+  r.box = Box::full();
+  r.action = action;
+  return r;
+}
+
+bool Rule::matches(const PacketHeader& h) const {
+  return box.contains_point(h.as_point());
+}
+
+u32 Rule::wildcard_count() const {
+  u32 n = 0;
+  for (std::size_t i = 0; i < kNumDims; ++i) {
+    if (box.dims[i] == Interval::full(kDimBits[i])) ++n;
+  }
+  return n;
+}
+
+std::string Rule::str() const {
+  std::ostringstream os;
+  os << box.str() << (action == Action::kPermit ? " permit" : " deny");
+  return os.str();
+}
+
+}  // namespace pclass

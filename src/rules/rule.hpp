@@ -1,0 +1,54 @@
+// 5-tuple classification rules.
+//
+// A rule matches a packet when every dimension of the packet header lies in
+// the rule's interval for that dimension. Priority is positional: the rule
+// with the smallest index in its RuleSet wins among all matches (standard
+// first-match firewall semantics, also what the paper's algorithms assume).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "geom/box.hpp"
+
+namespace pclass {
+
+/// Action attached to a rule. Classification returns the rule id; the
+/// action is carried for the example applications (firewall / forwarder).
+enum class Action : u8 {
+  kPermit = 0,
+  kDeny = 1,
+};
+
+struct PacketHeader;  // packet/header.hpp
+
+struct Rule {
+  Box box;                    ///< Match region, one interval per dimension.
+  Action action = Action::kPermit;
+
+  /// Builds a rule from classic 5-tuple components.
+  /// IP prefixes are (address, prefix_len); ports are inclusive ranges;
+  /// proto is exact unless proto_wildcard.
+  static Rule make(u32 sip, u32 sip_len, u32 dip, u32 dip_len, u16 sp_lo,
+                   u16 sp_hi, u16 dp_lo, u16 dp_hi, u8 proto,
+                   bool proto_wildcard = false, Action action = Action::kPermit);
+
+  /// Fully wildcarded default rule.
+  static Rule any(Action action = Action::kPermit);
+
+  bool matches(const PacketHeader& h) const;
+  bool intersects(const Box& b) const { return box.overlaps(b); }
+  bool covers(const Box& b) const { return box.contains(b); }
+
+  const Interval& field(Dim d) const { return box[d]; }
+
+  bool operator==(const Rule& o) const = default;
+
+  /// Number of wildcard (full-domain) dimensions.
+  u32 wildcard_count() const;
+
+  /// One-line diagnostic form.
+  std::string str() const;
+};
+
+}  // namespace pclass

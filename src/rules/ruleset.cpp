@@ -1,0 +1,39 @@
+#include "rules/ruleset.hpp"
+
+#include "common/error.hpp"
+
+namespace pclass {
+
+RuleSet::RuleSet(std::vector<Rule> rules, std::string name)
+    : rules_(std::move(rules)), name_(std::move(name)) {}
+
+bool RuleSet::has_default() const {
+  const Box all = Box::full();
+  for (const Rule& r : rules_) {
+    if (r.covers(all)) return true;
+  }
+  return false;
+}
+
+void RuleSet::ensure_default(Action action) {
+  if (!has_default()) rules_.push_back(Rule::any(action));
+}
+
+void RuleSet::validate() const {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const Rule& r = rules_[i];
+    for (std::size_t d = 0; d < kNumDims; ++d) {
+      const Interval& iv = r.box.dims[d];
+      if (!iv.valid()) {
+        throw ConfigError("rule " + std::to_string(i) + ": inverted interval on " +
+                          dim_name(static_cast<Dim>(d)));
+      }
+      if (iv.hi > dim_max(static_cast<Dim>(d))) {
+        throw ConfigError("rule " + std::to_string(i) + ": value beyond domain of " +
+                          dim_name(static_cast<Dim>(d)));
+      }
+    }
+  }
+}
+
+}  // namespace pclass

@@ -1,0 +1,44 @@
+// An ordered rule set (priority = position).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rules/rule.hpp"
+
+namespace pclass {
+
+class RuleSet {
+ public:
+  RuleSet() = default;
+  explicit RuleSet(std::vector<Rule> rules, std::string name = "");
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  std::size_t size() const { return rules_.size(); }
+  bool empty() const { return rules_.empty(); }
+  const Rule& operator[](RuleId id) const { return rules_[id]; }
+  const std::vector<Rule>& rules() const { return rules_; }
+  std::span<const Rule> span() const { return rules_; }
+
+  void push_back(Rule r) { rules_.push_back(std::move(r)); }
+
+  /// True if some rule matches every possible packet (e.g. a trailing
+  /// default rule); classifiers then never return kNoMatch.
+  bool has_default() const;
+
+  /// Appends Rule::any(action) if has_default() is false.
+  void ensure_default(Action action = Action::kDeny);
+
+  /// Throws ConfigError on structurally invalid rules (inverted intervals,
+  /// out-of-domain values).
+  void validate() const;
+
+ private:
+  std::vector<Rule> rules_;
+  std::string name_;
+};
+
+}  // namespace pclass

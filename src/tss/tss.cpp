@@ -1,0 +1,139 @@
+#include "tss/tss.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/texttable.hpp"
+
+namespace pclass {
+namespace tss {
+namespace {
+
+constexpr u16 kBucketWords = 4;
+constexpr u32 kProbeCycles = 12;  // mask + hash + compare per tuple
+
+u64 mask_field(u64 v, u32 len, u32 bits) {
+  if (len == 0) return 0;
+  return (v >> (bits - len)) << (bits - len);
+}
+
+struct TupleLess {
+  bool operator()(const Tuple& a, const Tuple& b) const {
+    return std::tie(a.sip_len, a.dip_len, a.sport_len, a.dport_len,
+                    a.proto_len) < std::tie(b.sip_len, b.dip_len, b.sport_len,
+                                            b.dport_len, b.proto_len);
+  }
+};
+
+}  // namespace
+
+std::size_t TssClassifier::KeyHash::operator()(const Key& k) const {
+  u64 x = k.ips * 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 29;
+  x += k.rest * 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 32;
+  return static_cast<std::size_t>(x);
+}
+
+TssClassifier::Key TssClassifier::make_key(const PacketHeader& h,
+                                           const Tuple& t) const {
+  Key k;
+  k.ips = (mask_field(h.sip, t.sip_len, 32) << 32) |
+          mask_field(h.dip, t.dip_len, 32);
+  k.rest = (mask_field(h.sport, t.sport_len, 16) << 24) |
+           (mask_field(h.dport, t.dport_len, 16) << 8) |
+           mask_field(h.proto, t.proto_len, 8);
+  return k;
+}
+
+TssClassifier::TssClassifier(const RuleSet& rules, const Config& cfg)
+    : rules_(rules) {
+  std::map<Tuple, std::unordered_map<Key, RuleId, KeyHash>, TupleLess> build;
+  u64 total_entries = 0;
+  for (RuleId id = 0; id < rules_.size(); ++id) {
+    const Rule& r = rules_[id];
+    const Interval& sip = r.field(Dim::kSrcIp);
+    const Interval& dip = r.field(Dim::kDstIp);
+    if (!sip.is_prefix(32) || !dip.is_prefix(32)) {
+      throw ConfigError("TSS: IP fields must be prefixes (rule " +
+                        std::to_string(id) + ")");
+    }
+    const std::vector<Prefix> sports =
+        range_to_prefixes(r.field(Dim::kSrcPort), 16);
+    const std::vector<Prefix> dports =
+        range_to_prefixes(r.field(Dim::kDstPort), 16);
+    const Interval& proto = r.field(Dim::kProto);
+    const u8 proto_len = (proto == Interval::full(8)) ? 0 : 8;
+    check(proto.lo == proto.hi || proto_len == 0,
+          "TSS: protocol must be exact or wildcard");
+    for (const Prefix& sp : sports) {
+      for (const Prefix& dp : dports) {
+        Tuple t{static_cast<u8>(sip.prefix_len(32)),
+                static_cast<u8>(dip.prefix_len(32)),
+                static_cast<u8>(sp.len), static_cast<u8>(dp.len), proto_len};
+        PacketHeader rep;  // any header inside this entry's region
+        rep.sip = static_cast<u32>(sip.lo);
+        rep.dip = static_cast<u32>(dip.lo);
+        rep.sport = static_cast<u16>(sp.value);
+        rep.dport = static_cast<u16>(dp.value);
+        rep.proto = static_cast<u8>(proto.lo);
+        const Key key = make_key(rep, t);
+        auto [it, inserted] = build[t].emplace(key, id);
+        // Identical masked entries: the highest-priority rule wins.
+        if (!inserted) it->second = std::min(it->second, id);
+        if (inserted && ++total_entries > cfg.max_entries) {
+          throw ConfigError("TSS: range expansion exceeds max_entries");
+        }
+      }
+    }
+  }
+  tables_.reserve(build.size());
+  for (auto& [tuple, entries] : build) {
+    tables_.push_back(Table{tuple, std::move(entries)});
+  }
+  stats_.tuples = tables_.size();
+  stats_.entries = total_entries;
+  stats_.expansion =
+      rules_.empty() ? 0.0
+                     : static_cast<double>(total_entries) /
+                           static_cast<double>(rules_.size());
+  stats_.memory_bytes =
+      total_entries * (kBucketWords * 4) + tables_.size() * 16;
+}
+
+RuleId TssClassifier::classify(const PacketHeader& h) const {
+  RuleId best = kNoMatch;
+  for (const Table& t : tables_) {
+    const auto it = t.entries.find(make_key(h, t.tuple));
+    if (it != t.entries.end()) best = std::min(best, it->second);
+  }
+  return best;
+}
+
+RuleId TssClassifier::classify_traced(const PacketHeader& h,
+                                      LookupTrace& trace) const {
+  RuleId best = kNoMatch;
+  u16 stage = 0;
+  for (const Table& t : tables_) {
+    trace.accesses.push_back(MemAccess{stage++, kBucketWords, kProbeCycles});
+    const auto it = t.entries.find(make_key(h, t.tuple));
+    if (it != t.entries.end()) best = std::min(best, it->second);
+  }
+  trace.tail_compute_cycles = 2;
+  return best;
+}
+
+MemoryFootprint TssClassifier::footprint() const {
+  MemoryFootprint f;
+  f.bytes = stats_.memory_bytes;
+  f.node_count = stats_.tuples;
+  f.leaf_count = stats_.entries;
+  f.max_depth = static_cast<u32>(stats_.tuples);
+  f.detail = "tuples=" + std::to_string(stats_.tuples) +
+             " expansion=" + format_fixed(stats_.expansion, 2) + "x";
+  return f;
+}
+
+}  // namespace tss
+}  // namespace pclass

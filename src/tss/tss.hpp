@@ -1,0 +1,83 @@
+// TSS: Tuple Space Search (Srinivasan, Suri & Varghese, SIGCOMM 1999).
+//
+// The hash-based family, rounding out the classifier taxonomy (it is the
+// scheme software switches like Open vSwitch adopted). Every rule is
+// reduced to exact-match entries under a *tuple* = the vector of prefix
+// lengths per field; all rules sharing a tuple live in one hash table
+// keyed by the masked header. A lookup probes every tuple's table and
+// keeps the highest-priority hit.
+//
+// Port ranges do not have prefix lengths, so they are decomposed into
+// maximal prefixes first (geom::range_to_prefixes) — the classic
+// range-expansion cost: one rule becomes up to ~30x30 entries when both
+// port fields are arbitrary ranges.
+//
+// On the NP cost model a probe is one 4-word bucket reference, so lookup
+// cost scales with the number of *distinct tuples*, independent of N —
+// cheap preprocessing and O(1) updates, but rule sets with diverse
+// prefix-length mixes pay tens of probes.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "classify/classifier.hpp"
+#include "geom/interval.hpp"
+
+namespace pclass {
+namespace tss {
+
+struct Config {
+  /// Guard on range-expansion blow-up (total exact-match entries).
+  u64 max_entries = 4ull * 1024 * 1024;
+};
+
+/// Prefix-length vector identifying one hash table.
+struct Tuple {
+  u8 sip_len, dip_len, sport_len, dport_len, proto_len;
+
+  bool operator==(const Tuple& o) const = default;
+};
+
+struct TssStats {
+  std::size_t tuples = 0;       ///< Hash tables == probes per lookup.
+  u64 entries = 0;              ///< Exact-match entries after expansion.
+  double expansion = 0.0;       ///< entries / rules.
+  u64 memory_bytes = 0;
+};
+
+class TssClassifier final : public Classifier {
+ public:
+  explicit TssClassifier(const RuleSet& rules, const Config& cfg = {});
+
+  std::string name() const override { return "TSS"; }
+  RuleId classify(const PacketHeader& h) const override;
+  RuleId classify_traced(const PacketHeader& h,
+                         LookupTrace& trace) const override;
+  MemoryFootprint footprint() const override;
+
+  const TssStats& stats() const { return stats_; }
+
+ private:
+  struct Key {
+    u64 ips;    ///< masked sip:dip
+    u64 rest;   ///< masked sport:dport:proto
+    bool operator==(const Key& o) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+  struct Table {
+    Tuple tuple;
+    std::unordered_map<Key, RuleId, KeyHash> entries;
+  };
+
+  Key make_key(const PacketHeader& h, const Tuple& t) const;
+
+  const RuleSet& rules_;
+  std::vector<Table> tables_;
+  TssStats stats_;
+};
+
+}  // namespace tss
+}  // namespace pclass

@@ -1,0 +1,188 @@
+#include "workload/workload.hpp"
+
+#include "bv/bv.hpp"
+#include "classify/linear.hpp"
+#include "common/error.hpp"
+#include "expcuts/expcuts.hpp"
+#include "hicuts/hicuts.hpp"
+#include "hsm/hsm.hpp"
+#include "hypercuts/hypercuts.hpp"
+#include "packet/tracegen.hpp"
+#include "rfc/rfc.hpp"
+#include "tss/tss.hpp"
+#include "rules/generator.hpp"
+
+namespace pclass {
+namespace workload {
+
+const char* algo_name(Algo a) {
+  switch (a) {
+    case Algo::kExpCuts: return "ExpCuts";
+    case Algo::kHiCuts: return "HiCuts";
+    case Algo::kHsm: return "HSM";
+    case Algo::kLinear: return "Linear";
+    case Algo::kHyperCuts: return "HyperCuts";
+    case Algo::kRfc: return "RFC";
+    case Algo::kBv: return "BV";
+    case Algo::kTss: return "TSS";
+  }
+  return "?";
+}
+
+ClassifierPtr make_classifier(Algo algo, const RuleSet& rules) {
+  switch (algo) {
+    case Algo::kExpCuts:
+      return std::make_unique<expcuts::ExpCutsClassifier>(rules);
+    case Algo::kHiCuts: {
+      hicuts::Config cfg;
+      cfg.binth = 8;
+      cfg.spfac = 2.0;
+      cfg.worst_case_leaf_scan = true;  // Sec. 6.6 worst-case accounting
+      return std::make_unique<hicuts::HiCutsClassifier>(rules, cfg);
+    }
+    case Algo::kHsm:
+      return std::make_unique<hsm::HsmClassifier>(rules);
+    case Algo::kLinear:
+      return std::make_unique<LinearSearchClassifier>(rules);
+    case Algo::kHyperCuts: {
+      hypercuts::Config cfg;
+      cfg.binth = 8;
+      cfg.spfac = 2.0;
+      cfg.worst_case_leaf_scan = true;
+      return std::make_unique<hypercuts::HyperCutsClassifier>(rules, cfg);
+    }
+    case Algo::kRfc:
+      return std::make_unique<rfc::RfcClassifier>(rules);
+    case Algo::kBv:
+      return std::make_unique<bv::BvClassifier>(rules);
+    case Algo::kTss:
+      return std::make_unique<tss::TssClassifier>(rules);
+  }
+  throw ConfigError("make_classifier: unknown algorithm");
+}
+
+Workbench::Workbench(std::size_t trace_packets)
+    : trace_packets_(trace_packets) {
+  for (const PaperRuleSetSpec& spec : paper_rulesets()) {
+    names_.emplace_back(spec.name);
+  }
+}
+
+const RuleSet& Workbench::ruleset(const std::string& name) {
+  auto it = rulesets_.find(name);
+  if (it == rulesets_.end()) {
+    it = rulesets_.emplace(name, generate_paper_ruleset(name)).first;
+  }
+  return it->second;
+}
+
+const Trace& Workbench::trace(const std::string& name) {
+  auto it = traces_.find(name);
+  if (it == traces_.end()) {
+    TraceGenConfig cfg;
+    cfg.count = trace_packets_;
+    cfg.rule_directed_fraction = 0.9;
+    cfg.seed = 0x7ace0000 ^ std::hash<std::string>{}(name);
+    it = traces_.emplace(name, generate_trace(ruleset(name), cfg)).first;
+  }
+  return it->second;
+}
+
+std::vector<double> channel_headroom_subset(u32 k) {
+  const std::vector<double> board = {0.44, 1.00, 0.53, 0.69};
+  if (k < 1 || k > board.size()) {
+    throw ConfigError("channel_headroom_subset: k out of range");
+  }
+  if (k == 1) return {1.00};  // SRAM#1, the otherwise-unused channel
+  return std::vector<double>(board.begin(), board.begin() + k);
+}
+
+npsim::SimConfig standard_sim_config(u32 depth, u32 channels, u32 threads,
+                                     u32 classify_mes) {
+  npsim::SimConfig cfg;
+  cfg.npu = npsim::NpuConfig::ixp2850();
+  if (channels < 1 || channels > cfg.npu.sram_channels) {
+    throw ConfigError("standard_sim_config: channel count out of range");
+  }
+  cfg.npu.sram_channels = channels;
+  cfg.npu.sram_headroom = channel_headroom_subset(channels);
+  cfg.placement = npsim::Placement::headroom_proportional(
+      depth, cfg.npu.sram_headroom, channels);
+  cfg.classify_mes = classify_mes;
+  cfg.threads = threads;
+  return cfg;
+}
+
+namespace {
+
+/// Per-level service demand measured from the collected traces, in
+/// controller cycles per packet (commands and words weighted by the
+/// channel cost model).
+std::vector<double> level_weights(const std::vector<LookupTrace>& traces,
+                                  const npsim::NpuConfig& npu) {
+  std::vector<double> w;
+  for (const LookupTrace& lt : traces) {
+    for (const MemAccess& a : lt.accesses) {
+      if (a.level >= w.size()) w.resize(a.level + 1, 0.0);
+      w[a.level] += npu.sram_cmd_overhead + a.words * npu.sram_cycles_per_word;
+    }
+  }
+  for (double& x : w) x /= static_cast<double>(traces.size());
+  if (w.empty()) w.push_back(1.0);
+  return w;
+}
+
+}  // namespace
+
+npsim::SimResult run_traces_on_npu(const std::vector<LookupTrace>& traces,
+                                   const RunSpec& spec,
+                                   const npsim::AppModel& app,
+                                   bool proportional) {
+  npsim::SimConfig cfg;
+  cfg.npu = npsim::NpuConfig::ixp2850();
+  if (spec.channels < 1 || spec.channels > cfg.npu.sram_channels) {
+    throw ConfigError("run_on_npu: channel count out of range");
+  }
+  cfg.npu.sram_channels = spec.channels;
+  cfg.npu.sram_headroom = channel_headroom_subset(spec.channels);
+  cfg.classify_mes = spec.classify_mes;
+  cfg.threads = spec.threads;
+  cfg.app = app;
+  const std::vector<double> weights = level_weights(traces, cfg.npu);
+  cfg.placement =
+      proportional
+          ? npsim::Placement::headroom_proportional(
+                static_cast<u32>(weights.size()), cfg.npu.sram_headroom,
+                spec.channels)
+          : npsim::Placement::weighted(weights, cfg.npu.sram_headroom,
+                                       spec.channels);
+  return npsim::simulate(traces, cfg);
+}
+
+npsim::SimResult run_on_npu(const Classifier& cls, const Trace& trace,
+                            const RunSpec& spec) {
+  const std::vector<LookupTrace> traces = npsim::collect_traces(cls, trace);
+  // ExpCuts uses the paper's Table 4 allocation (contiguous level ranges
+  // proportional to headroom); the baselines get the frequency-weighted
+  // allocation, which is never worse for them.
+  const bool proportional = cls.name() == "ExpCuts";
+  return run_traces_on_npu(traces, spec, npsim::AppModel{}, proportional);
+}
+
+const std::vector<double>& PaperRef::table5_mbps() {
+  static const std::vector<double> v = {4963, 5357, 6483, 7261};
+  return v;
+}
+
+const std::vector<u32>& PaperRef::fig7_threads() {
+  static const std::vector<u32> v = {7, 15, 23, 31, 39, 47, 55, 63, 71};
+  return v;
+}
+
+const std::vector<u32>& PaperRef::fig8_rule_counts() {
+  static const std::vector<u32> v = {1, 3, 5, 8, 10, 13, 15, 18, 20};
+  return v;
+}
+
+}  // namespace workload
+}  // namespace pclass

@@ -1,0 +1,103 @@
+// Shared experiment harness for the benchmark binaries.
+//
+// Centralizes: the seven paper rule sets and their evaluation traces, the
+// classifier factory, the standard simulator configuration (9 classify
+// MEs, 71 threads, Table 4 placement) and paper-reference constants, so
+// every bench prints comparable rows.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classify/classifier.hpp"
+#include "npsim/sim.hpp"
+#include "packet/trace.hpp"
+#include "rules/ruleset.hpp"
+
+namespace pclass {
+namespace workload {
+
+enum class Algo : u8 {
+  kExpCuts = 0,
+  kHiCuts = 1,
+  kHsm = 2,
+  kLinear = 3,
+  // Extensions beyond the paper's three evaluated algorithms (both are
+  // named in its Sec. 2 taxonomy):
+  kHyperCuts = 4,
+  kRfc = 5,
+  kBv = 6,
+  kTss = 7,
+};
+
+const char* algo_name(Algo a);
+
+/// Builds a classifier with the reproduction's standard parameters
+/// (ExpCuts w=8/v=4; HiCuts/HyperCuts binth=8, spfac=2, worst-case leaf
+/// scan; HSM/RFC defaults).
+ClassifierPtr make_classifier(Algo algo, const RuleSet& rules);
+
+/// Lazily-built cache of the seven paper rule sets and their traces.
+class Workbench {
+ public:
+  explicit Workbench(std::size_t trace_packets = 20000);
+
+  const std::vector<std::string>& names() const { return names_; }
+  const RuleSet& ruleset(const std::string& name);
+  const Trace& trace(const std::string& name);
+
+ private:
+  std::size_t trace_packets_;
+  std::vector<std::string> names_;
+  std::map<std::string, RuleSet> rulesets_;
+  std::map<std::string, Trace> traces_;
+};
+
+/// The evaluation's standard simulator configuration: full 9-ME classify
+/// stage, 71 worker threads (one context reserved for exceptions,
+/// Sec. 6.4), Table 4 channel placement for `depth` structure levels.
+npsim::SimConfig standard_sim_config(u32 depth, u32 channels = 4,
+                                     u32 threads = 71, u32 classify_mes = 9);
+
+/// Headroom of the SRAM channels used when only `k` of the four are
+/// populated. k == 1 uses the empty channel (SRAM#1, 100% headroom — the
+/// configuration Sec. 6.5 describes); k >= 2 adds channels in board order
+/// (Table 4: 44 / 100 / 53 / 69 %).
+std::vector<double> channel_headroom_subset(u32 k);
+
+struct RunSpec {
+  u32 channels = 4;
+  u32 threads = 71;
+  u32 classify_mes = 9;
+};
+
+/// Full evaluation run: collects the classifier's per-packet traces,
+/// derives the channel placement (ExpCuts: headroom-proportional level
+/// ranges as in Table 4; baselines: frequency-weighted, since their level
+/// access distribution is non-uniform) and simulates.
+npsim::SimResult run_on_npu(const Classifier& cls, const Trace& trace,
+                            const RunSpec& spec = {});
+
+/// Same, but over pre-collected per-packet traces (for synthetic
+/// workloads such as the Fig. 8 linear-search sweep). `proportional`
+/// selects Table 4 level-range placement instead of weighted.
+npsim::SimResult run_traces_on_npu(const std::vector<LookupTrace>& traces,
+                                   const RunSpec& spec,
+                                   const npsim::AppModel& app = npsim::AppModel{},
+                                   bool proportional = false);
+
+/// Paper-reported numbers used as reference columns in bench output.
+struct PaperRef {
+  /// Table 5: throughput (Mbps) for 1..4 SRAM channels on CR04.
+  static const std::vector<double>& table5_mbps();
+  /// Fig. 7 thread counts.
+  static const std::vector<u32>& fig7_threads();
+  /// Fig. 8 linear-search rule counts.
+  static const std::vector<u32>& fig8_rule_counts();
+};
+
+}  // namespace workload
+}  // namespace pclass

@@ -1,0 +1,109 @@
+// Tests for the classifier interface layer: linear reference, traces,
+// verification helpers.
+#include <gtest/gtest.h>
+
+#include "classify/linear.hpp"
+#include "classify/verify.hpp"
+#include "packet/tracegen.hpp"
+#include "rules/generator.hpp"
+#include "rules/parser.hpp"
+
+namespace pclass {
+namespace {
+
+TEST(LookupTrace, Accounting) {
+  LookupTrace lt;
+  lt.accesses.push_back(MemAccess{0, 2, 5});
+  lt.accesses.push_back(MemAccess{1, 6, 10});
+  lt.tail_compute_cycles = 3;
+  EXPECT_EQ(lt.total_words(), 8u);
+  EXPECT_EQ(lt.total_compute(), 18u);
+  EXPECT_EQ(lt.access_count(), 2u);
+  lt.clear();
+  EXPECT_EQ(lt.access_count(), 0u);
+  EXPECT_EQ(lt.total_compute(), 0u);
+}
+
+TEST(Linear, FirstMatchWins) {
+  const RuleSet rs = parse_classbench_string(
+      "@0.0.0.0/0 0.0.0.0/0 0 : 65535 80 : 80 0x06/0xFF\n"
+      "@0.0.0.0/0 0.0.0.0/0 0 : 65535 0 : 1023 0x06/0xFF\n");
+  const LinearSearchClassifier cls(rs);
+  EXPECT_EQ(cls.classify(PacketHeader{1, 2, 3, 80, 6}), 0u);
+  EXPECT_EQ(cls.classify(PacketHeader{1, 2, 3, 81, 6}), 1u);
+  EXPECT_EQ(cls.classify(PacketHeader{1, 2, 3, 8080, 6}), kNoMatch);
+}
+
+TEST(Linear, TraceCostIsSixWordsPerExaminedRule) {
+  const RuleSet rs = parse_classbench_string(
+      "@0.0.0.0/0 0.0.0.0/0 0 : 65535 80 : 80 0x06/0xFF\n"
+      "@0.0.0.0/0 0.0.0.0/0 0 : 65535 0 : 65535 0x00/0x00\n");
+  const LinearSearchClassifier cls(rs);
+  LookupTrace lt;
+  EXPECT_EQ(cls.classify_traced(PacketHeader{1, 2, 3, 80, 6}, lt), 0u);
+  EXPECT_EQ(lt.access_count(), 1u);
+  EXPECT_EQ(lt.accesses[0].words, kRuleWords);
+  lt.clear();
+  EXPECT_EQ(cls.classify_traced(PacketHeader{1, 2, 3, 81, 6}, lt), 1u);
+  EXPECT_EQ(lt.access_count(), 2u);
+  EXPECT_EQ(lt.total_words(), 2u * kRuleWords);
+}
+
+TEST(Linear, Footprint) {
+  const RuleSet rs = generate_paper_ruleset("FW01");
+  const LinearSearchClassifier cls(rs);
+  EXPECT_EQ(cls.footprint().bytes, rs.size() * kRuleWords * 4);
+}
+
+namespace {
+
+/// A deliberately wrong classifier for exercising the verifier.
+class BrokenClassifier final : public Classifier {
+ public:
+  explicit BrokenClassifier(const RuleSet& rules) : ref_(rules) {}
+  std::string name() const override { return "Broken"; }
+  RuleId classify(const PacketHeader& h) const override {
+    const RuleId id = ref_.classify(h);
+    return (h.sport % 7 == 0) ? id + 1 : id;  // corrupt some answers
+  }
+  RuleId classify_traced(const PacketHeader& h, LookupTrace&) const override {
+    return ref_.classify(h);  // disagrees with classify() on corrupted ones
+  }
+  MemoryFootprint footprint() const override { return {}; }
+
+ private:
+  LinearSearchClassifier ref_;
+};
+
+}  // namespace
+
+TEST(Verify, DetectsMismatches) {
+  const RuleSet rs = generate_paper_ruleset("FW01");
+  TraceGenConfig cfg;
+  cfg.count = 500;
+  cfg.seed = 1;
+  const Trace trace = generate_trace(rs, cfg);
+  const BrokenClassifier broken(rs);
+  const VerifyResult res = verify_against_linear(broken, rs, trace);
+  EXPECT_FALSE(res.ok());
+  EXPECT_GT(res.mismatches, 0u);
+  EXPECT_NE(res.str().find("mismatch"), std::string::npos);
+  const VerifyResult tr = verify_traced_consistency(broken, trace);
+  EXPECT_FALSE(tr.ok());
+}
+
+TEST(Verify, PassesOnCorrectClassifier) {
+  const RuleSet rs = generate_paper_ruleset("FW01");
+  TraceGenConfig cfg;
+  cfg.count = 500;
+  cfg.seed = 2;
+  const Trace trace = generate_trace(rs, cfg);
+  const LinearSearchClassifier cls(rs);
+  EXPECT_TRUE(verify_against_linear(cls, rs, trace).ok());
+  EXPECT_TRUE(verify_traced_consistency(cls, trace).ok());
+  EXPECT_NE(verify_against_linear(cls, rs, trace).str().find("no mismatches"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace pclass

@@ -1,0 +1,231 @@
+// Unit tests for src/common: bit operations, RNG, stats, bitset, tables.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitops.hpp"
+#include "common/bitset.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/texttable.hpp"
+
+namespace pclass {
+namespace {
+
+TEST(Bitops, Popcount32MatchesNaive) {
+  for (u32 x : {0u, 1u, 2u, 0xffu, 0xffffffffu, 0x80000001u, 0x12345678u}) {
+    u32 naive = 0;
+    for (u32 b = 0; b < 32; ++b) naive += (x >> b) & 1;
+    EXPECT_EQ(popcount32(x), naive) << x;
+  }
+}
+
+TEST(Bitops, RankInclusiveCountsLowBits) {
+  // bits 0,1 set; rank over [0..m].
+  const u32 bits = 0b0011;
+  EXPECT_EQ(rank_inclusive(bits, 0), 1u);
+  EXPECT_EQ(rank_inclusive(bits, 1), 2u);
+  EXPECT_EQ(rank_inclusive(bits, 2), 2u);
+  EXPECT_EQ(rank_inclusive(bits, 31), 2u);
+}
+
+TEST(Bitops, RankInclusiveMatchesPaperExample) {
+  // Paper Fig. 3: HABS "1100" = bits 0 and 1 set; sub-space 9 with v=2,
+  // u=2: m = 9>>2 = 2, rank(0..2) = 2, i = 1, index = (1<<2) + (9&3) = 5.
+  const u32 habs = 0b0011;
+  const u32 n = 9;
+  const u32 u = 2;
+  const u32 m = n >> u;
+  const u32 i = rank_inclusive(habs, m) - 1;
+  EXPECT_EQ((i << u) + (n & 3u), 5u);
+}
+
+TEST(Bitops, ExtractBits) {
+  EXPECT_EQ(extract_bits(0xABCD, 8, 8), 0xABu);
+  EXPECT_EQ(extract_bits(0xABCD, 0, 4), 0xDu);
+  EXPECT_EQ(extract_bits(~u64{0}, 0, 64), ~u64{0});
+}
+
+TEST(Bitops, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(256));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_EQ(log2_pow2(256), 8u);
+  EXPECT_EQ(ceil_pow2(5), 8u);
+  EXPECT_EQ(ceil_div(7, 2), 4u);
+}
+
+TEST(Bitops, RiscPopcountCostMatchesPaperScale) {
+  // The paper cites >100 RISC instructions for a 32-bit operand.
+  EXPECT_GT(risc_popcount_cycles(0xffffffffu), 100u);
+  EXPECT_GT(risc_popcount_cycles(0x80000000u), 100u);
+  EXPECT_LT(risc_popcount_cycles(1u), 10u);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool differ = false;
+  for (int i = 0; i < 10; ++i) differ |= (a.next_u64() != b.next_u64());
+  EXPECT_TRUE(differ);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+  EXPECT_THROW(r.next_below(0), std::invalid_argument);
+}
+
+TEST(Rng, NextInInclusive) {
+  Rng r(9);
+  std::set<u64> seen;
+  for (int i = 0; i < 500; ++i) {
+    const u64 v = r.next_in(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all values hit
+  EXPECT_EQ(r.next_in(3, 3), 3u);
+  EXPECT_THROW(r.next_in(4, 3), std::invalid_argument);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(13);
+  EXPECT_FALSE(r.chance(0.0));
+  EXPECT_TRUE(r.chance(1.0));
+}
+
+TEST(Rng, PickWeightedRespectsZeroWeight) {
+  Rng r(15);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(r.pick_weighted({0.0, 1.0, 0.0}), 1u);
+  }
+  EXPECT_THROW(r.pick_weighted({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Rng, SplitIndependent) {
+  Rng a(21);
+  Rng b = a.split();
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(RunningStats, Moments) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.total(), 10.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, BucketsAndClamp) {
+  Histogram h(4);
+  h.add(0);
+  h.add(1);
+  h.add(3);
+  h.add(99);  // clamped into last bucket
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(3), 2u);
+}
+
+TEST(Histogram, Percentile) {
+  Histogram h(10);
+  for (u64 v = 0; v < 10; ++v) h.add(v);
+  EXPECT_EQ(h.percentile(0.5), 4u);
+  EXPECT_EQ(h.percentile(1.0), 9u);
+  EXPECT_EQ(h.percentile(0.0), 0u);
+}
+
+TEST(DynBitset, SetTestCount) {
+  DynBitset b(130);
+  EXPECT_FALSE(b.any());
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 3u);
+  EXPECT_TRUE(b.any());
+}
+
+TEST(DynBitset, FindFirst) {
+  DynBitset b(200);
+  EXPECT_EQ(b.find_first(), DynBitset::npos);
+  b.set(77);
+  b.set(150);
+  EXPECT_EQ(b.find_first(), 77u);
+}
+
+TEST(DynBitset, AndWith) {
+  DynBitset a(100), b(100);
+  a.set(3);
+  a.set(70);
+  b.set(70);
+  b.set(99);
+  const DynBitset c = a.and_with(b);
+  EXPECT_EQ(c.count(), 1u);
+  EXPECT_TRUE(c.test(70));
+  DynBitset other(50);
+  EXPECT_THROW(a.and_with(other), InternalError);
+}
+
+TEST(DynBitset, EqualityAndHash) {
+  DynBitset a(64), b(64);
+  a.set(5);
+  b.set(5);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  b.set(6);
+  EXPECT_NE(a, b);
+}
+
+TEST(TextTable, AlignsAndRejectsBadRows) {
+  TextTable t({"name", "value"});
+  t.add("alpha", 12);
+  t.add("b", 3.5);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("3.500"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, Formatters) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.0 KB");
+  EXPECT_EQ(format_bytes(11.5 * 1024 * 1024), "11.5 MB");
+  EXPECT_EQ(format_mbps(7261.4), "7,261");
+  EXPECT_EQ(format_mbps(963.0), "963");
+  EXPECT_EQ(format_fixed(1.23456, 2), "1.23");
+}
+
+}  // namespace
+}  // namespace pclass

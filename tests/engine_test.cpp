@@ -1,0 +1,111 @@
+// Tests for the host-parallel engine: thread pool, reorder buffer,
+// parallel classification agreement.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/error.hpp"
+#include "engine/parallel.hpp"
+#include "engine/reorder.hpp"
+#include "engine/thread_pool.hpp"
+#include "packet/tracegen.hpp"
+#include "rules/generator.hpp"
+#include "workload/workload.hpp"
+
+namespace pclass {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+  EXPECT_EQ(pool.thread_count(), 4u);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), ConfigError);
+}
+
+TEST(ReorderBuffer, InOrderPassThrough) {
+  ReorderBuffer<int> rb;
+  EXPECT_EQ(rb.offer(0, 10), std::vector<int>{10});
+  EXPECT_EQ(rb.offer(1, 11), std::vector<int>{11});
+  EXPECT_EQ(rb.expected(), 2u);
+  EXPECT_EQ(rb.pending(), 0u);
+}
+
+TEST(ReorderBuffer, RestoresOrder) {
+  ReorderBuffer<int> rb;
+  EXPECT_TRUE(rb.offer(2, 12).empty());
+  EXPECT_TRUE(rb.offer(1, 11).empty());
+  EXPECT_EQ(rb.pending(), 2u);
+  const std::vector<int> out = rb.offer(0, 10);
+  EXPECT_EQ(out, (std::vector<int>{10, 11, 12}));
+  EXPECT_EQ(rb.expected(), 3u);
+}
+
+TEST(ReorderBuffer, InterleavedBursts) {
+  ReorderBuffer<u64> rb;
+  std::vector<u64> released;
+  const u64 order[] = {3, 0, 1, 5, 2, 4, 7, 6};
+  for (u64 seq : order) {
+    for (u64 v : rb.offer(seq, seq * 100)) released.push_back(v);
+  }
+  ASSERT_EQ(released.size(), 8u);
+  for (u64 i = 0; i < 8; ++i) EXPECT_EQ(released[i], i * 100);
+}
+
+TEST(Parallel, MatchesSequential) {
+  workload::Workbench wb(3000);
+  const RuleSet& rs = wb.ruleset("FW02");
+  const Trace& tr = wb.trace("FW02");
+  const ClassifierPtr cls =
+      workload::make_classifier(workload::Algo::kExpCuts, rs);
+  const ParallelRunResult seq = classify_parallel(*cls, tr, 1);
+  const ParallelRunResult par = classify_parallel(*cls, tr, 4, 128);
+  ASSERT_EQ(seq.results.size(), tr.size());
+  ASSERT_EQ(par.results.size(), tr.size());
+  EXPECT_EQ(seq.results, par.results);
+  EXPECT_EQ(par.threads, 4u);
+  EXPECT_GT(par.packets_per_second(tr.size()), 0.0);
+}
+
+TEST(Parallel, RejectsZeroBatch) {
+  workload::Workbench wb(100);
+  const ClassifierPtr cls = workload::make_classifier(
+      workload::Algo::kLinear, wb.ruleset("FW01"));
+  EXPECT_THROW(classify_parallel(*cls, wb.trace("FW01"), 2, 0), ConfigError);
+}
+
+TEST(Parallel, EmptyTrace) {
+  workload::Workbench wb(100);
+  const ClassifierPtr cls = workload::make_classifier(
+      workload::Algo::kLinear, wb.ruleset("FW01"));
+  const Trace empty;
+  const ParallelRunResult res = classify_parallel(*cls, empty, 3);
+  EXPECT_TRUE(res.results.empty());
+  EXPECT_EQ(res.packets_per_second(0), 0.0);
+}
+
+}  // namespace
+}  // namespace pclass

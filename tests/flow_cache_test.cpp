@@ -1,0 +1,126 @@
+// Flow cache and flow-trace generator tests.
+#include <gtest/gtest.h>
+
+#include "classify/linear.hpp"
+#include "classify/verify.hpp"
+#include "common/error.hpp"
+#include "engine/flow_cache.hpp"
+#include "packet/flowgen.hpp"
+#include "rules/generator.hpp"
+#include "workload/workload.hpp"
+
+namespace pclass {
+namespace {
+
+PacketHeader pkt(u32 sip, u16 dport) {
+  return PacketHeader{sip, 0x0A000001, 1000, dport, kProtoTcp};
+}
+
+TEST(FlowCache, HitMissAndLru) {
+  FlowCache cache(2);
+  EXPECT_FALSE(cache.get(pkt(1, 80)).has_value());
+  cache.put(pkt(1, 80), 10);
+  cache.put(pkt(2, 80), 20);
+  EXPECT_EQ(cache.get(pkt(1, 80)).value(), 10u);  // 1 is now most recent
+  cache.put(pkt(3, 80), 30);                      // evicts 2 (LRU)
+  EXPECT_FALSE(cache.get(pkt(2, 80)).has_value());
+  EXPECT_EQ(cache.get(pkt(1, 80)).value(), 10u);
+  EXPECT_EQ(cache.get(pkt(3, 80)).value(), 30u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(FlowCache, PutRefreshesExisting) {
+  FlowCache cache(4);
+  cache.put(pkt(1, 80), 10);
+  cache.put(pkt(1, 80), 11);  // overwrite, no growth
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.get(pkt(1, 80)).value(), 11u);
+}
+
+TEST(FlowCache, DistinguishesAllFields) {
+  FlowCache cache(16);
+  cache.put(PacketHeader{1, 2, 3, 4, 5}, 1);
+  EXPECT_FALSE(cache.get(PacketHeader{1, 2, 3, 4, 6}).has_value());
+  EXPECT_FALSE(cache.get(PacketHeader{1, 2, 3, 5, 5}).has_value());
+  EXPECT_FALSE(cache.get(PacketHeader{1, 2, 4, 4, 5}).has_value());
+  EXPECT_FALSE(cache.get(PacketHeader{1, 3, 3, 4, 5}).has_value());
+  EXPECT_FALSE(cache.get(PacketHeader{2, 2, 3, 4, 5}).has_value());
+  EXPECT_TRUE(cache.get(PacketHeader{1, 2, 3, 4, 5}).has_value());
+}
+
+TEST(FlowCache, RejectsZeroCapacity) {
+  EXPECT_THROW(FlowCache(0), ConfigError);
+}
+
+TEST(CachedClassifier, AgreesWithInner) {
+  const RuleSet rs = generate_paper_ruleset("FW02");
+  const ClassifierPtr inner =
+      workload::make_classifier(workload::Algo::kExpCuts, rs);
+  const CachedClassifier cached(*inner, 512);
+  FlowTraceConfig fcfg;
+  fcfg.flows = 300;
+  fcfg.packets = 5000;
+  fcfg.seed = 4;
+  const Trace trace = generate_flow_trace(rs, fcfg);
+  const VerifyResult res = verify_against_linear(cached, rs, trace);
+  EXPECT_TRUE(res.ok()) << res.str();
+  EXPECT_GT(cached.cache_stats().hit_rate(), 0.5);  // flows repeat
+}
+
+TEST(CachedClassifier, TracedHitIsOneBucketProbe) {
+  const RuleSet rs = generate_paper_ruleset("FW01");
+  const ClassifierPtr inner =
+      workload::make_classifier(workload::Algo::kExpCuts, rs);
+  const CachedClassifier cached(*inner, 64);
+  const PacketHeader h = pkt(42, 80);
+  LookupTrace miss, hit;
+  cached.classify_traced(h, miss);
+  cached.classify_traced(h, hit);
+  EXPECT_EQ(hit.access_count(), 1u);
+  EXPECT_GT(miss.access_count(), 2u);  // probe + classify + write-back
+}
+
+TEST(FlowGen, DeterministicAndFlowBounded) {
+  const RuleSet rs = generate_paper_ruleset("FW01");
+  FlowTraceConfig cfg;
+  cfg.flows = 50;
+  cfg.packets = 2000;
+  cfg.seed = 9;
+  const Trace a = generate_flow_trace(rs, cfg);
+  const Trace b = generate_flow_trace(rs, cfg);
+  ASSERT_EQ(a.size(), 2000u);
+  std::set<std::string> distinct;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+    distinct.insert(a[i].str());
+  }
+  EXPECT_LE(distinct.size(), 50u);
+  EXPECT_GE(distinct.size(), 20u);  // most flows appear
+}
+
+TEST(FlowGen, ZipfSkewsPopularity) {
+  const RuleSet rs = generate_paper_ruleset("FW01");
+  FlowTraceConfig skew;
+  skew.flows = 200;
+  skew.packets = 8000;
+  skew.zipf_s = 1.3;
+  skew.seed = 10;
+  const Trace t = generate_flow_trace(rs, skew);
+  std::map<std::string, u64> counts;
+  for (std::size_t i = 0; i < t.size(); ++i) ++counts[t[i].str()];
+  u64 max_count = 0;
+  for (const auto& [k, c] : counts) max_count = std::max(max_count, c);
+  // The heaviest flow must dominate well beyond the uniform share.
+  EXPECT_GT(max_count, t.size() / 50);
+}
+
+TEST(FlowGen, RejectsZeroFlows) {
+  const RuleSet rs = generate_paper_ruleset("FW01");
+  FlowTraceConfig cfg;
+  cfg.flows = 0;
+  EXPECT_THROW(generate_flow_trace(rs, cfg), ConfigError);
+}
+
+}  // namespace
+}  // namespace pclass

@@ -1,0 +1,73 @@
+// Randomized differential testing: every algorithm vs linear search on
+// randomly configured rule sets (sizes, profiles, wildcard mixes, with
+// and without default rules) and mixed traffic. This is the broad-sweep
+// safety net behind the per-algorithm suites.
+#include <gtest/gtest.h>
+
+#include "classify/verify.hpp"
+#include "packet/tracegen.hpp"
+#include "rules/generator.hpp"
+#include "workload/workload.hpp"
+
+namespace pclass {
+namespace {
+
+struct FuzzCase {
+  u64 seed;
+  RuleProfile profile;
+  std::size_t rules;
+  bool with_default;
+};
+
+class FuzzDifferential : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(FuzzDifferential, AllAlgorithmsAgreeWithLinear) {
+  const FuzzCase p = GetParam();
+  GeneratorConfig gen;
+  gen.profile = p.profile;
+  gen.rule_count = p.rules;
+  gen.seed = p.seed;
+  gen.with_default = p.with_default;
+  gen.site_blocks = 4 + p.seed % 20;
+  const RuleSet rules = generate_ruleset(gen);
+
+  TraceGenConfig tcfg;
+  tcfg.count = 1200;
+  tcfg.seed = p.seed ^ 0xF022;
+  tcfg.rule_directed_fraction = 0.7;  // mix in uniform-random headers
+  const Trace trace = generate_trace(rules, tcfg);
+
+  for (workload::Algo algo :
+       {workload::Algo::kExpCuts, workload::Algo::kHiCuts,
+        workload::Algo::kHyperCuts, workload::Algo::kHsm,
+        workload::Algo::kRfc, workload::Algo::kBv, workload::Algo::kTss}) {
+    const ClassifierPtr cls = workload::make_classifier(algo, rules);
+    const VerifyResult res = verify_against_linear(*cls, rules, trace);
+    EXPECT_TRUE(res.ok()) << cls->name() << " seed=" << p.seed << ": "
+                          << res.str();
+  }
+}
+
+std::vector<FuzzCase> fuzz_cases() {
+  std::vector<FuzzCase> cases;
+  for (u64 seed : {11ull, 22ull, 33ull, 44ull}) {
+    cases.push_back({seed, RuleProfile::kFirewall, 40 + seed * 3, true});
+    cases.push_back({seed * 7, RuleProfile::kCoreRouter, 150, seed % 2 == 0});
+  }
+  cases.push_back({5150, RuleProfile::kFirewall, 500, true});
+  cases.push_back({777, RuleProfile::kCoreRouter, 3, false});  // tiny
+  cases.push_back({888, RuleProfile::kFirewall, 1, false});    // single rule
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomConfigs, FuzzDifferential, ::testing::ValuesIn(fuzz_cases()),
+    [](const ::testing::TestParamInfo<FuzzCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_" +
+             (info.param.profile == RuleProfile::kFirewall ? "fw" : "cr") +
+             std::to_string(info.param.rules) +
+             (info.param.with_default ? "_def" : "_nodef");
+    });
+
+}  // namespace
+}  // namespace pclass

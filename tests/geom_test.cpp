@@ -1,0 +1,174 @@
+// Unit tests for src/geom: intervals, boxes, prefix conversions.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "geom/box.hpp"
+#include "geom/interval.hpp"
+
+namespace pclass {
+namespace {
+
+TEST(Interval, FullAndPoint) {
+  const Interval f32 = Interval::full(32);
+  EXPECT_EQ(f32.lo, 0u);
+  EXPECT_EQ(f32.hi, 0xffffffffu);
+  const Interval p = Interval::point(7);
+  EXPECT_EQ(p.lo, 7u);
+  EXPECT_EQ(p.hi, 7u);
+  EXPECT_EQ(p.width(), 1u);
+}
+
+TEST(Interval, FromPrefix) {
+  // 192.168.0.0/16
+  const Interval iv = Interval::from_prefix(0xC0A80000, 16, 32);
+  EXPECT_EQ(iv.lo, 0xC0A80000u);
+  EXPECT_EQ(iv.hi, 0xC0A8FFFFu);
+  EXPECT_EQ(iv.width(), 0x10000u);
+  EXPECT_EQ(Interval::from_prefix(0, 0, 32), Interval::full(32));
+  // /32 is a point.
+  EXPECT_EQ(Interval::from_prefix(5, 32, 32), Interval::point(5));
+  // Host bits set -> error.
+  EXPECT_THROW(Interval::from_prefix(0xC0A80001, 16, 32), InternalError);
+  EXPECT_THROW(Interval::from_prefix(0, 33, 32), InternalError);
+}
+
+TEST(Interval, ContainsOverlaps) {
+  const Interval a{10, 20};
+  EXPECT_TRUE(a.contains(10));
+  EXPECT_TRUE(a.contains(20));
+  EXPECT_FALSE(a.contains(21));
+  EXPECT_TRUE(a.contains(Interval{12, 18}));
+  EXPECT_FALSE(a.contains(Interval{12, 21}));
+  EXPECT_TRUE(a.overlaps(Interval{20, 30}));
+  EXPECT_TRUE(a.overlaps(Interval{0, 10}));
+  EXPECT_FALSE(a.overlaps(Interval{21, 30}));
+  EXPECT_EQ(a.intersect(Interval{15, 30}), (Interval{15, 20}));
+}
+
+TEST(Interval, IsPrefixAndLength) {
+  EXPECT_TRUE(Interval::from_prefix(0xC0A80000, 16, 32).is_prefix(32));
+  EXPECT_EQ(Interval::from_prefix(0xC0A80000, 16, 32).prefix_len(32), 16u);
+  EXPECT_TRUE(Interval::full(32).is_prefix(32));
+  EXPECT_EQ(Interval::full(32).prefix_len(32), 0u);
+  EXPECT_TRUE(Interval::point(3).is_prefix(16));
+  EXPECT_EQ(Interval::point(3).prefix_len(16), 16u);
+  // [1,2]: power-of-two width but misaligned.
+  EXPECT_FALSE((Interval{1, 2}).is_prefix(16));
+  // [0,2]: not a power-of-two width.
+  EXPECT_FALSE((Interval{0, 2}).is_prefix(16));
+}
+
+TEST(Interval, SplitEqual) {
+  const auto parts = split_equal(Interval{0, 255}, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], (Interval{0, 63}));
+  EXPECT_EQ(parts[3], (Interval{192, 255}));
+  EXPECT_THROW(split_equal(Interval{0, 9}, 4), InternalError);
+  EXPECT_EQ(split_equal(Interval{5, 9}, 1).size(), 1u);
+}
+
+TEST(Interval, SegmentOf) {
+  const std::vector<u64> edges = {9, 19, 0xffffffff};
+  EXPECT_EQ(segment_of(edges, 0), 0u);
+  EXPECT_EQ(segment_of(edges, 9), 0u);
+  EXPECT_EQ(segment_of(edges, 10), 1u);
+  EXPECT_EQ(segment_of(edges, 19), 1u);
+  EXPECT_EQ(segment_of(edges, 20), 2u);
+  EXPECT_EQ(segment_of(edges, 0xffffffff), 2u);
+}
+
+TEST(Box, FullCoversEverything) {
+  const Box b = Box::full();
+  EXPECT_TRUE(b.contains_point({0, 0, 0, 0, 0}));
+  EXPECT_TRUE(b.contains_point({0xffffffff, 0xffffffff, 0xffff, 0xffff, 0xff}));
+  EXPECT_DOUBLE_EQ(b.log2_volume(), 104.0);
+}
+
+TEST(Box, OverlapContainIntersect) {
+  Box a = Box::full();
+  a[Dim::kSrcIp] = Interval{0, 99};
+  Box b = Box::full();
+  b[Dim::kSrcIp] = Interval{50, 150};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.contains(b));
+  const Box c = a.intersect(b);
+  EXPECT_EQ(c[Dim::kSrcIp], (Interval{50, 99}));
+  Box d = Box::full();
+  d[Dim::kSrcIp] = Interval{200, 300};
+  EXPECT_FALSE(a.overlaps(d));
+}
+
+TEST(Box, ContainsPointPerDim) {
+  Box b = Box::full();
+  b[Dim::kDstPort] = Interval{80, 80};
+  EXPECT_TRUE(b.contains_point({1, 2, 3, 80, 6}));
+  EXPECT_FALSE(b.contains_point({1, 2, 3, 81, 6}));
+}
+
+TEST(RangeToPrefixes, ExactRangesAndPoints) {
+  // Full domain = one /0.
+  auto ps = range_to_prefixes(Interval::full(16), 16);
+  ASSERT_EQ(ps.size(), 1u);
+  EXPECT_EQ(ps[0], (Prefix{0, 0}));
+  // A point = one /16.
+  ps = range_to_prefixes(Interval::point(80), 16);
+  ASSERT_EQ(ps.size(), 1u);
+  EXPECT_EQ(ps[0], (Prefix{80, 16}));
+  // The classic ephemeral range [1024, 65535] = 6 prefixes.
+  ps = range_to_prefixes(Interval{1024, 65535}, 16);
+  EXPECT_EQ(ps.size(), 6u);
+}
+
+TEST(RangeToPrefixes, CoverageIsExactAndDisjoint) {
+  // Property: prefixes partition the interval exactly.
+  const Interval cases[] = {{0, 0},     {1, 2},      {1000, 3000},
+                            {0, 65535}, {5, 5},      {32768, 65535},
+                            {1, 65534}, {12345, 12346}, {255, 256}};
+  for (const Interval& iv : cases) {
+    const auto ps = range_to_prefixes(iv, 16);
+    EXPECT_LE(ps.size(), 30u) << iv.str();  // 2*16 - 2 bound
+    u64 covered = 0;
+    for (const Prefix& p : ps) {
+      const Interval piv = p.interval(16);
+      EXPECT_TRUE(iv.contains(piv)) << iv.str() << " vs " << piv.str();
+      covered += piv.width();
+      for (const Prefix& q : ps) {
+        if (&p != &q) {
+          EXPECT_FALSE(piv.overlaps(q.interval(16)))
+              << piv.str() << " overlaps " << q.interval(16).str();
+        }
+      }
+    }
+    EXPECT_EQ(covered, iv.width()) << iv.str();
+  }
+}
+
+TEST(RangeToPrefixes, ExhaustiveSmallDomain) {
+  // Brute-force check over every interval of an 6-bit domain.
+  for (u64 lo = 0; lo < 64; ++lo) {
+    for (u64 hi = lo; hi < 64; ++hi) {
+      const auto ps = range_to_prefixes(Interval{lo, hi}, 6);
+      std::array<int, 64> hitcount{};
+      for (const Prefix& p : ps) {
+        const Interval piv = p.interval(6);
+        for (u64 v = piv.lo; v <= piv.hi; ++v) ++hitcount[v];
+      }
+      for (u64 v = 0; v < 64; ++v) {
+        EXPECT_EQ(hitcount[v], (v >= lo && v <= hi) ? 1 : 0)
+            << "[" << lo << "," << hi << "] at " << v;
+      }
+      EXPECT_LE(ps.size(), 10u);  // 2*6 - 2
+    }
+  }
+}
+
+TEST(DimHelpers, BitsAndMax) {
+  EXPECT_EQ(dim_bits(Dim::kSrcIp), 32u);
+  EXPECT_EQ(dim_bits(Dim::kProto), 8u);
+  EXPECT_EQ(dim_max(Dim::kSrcPort), 0xffffu);
+  EXPECT_EQ(dim_max(Dim::kProto), 0xffu);
+  EXPECT_STREQ(dim_name(Dim::kDstIp), "dip");
+}
+
+}  // namespace
+}  // namespace pclass

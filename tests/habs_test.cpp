@@ -1,0 +1,129 @@
+// Unit + property tests for the HABS/CPA codec (paper Sec. 4.2.2, Fig. 3).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "expcuts/habs.hpp"
+
+namespace pclass {
+namespace expcuts {
+namespace {
+
+TEST(Habs, PaperFigure3Example) {
+  // Fig. 3: 16 pointers in 4 sub-arrays of 4; sub-spaces 0..3 map to SS0,
+  // 4..15 map to SS1. HABS = bits 0,1 set ("1100" in the paper's MSB-left
+  // drawing); sub-space 9 resolves through CPA index 5.
+  std::vector<u32> ptrs(16);
+  for (std::size_t i = 0; i < 4; ++i) ptrs[i] = 100;   // SS0
+  for (std::size_t i = 4; i < 16; ++i) ptrs[i] = 200;  // SS1
+  const HabsEncoding enc = habs_encode(ptrs, 4, 2);
+  EXPECT_EQ(enc.habs, 0b0011u);
+  EXPECT_EQ(enc.cpa.size(), 8u);  // two 4-pointer sub-arrays
+  EXPECT_EQ(enc.lookup(9), 200u);
+  EXPECT_EQ(enc.lookup(0), 100u);
+  EXPECT_EQ(enc.lookup(3), 100u);
+  EXPECT_EQ(enc.lookup(4), 200u);
+  EXPECT_EQ(enc.lookup(15), 200u);
+}
+
+TEST(Habs, UniformArrayCompressesToOneSubArray) {
+  std::vector<u32> ptrs(256, 42);
+  const HabsEncoding enc = habs_encode(ptrs, 8, 4);
+  EXPECT_EQ(enc.habs, 1u);  // only bit 0
+  EXPECT_EQ(enc.cpa.size(), 16u);
+  EXPECT_EQ(enc.set_bits(), 1u);
+  for (u32 n = 0; n < 256; ++n) EXPECT_EQ(enc.lookup(n), 42u);
+}
+
+TEST(Habs, WorstCaseKeepsAllSubArrays) {
+  std::vector<u32> ptrs(256);
+  for (u32 i = 0; i < 256; ++i) ptrs[i] = i;  // all distinct
+  const HabsEncoding enc = habs_encode(ptrs, 8, 4);
+  EXPECT_EQ(enc.habs, 0xffffu);
+  EXPECT_EQ(enc.cpa.size(), 256u);
+}
+
+TEST(Habs, VEqualsWDegeneratesToRunLengthBits) {
+  // v == w: one pointer per sub-array; HABS bit per run boundary.
+  std::vector<u32> ptrs = {7, 7, 8, 8};
+  const HabsEncoding enc = habs_encode(ptrs, 2, 2);
+  EXPECT_EQ(enc.u, 0u);
+  EXPECT_EQ(enc.habs, 0b0101u);
+  EXPECT_EQ(enc.cpa.size(), 2u);
+  for (u32 n = 0; n < 4; ++n) EXPECT_EQ(enc.lookup(n), ptrs[n]);
+}
+
+TEST(Habs, VZeroKeepsWholeArray) {
+  std::vector<u32> ptrs = {1, 2, 3, 4};
+  const HabsEncoding enc = habs_encode(ptrs, 2, 0);
+  EXPECT_EQ(enc.habs, 1u);
+  EXPECT_EQ(enc.cpa.size(), 4u);
+  for (u32 n = 0; n < 4; ++n) EXPECT_EQ(enc.lookup(n), ptrs[n]);
+}
+
+TEST(Habs, RejectsBadParameters) {
+  std::vector<u32> ptrs(256, 0);
+  EXPECT_THROW(habs_encode(ptrs, 8, 9), InternalError);   // v > w
+  EXPECT_THROW(habs_encode(ptrs, 4, 4), InternalError);   // wrong array size
+  std::vector<u32> big(1u << 6, 0);
+  EXPECT_THROW(habs_encode(big, 6, 6), InternalError);    // HABS > 32 bits
+}
+
+struct HabsParam {
+  u32 w;
+  u32 v;
+  u32 runs;  ///< Approximate distinct-run count in the random array.
+};
+
+class HabsProperty : public ::testing::TestWithParam<HabsParam> {};
+
+/// Property: decode(n) equals the original array for every n, for random
+/// run-structured pointer arrays across (w, v) combinations.
+TEST_P(HabsProperty, LosslessRoundTrip) {
+  const HabsParam p = GetParam();
+  Rng rng(p.w * 1000 + p.v * 100 + p.runs);
+  for (int iter = 0; iter < 25; ++iter) {
+    std::vector<u32> ptrs(std::size_t{1} << p.w);
+    u32 value = static_cast<u32>(rng.next_u64());
+    for (std::size_t i = 0; i < ptrs.size(); ++i) {
+      if (rng.chance(static_cast<double>(p.runs) / ptrs.size())) {
+        value = static_cast<u32>(rng.next_u64());
+      }
+      ptrs[i] = value;
+    }
+    const HabsEncoding enc = habs_encode(ptrs, p.w, p.v);
+    EXPECT_EQ(habs_decode_all(enc, p.w), ptrs)
+        << "w=" << p.w << " v=" << p.v << " iter=" << iter;
+    EXPECT_LE(enc.cpa.size(), ptrs.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, HabsProperty,
+    ::testing::Values(HabsParam{8, 4, 2}, HabsParam{8, 4, 10},
+                      HabsParam{8, 4, 64}, HabsParam{8, 4, 256},
+                      HabsParam{8, 2, 10}, HabsParam{8, 0, 5},
+                      HabsParam{4, 4, 4}, HabsParam{4, 2, 6},
+                      HabsParam{2, 2, 2}, HabsParam{2, 1, 3},
+                      HabsParam{1, 1, 2}, HabsParam{5, 4, 12}),
+    [](const ::testing::TestParamInfo<HabsParam>& info) {
+      return "w" + std::to_string(info.param.w) + "v" +
+             std::to_string(info.param.v) + "r" +
+             std::to_string(info.param.runs);
+    });
+
+/// Property: compression never loses information even on adversarial
+/// alternating patterns (worst case for run detection).
+TEST(Habs, AlternatingPattern) {
+  std::vector<u32> ptrs(256);
+  for (u32 i = 0; i < 256; ++i) ptrs[i] = i % 2;
+  const HabsEncoding enc = habs_encode(ptrs, 8, 4);
+  EXPECT_EQ(habs_decode_all(enc, 8), ptrs);
+  // Every 16-pointer sub-array is identical "0101..", so only one is kept.
+  EXPECT_EQ(enc.set_bits(), 1u);
+  EXPECT_EQ(enc.cpa.size(), 16u);
+}
+
+}  // namespace
+}  // namespace expcuts
+}  // namespace pclass

@@ -1,0 +1,141 @@
+// HSM correctness and structure tests.
+#include <gtest/gtest.h>
+
+#include "classify/linear.hpp"
+#include "common/error.hpp"
+#include "classify/verify.hpp"
+#include "hsm/hsm.hpp"
+#include "packet/tracegen.hpp"
+#include "rules/generator.hpp"
+#include "rules/parser.hpp"
+
+namespace pclass {
+namespace hsm {
+namespace {
+
+Trace make_trace(const RuleSet& rules, std::size_t n, u64 seed) {
+  TraceGenConfig cfg;
+  cfg.count = n;
+  cfg.seed = seed;
+  return generate_trace(rules, cfg);
+}
+
+TEST(Segmentation, ElementarySegments) {
+  RuleSet rs;
+  rs.push_back(Rule::make(0, 0, 0, 0, 0, 65535, 10, 20, kProtoTcp));
+  rs.push_back(Rule::make(0, 0, 0, 0, 0, 65535, 15, 30, kProtoTcp));
+  const DimSegmentation seg = segment_dimension(rs, Dim::kDstPort);
+  // Edges: 9, 14, 20, 30, 65535 -> 5 segments.
+  ASSERT_EQ(seg.segment_count(), 5u);
+  EXPECT_EQ(seg.right_edges.back(), 65535u);
+  // Segment classes: {} [0,9], {0} [10,14], {0,1} [15,20], {1} [21,30],
+  // {} [31,65535] — the two empty ones share a class.
+  EXPECT_EQ(seg.class_count(), 4u);
+  EXPECT_EQ(seg.lookup(0), seg.lookup(40000));
+  EXPECT_NE(seg.lookup(12), seg.lookup(17));
+  EXPECT_EQ(seg.lookup(15), seg.lookup(20));
+}
+
+TEST(Segmentation, ClassBitmapsMatchMembership) {
+  RuleSet rs;
+  rs.push_back(Rule::make(0, 0, 0, 0, 100, 200, 0, 65535, kProtoTcp));
+  rs.push_back(Rule::make(0, 0, 0, 0, 150, 250, 0, 65535, kProtoTcp));
+  const DimSegmentation seg = segment_dimension(rs, Dim::kSrcPort);
+  for (u64 v : {0u, 99u, 100u, 149u, 150u, 200u, 201u, 250u, 251u, 65535u}) {
+    const u32 cls = seg.lookup(v);
+    const DynBitset& bm = seg.class_bitmaps[cls];
+    EXPECT_EQ(bm.test(0), rs[0].field(Dim::kSrcPort).contains(v)) << v;
+    EXPECT_EQ(bm.test(1), rs[1].field(Dim::kSrcPort).contains(v)) << v;
+  }
+}
+
+TEST(Segmentation, SearchStepsIsCeilLog2) {
+  DimSegmentation seg;
+  seg.right_edges = {1, 2, 3, 4, 5, 6, 7, 255};
+  EXPECT_EQ(seg.search_steps(), 4u);  // ceil(log2(8)) + 1
+  seg.right_edges = {255};
+  EXPECT_EQ(seg.search_steps(), 1u);
+}
+
+TEST(Hsm, WildcardOnlySet) {
+  RuleSet rs;
+  rs.push_back(Rule::any());
+  const HsmClassifier cls(rs);
+  EXPECT_EQ(cls.classify(PacketHeader{1, 2, 3, 4, 5}), 0u);
+}
+
+TEST(Hsm, NoMatchWithoutDefault) {
+  const RuleSet rs = parse_classbench_string(
+      "@1.2.3.4/32 5.6.7.8/32 0 : 65535 80 : 80 0x06/0xFF\n");
+  const HsmClassifier cls(rs);
+  EXPECT_EQ(cls.classify(PacketHeader{0x01020304, 0x05060708, 9, 80, 6}), 0u);
+  EXPECT_EQ(cls.classify(PacketHeader{0x01020305, 0x05060708, 9, 80, 6}),
+            kNoMatch);
+}
+
+TEST(Hsm, TableCapThrows) {
+  const RuleSet rs = generate_paper_ruleset("CR02");
+  Config c;
+  c.max_table_entries = 100;
+  EXPECT_THROW((HsmClassifier(rs, c)), ConfigError);
+}
+
+TEST(Hsm, TracedProbesAreSingleWords) {
+  // Sec. 6.6: every HSM access is a single 32-bit long-word read.
+  const RuleSet rs = generate_paper_ruleset("FW02");
+  const HsmClassifier cls(rs);
+  const Trace trace = make_trace(rs, 300, 13);
+  LookupTrace lt;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    lt.clear();
+    cls.classify_traced(trace[i], lt);
+    EXPECT_EQ(lt.access_count(), cls.stats().worst_case_probes);
+    for (const MemAccess& a : lt.accesses) EXPECT_EQ(a.words, 1u);
+  }
+}
+
+TEST(Hsm, ProbeCountGrowsWithRuleCount) {
+  // The Θ(log N) degradation of Fig. 9.
+  const HsmClassifier small(generate_paper_ruleset("FW01"));
+  const HsmClassifier large(generate_paper_ruleset("CR04"));
+  EXPECT_LT(small.stats().worst_case_probes, large.stats().worst_case_probes);
+}
+
+TEST(Hsm, StatsCoherent) {
+  const RuleSet rs = generate_paper_ruleset("CR01");
+  const HsmClassifier cls(rs);
+  const HsmStats& st = cls.stats();
+  for (std::size_t d = 0; d < kNumDims; ++d) {
+    EXPECT_GT(st.segments[d], 0u);
+    EXPECT_LE(st.classes[d], st.segments[d]);
+  }
+  EXPECT_EQ(st.x1_entries,
+            static_cast<u64>(st.classes[0]) * st.classes[1]);
+  EXPECT_EQ(st.x2_entries,
+            static_cast<u64>(st.classes[2]) * st.classes[3]);
+  EXPECT_EQ(st.x3_entries, static_cast<u64>(st.x1_classes) * st.x2_classes);
+  EXPECT_EQ(st.final_entries,
+            static_cast<u64>(st.x3_classes) * st.classes[4]);
+  EXPECT_GT(st.memory_bytes, 0u);
+  EXPECT_EQ(cls.footprint().bytes, st.memory_bytes);
+}
+
+class HsmDifferential : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(HsmDifferential, AgreesWithLinear) {
+  const RuleSet rs = generate_paper_ruleset(GetParam());
+  const HsmClassifier cls(rs);
+  const Trace trace = make_trace(rs, 4000, 0x45);
+  const VerifyResult res = verify_against_linear(cls, rs, trace);
+  EXPECT_TRUE(res.ok()) << res.str();
+  const VerifyResult tr = verify_traced_consistency(cls, trace);
+  EXPECT_TRUE(tr.ok()) << tr.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRuleSets, HsmDifferential,
+                         ::testing::Values("FW01", "FW02", "FW03", "CR01",
+                                           "CR02", "CR03", "CR04"));
+
+}  // namespace
+}  // namespace hsm
+}  // namespace pclass

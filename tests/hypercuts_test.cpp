@@ -1,0 +1,149 @@
+// HyperCuts correctness and structure tests.
+#include <gtest/gtest.h>
+
+#include "classify/verify.hpp"
+#include "common/error.hpp"
+#include "hypercuts/hypercuts.hpp"
+#include "packet/tracegen.hpp"
+#include "rules/generator.hpp"
+#include "rules/parser.hpp"
+
+namespace pclass {
+namespace hypercuts {
+namespace {
+
+Trace make_trace(const RuleSet& rules, std::size_t n, u64 seed) {
+  TraceGenConfig cfg;
+  cfg.count = n;
+  cfg.seed = seed;
+  return generate_trace(rules, cfg);
+}
+
+TEST(HyperCuts, RejectsBadConfig) {
+  const RuleSet rs = generate_paper_ruleset("FW01");
+  Config c;
+  c.binth = 0;
+  EXPECT_THROW((HyperCutsClassifier(rs, c)), ConfigError);
+  c = Config{};
+  c.max_children = 3;
+  EXPECT_THROW((HyperCutsClassifier(rs, c)), ConfigError);
+  c = Config{};
+  c.max_cut_dims = 0;
+  EXPECT_THROW((HyperCutsClassifier(rs, c)), ConfigError);
+}
+
+TEST(HyperCuts, EmptyAndTrivialSets) {
+  RuleSet empty;
+  const HyperCutsClassifier cls(empty);
+  EXPECT_EQ(cls.classify(PacketHeader{1, 2, 3, 4, 5}), kNoMatch);
+  RuleSet one;
+  one.push_back(Rule::any());
+  const HyperCutsClassifier cls1(one);
+  EXPECT_EQ(cls1.classify(PacketHeader{1, 2, 3, 4, 5}), 0u);
+}
+
+TEST(HyperCuts, CutsMultipleDimensions) {
+  // A set discriminating on both IPs must produce at least one node
+  // cutting more than one dimension.
+  const RuleSet rs = generate_paper_ruleset("CR02");
+  const HyperCutsClassifier cls(rs);
+  bool multi = false;
+  for (std::size_t i = 0; i < cls.node_count() && !multi; ++i) {
+    multi = cls.node(i).cuts.size() > 1;
+  }
+  EXPECT_TRUE(multi);
+  EXPECT_GT(cls.stats().mean_cut_dims, 1.0);
+}
+
+TEST(HyperCuts, ShallowerThanHiCutsEquivalent) {
+  // The whole point of multi-dimensional cutting: fewer levels for the
+  // same binth (measured on the larger sets).
+  const RuleSet rs = generate_paper_ruleset("CR03");
+  const HyperCutsClassifier hyper(rs);
+  EXPECT_LT(hyper.stats().mean_depth, 20.0);
+  EXPECT_GT(hyper.stats().leaf_count, 0u);
+}
+
+TEST(HyperCuts, GridChildBoxesPartitionLookups) {
+  const RuleSet rs = parse_classbench_string(
+      "@128.0.0.0/1 0.0.0.0/0 0 : 65535 0 : 65535 0x06/0xFF\n"
+      "@0.0.0.0/1 128.0.0.0/1 0 : 65535 0 : 65535 0x06/0xFF\n"
+      "@0.0.0.0/0 0.0.0.0/0 0 : 65535 0 : 65535 0x00/0x00\n");
+  const HyperCutsClassifier cls(rs);
+  EXPECT_EQ(cls.classify(PacketHeader{0x80000000, 0, 1, 1, 6}), 0u);
+  EXPECT_EQ(cls.classify(PacketHeader{0x00000000, 0x80000000, 1, 1, 6}), 1u);
+  EXPECT_EQ(cls.classify(PacketHeader{0, 0, 1, 1, 17}), 2u);
+}
+
+TEST(HyperCuts, TracedAccessesAreHeaderPointerOrRule) {
+  const RuleSet rs = generate_paper_ruleset("FW02");
+  Config c;
+  c.worst_case_leaf_scan = true;
+  const HyperCutsClassifier cls(rs, c);
+  const Trace trace = make_trace(rs, 300, 7);
+  LookupTrace lt;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    lt.clear();
+    cls.classify_traced(trace[i], lt);
+    for (const MemAccess& a : lt.accesses) {
+      EXPECT_TRUE(a.words == 3 || a.words == 1 || a.words == 6)
+          << "unexpected width " << a.words;
+    }
+  }
+}
+
+TEST(HyperCuts, StatsCoherent) {
+  const RuleSet rs = generate_paper_ruleset("CR01");
+  const HyperCutsClassifier cls(rs);
+  const TreeStats& st = cls.stats();
+  EXPECT_EQ(st.node_count, cls.node_count());
+  EXPECT_LE(st.leaf_count, st.node_count);
+  EXPECT_LE(st.mean_depth, static_cast<double>(st.max_depth));
+  EXPECT_GT(st.memory_bytes, 0u);
+  EXPECT_EQ(cls.footprint().bytes, st.memory_bytes);
+}
+
+class HyperCutsDifferential : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(HyperCutsDifferential, AgreesWithLinear) {
+  const RuleSet rs = generate_paper_ruleset(GetParam());
+  Config c;
+  c.binth = 8;
+  c.worst_case_leaf_scan = true;
+  const HyperCutsClassifier cls(rs, c);
+  const Trace trace = make_trace(rs, 4000, 0x9C);
+  const VerifyResult res = verify_against_linear(cls, rs, trace);
+  EXPECT_TRUE(res.ok()) << res.str();
+  const VerifyResult tr = verify_traced_consistency(cls, trace);
+  EXPECT_TRUE(tr.ok()) << tr.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRuleSets, HyperCutsDifferential,
+                         ::testing::Values("FW01", "FW02", "FW03", "CR01",
+                                           "CR02", "CR03", "CR04"));
+
+class HyperCutsConfigSweep
+    : public ::testing::TestWithParam<std::pair<u32, u32>> {};
+
+TEST_P(HyperCutsConfigSweep, CorrectAcrossConfigs) {
+  const auto [binth, max_dims] = GetParam();
+  const RuleSet rs = generate_paper_ruleset("FW03");
+  Config c;
+  c.binth = binth;
+  c.max_cut_dims = max_dims;
+  const HyperCutsClassifier cls(rs, c);
+  const Trace trace = make_trace(rs, 1500, binth * 100 + max_dims);
+  const VerifyResult res = verify_against_linear(cls, rs, trace);
+  EXPECT_TRUE(res.ok()) << res.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HyperCutsConfigSweep,
+                         ::testing::Values(std::pair{4u, 1u},
+                                           std::pair{4u, 2u},
+                                           std::pair{8u, 2u},
+                                           std::pair{8u, 3u},
+                                           std::pair{16u, 5u}));
+
+}  // namespace
+}  // namespace hypercuts
+}  // namespace pclass

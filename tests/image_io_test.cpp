@@ -1,0 +1,106 @@
+// ExpCuts image serialization round-trips and corruption handling.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "classify/linear.hpp"
+#include "common/error.hpp"
+#include "expcuts/image_io.hpp"
+#include "packet/tracegen.hpp"
+#include "rules/generator.hpp"
+
+namespace pclass {
+namespace expcuts {
+namespace {
+
+TEST(ImageIo, RoundTripClassifiesIdentically) {
+  const RuleSet rs = generate_paper_ruleset("FW02");
+  const ExpCutsClassifier cls(rs);
+  std::stringstream buf;
+  save_image(buf, cls);
+  const LoadedImage loaded = load_image(buf);
+  EXPECT_EQ(loaded.image.word_count(), cls.flat().word_count());
+  EXPECT_EQ(loaded.config.stride_w, 8u);
+
+  TraceGenConfig tcfg;
+  tcfg.count = 3000;
+  tcfg.seed = 5;
+  const Trace trace = generate_trace(rs, tcfg);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_EQ(loaded.classify(trace[i]), cls.classify(trace[i]))
+        << trace[i].str();
+  }
+}
+
+TEST(ImageIo, RoundTripPreservesTraces) {
+  const RuleSet rs = generate_paper_ruleset("FW01");
+  const ExpCutsClassifier cls(rs);
+  std::stringstream buf;
+  save_image(buf, cls);
+  const LoadedImage loaded = load_image(buf);
+  const PacketHeader h{0x0A000001, 0x0B000002, 1000, 80, 6};
+  LookupTrace a, b;
+  cls.classify_traced(h, a);
+  loaded.classify_traced(h, b);
+  EXPECT_EQ(a.accesses, b.accesses);
+}
+
+TEST(ImageIo, NonDefaultConfigRoundTrips) {
+  const RuleSet rs = generate_paper_ruleset("FW01");
+  Config cfg;
+  cfg.stride_w = 4;
+  cfg.order = ChunkOrder::kSequential;
+  const ExpCutsClassifier cls(rs, cfg);
+  std::stringstream buf;
+  save_image(buf, cls);
+  const LoadedImage loaded = load_image(buf);
+  EXPECT_EQ(loaded.config.stride_w, 4u);
+  EXPECT_EQ(loaded.schedule.depth(), 26u);
+  TraceGenConfig tcfg;
+  tcfg.count = 1000;
+  tcfg.seed = 6;
+  const Trace trace = generate_trace(rs, tcfg);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_EQ(loaded.classify(trace[i]), cls.classify(trace[i]));
+  }
+}
+
+TEST(ImageIo, RejectsBadMagic) {
+  std::stringstream buf("not an image at all");
+  EXPECT_THROW(load_image(buf), ParseError);
+}
+
+TEST(ImageIo, RejectsTruncation) {
+  const RuleSet rs = generate_paper_ruleset("FW01");
+  const ExpCutsClassifier cls(rs);
+  std::stringstream buf;
+  save_image(buf, cls);
+  const std::string full = buf.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_image(cut), ParseError);
+}
+
+TEST(ImageIo, RejectsBitFlips) {
+  const RuleSet rs = generate_paper_ruleset("FW01");
+  const ExpCutsClassifier cls(rs);
+  std::stringstream buf;
+  save_image(buf, cls);
+  std::string bytes = buf.str();
+  bytes[bytes.size() / 2] ^= 0x40;  // corrupt the body
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(load_image(corrupted), ParseError);
+}
+
+TEST(ImageIo, FileRoundTrip) {
+  const RuleSet rs = generate_paper_ruleset("FW01");
+  const ExpCutsClassifier cls(rs);
+  const std::string path = ::testing::TempDir() + "/expcuts_image.bin";
+  save_image_file(path, cls);
+  const LoadedImage loaded = load_image_file(path);
+  EXPECT_EQ(loaded.image.bytes(), cls.flat().bytes());
+  EXPECT_THROW(load_image_file(path + ".missing"), Error);
+}
+
+}  // namespace
+}  // namespace expcuts
+}  // namespace pclass

@@ -1,0 +1,254 @@
+// NP simulator tests: placement policies, conservation laws, saturation
+// behaviour and determinism.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "npsim/sim.hpp"
+#include "workload/workload.hpp"
+
+namespace pclass {
+namespace npsim {
+namespace {
+
+/// Synthetic per-packet trace: `accesses` single-word reads round-robined
+/// over `levels` levels with `compute` cycles before each.
+std::vector<LookupTrace> synthetic_traces(std::size_t packets, u32 accesses,
+                                          u32 levels, u32 words = 1,
+                                          u32 compute = 4) {
+  std::vector<LookupTrace> out(packets);
+  for (LookupTrace& lt : out) {
+    for (u32 a = 0; a < accesses; ++a) {
+      lt.accesses.push_back(MemAccess{static_cast<u16>(a % levels),
+                                      static_cast<u16>(words), compute});
+    }
+    lt.tail_compute_cycles = 2;
+  }
+  return out;
+}
+
+SimConfig base_config(u32 levels, u32 threads = 16, u32 mes = 2) {
+  SimConfig cfg;
+  cfg.npu = NpuConfig::ixp2850();
+  cfg.placement =
+      Placement::round_robin(levels, cfg.npu.sram_channels);
+  cfg.classify_mes = mes;
+  cfg.threads = threads;
+  return cfg;
+}
+
+TEST(Placement, SingleAndRoundRobin) {
+  const Placement s = Placement::single(5, 2);
+  for (u16 l = 0; l < 5; ++l) EXPECT_EQ(s.channel_for(l), 2);
+  EXPECT_EQ(s.channel_for(99), 2);  // clamps to last
+  const Placement rr = Placement::round_robin(6, 4);
+  EXPECT_EQ(rr.channel_for(0), 0);
+  EXPECT_EQ(rr.channel_for(3), 3);
+  EXPECT_EQ(rr.channel_for(4), 0);
+}
+
+TEST(Placement, HeadroomProportionalMatchesPaperTable4) {
+  // 13 levels over headroom {44, 100, 53, 69}% must yield the paper's
+  // allocation: 2 / 5 / 3 / 3 levels on channels 0..3.
+  const std::vector<double> headroom = {0.44, 1.00, 0.53, 0.69};
+  const Placement p = Placement::headroom_proportional(13, headroom, 4);
+  u32 share[4] = {0, 0, 0, 0};
+  for (u16 l = 0; l < 13; ++l) ++share[p.channel_for(l)];
+  EXPECT_EQ(share[0], 2u);
+  EXPECT_EQ(share[1], 5u);
+  EXPECT_EQ(share[2], 3u);
+  EXPECT_EQ(share[3], 3u);
+  // Contiguous ranges, root levels first.
+  EXPECT_EQ(p.channel_for(0), 0);
+  EXPECT_EQ(p.channel_for(1), 0);
+  EXPECT_EQ(p.channel_for(2), 1);
+  EXPECT_EQ(p.channel_for(6), 1);
+  EXPECT_EQ(p.channel_for(7), 2);
+  EXPECT_EQ(p.channel_for(12), 3);
+  EXPECT_NE(p.describe().find("levels 2~6 -> ch1"), std::string::npos);
+}
+
+TEST(Placement, WeightedBalancesNormalizedLoad) {
+  // One heavy level, three light ones, two equal channels: the heavy
+  // level must sit alone.
+  const std::vector<double> weights = {10.0, 1.0, 1.0, 1.0};
+  const std::vector<double> headroom = {1.0, 1.0};
+  const Placement p = Placement::weighted(weights, headroom, 2);
+  const u8 heavy = p.channel_for(0);
+  EXPECT_EQ(p.channel_for(1), 1 - heavy);
+  EXPECT_EQ(p.channel_for(2), 1 - heavy);
+  EXPECT_EQ(p.channel_for(3), 1 - heavy);
+}
+
+TEST(Placement, WeightedRespectsHeadroom) {
+  // Equal weights but one channel has tiny headroom: it should receive
+  // fewer levels.
+  const std::vector<double> weights(10, 1.0);
+  const std::vector<double> headroom = {0.1, 1.0};
+  const Placement p = Placement::weighted(weights, headroom, 2);
+  u32 share[2] = {0, 0};
+  for (u16 l = 0; l < 10; ++l) ++share[p.channel_for(l)];
+  EXPECT_LT(share[0], share[1]);
+}
+
+TEST(Placement, Errors) {
+  EXPECT_THROW(Placement::round_robin(5, 0), InternalError);
+  const std::vector<double> h = {0.5};
+  EXPECT_THROW(Placement::headroom_proportional(5, h, 2), InternalError);
+}
+
+TEST(Config, Ixp2850Preset) {
+  const NpuConfig npu = NpuConfig::ixp2850();
+  EXPECT_EQ(npu.max_mes, 16u);            // Table 1
+  EXPECT_EQ(npu.threads_per_me, 8u);
+  EXPECT_DOUBLE_EQ(npu.me_clock_ghz, 1.4);
+  EXPECT_EQ(npu.sram_channels, 4u);
+  EXPECT_EQ(npu.dram_channels, 3u);
+  EXPECT_EQ(npu.sram_bytes(), 32ull * 1024 * 1024);
+  EXPECT_NE(npu.describe().find("Microengines"), std::string::npos);
+  EXPECT_NE(MeAllocation{}.describe().find("classify"), std::string::npos);
+}
+
+TEST(Sim, ConservationOfCommandsAndWords) {
+  const auto traces = synthetic_traces(200, 6, 3, 2);
+  SimConfig cfg = base_config(3);
+  const SimResult res = simulate(traces, cfg);
+  EXPECT_EQ(res.packets, 200u);
+  u64 commands = 0, words = 0;
+  for (const ChannelStats& ch : res.sram) {
+    commands += ch.commands;
+    words += ch.words;
+  }
+  EXPECT_EQ(commands, 200u * 6);
+  EXPECT_EQ(words, 200u * 6 * 2);
+  // One DRAM header fetch per packet by default.
+  EXPECT_EQ(res.dram.commands, 200u);
+  EXPECT_GT(res.mbps, 0.0);
+  EXPECT_GT(res.mean_packet_cycles, 0.0);
+}
+
+TEST(Sim, Deterministic) {
+  const auto traces = synthetic_traces(300, 8, 4);
+  SimConfig cfg = base_config(4);
+  const SimResult a = simulate(traces, cfg);
+  const SimResult b = simulate(traces, cfg);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.mbps, b.mbps);
+}
+
+TEST(Sim, ThroughputScalesWithThreads) {
+  const auto traces = synthetic_traces(1500, 10, 4);
+  double prev = 0.0;
+  for (u32 threads : {4u, 16u, 48u}) {
+    SimConfig cfg = base_config(4, threads, 6);
+    const SimResult res = simulate(traces, cfg);
+    EXPECT_GT(res.mbps, prev) << threads << " threads";
+    prev = res.mbps;
+  }
+}
+
+TEST(Sim, MoreChannelsNeverSlowerUnderLoad) {
+  const auto traces = synthetic_traces(1500, 12, 12);
+  SimConfig one = base_config(12, 64, 8);
+  one.npu.sram_channels = 1;
+  one.npu.sram_headroom = {1.0};
+  one.placement = Placement::single(12, 0);
+  SimConfig four = base_config(12, 64, 8);
+  four.npu.sram_headroom = {1.0, 1.0, 1.0, 1.0};
+  EXPECT_LT(simulate(traces, one).mbps, simulate(traces, four).mbps);
+}
+
+TEST(Sim, SingleChannelSaturationShowsFifoStalls) {
+  const auto traces = synthetic_traces(1500, 16, 1, 4);
+  SimConfig cfg = base_config(1, 64, 8);
+  cfg.npu.sram_channels = 1;
+  cfg.npu.sram_headroom = {1.0};
+  cfg.placement = Placement::single(1, 0);
+  const SimResult res = simulate(traces, cfg);
+  EXPECT_GT(res.sram[0].fifo_stalls, 0u);
+  EXPECT_GT(res.sram[0].utilization, 0.9);
+}
+
+TEST(Sim, BackgroundLoadReducesThroughput) {
+  const auto traces = synthetic_traces(1200, 10, 4);
+  SimConfig free_cfg = base_config(4, 64, 8);
+  free_cfg.npu.sram_headroom = {1.0, 1.0, 1.0, 1.0};
+  SimConfig loaded_cfg = base_config(4, 64, 8);
+  loaded_cfg.npu.sram_headroom = {0.2, 0.2, 0.2, 0.2};
+  EXPECT_GT(simulate(traces, free_cfg).mbps,
+            simulate(traces, loaded_cfg).mbps);
+}
+
+TEST(Sim, LatencyIncludesMemoryChain) {
+  // One access per packet, plenty of threads: latency >= SRAM latency.
+  const auto traces = synthetic_traces(200, 1, 1);
+  SimConfig cfg = base_config(1, 4, 1);
+  const SimResult res = simulate(traces, cfg);
+  EXPECT_GE(res.mean_packet_cycles, cfg.npu.sram_read_latency);
+}
+
+TEST(Sim, RejectsBadConfigs) {
+  const auto traces = synthetic_traces(10, 2, 1);
+  SimConfig cfg = base_config(1);
+  cfg.threads = 0;
+  EXPECT_THROW(simulate(traces, cfg), ConfigError);
+  cfg = base_config(1);
+  cfg.threads = 1000;  // beyond ME contexts
+  EXPECT_THROW(simulate(traces, cfg), ConfigError);
+  cfg = base_config(1);
+  cfg.classify_mes = 0;
+  EXPECT_THROW(simulate(traces, cfg), ConfigError);
+  cfg = base_config(1);
+  EXPECT_THROW(simulate({}, cfg), ConfigError);
+}
+
+TEST(Sim, AnalyticallyExactInTheContentionFreeCase) {
+  // One thread, one ME, no DRAM, one SRAM access per packet: every cycle
+  // is hand-computable, pinning the simulator's accounting.
+  constexpr u32 kPre = 40, kAccessCompute = 7, kTail = 3, kPost = 20;
+  constexpr u16 kWords = 2;
+  constexpr std::size_t kPackets = 17;
+  std::vector<LookupTrace> traces(kPackets);
+  for (LookupTrace& lt : traces) {
+    lt.accesses.push_back(MemAccess{0, kWords, kAccessCompute});
+    lt.tail_compute_cycles = kTail;
+  }
+  SimConfig cfg;
+  cfg.npu = NpuConfig::ixp2850();
+  cfg.npu.sram_headroom = {1.0, 1.0, 1.0, 1.0};
+  cfg.placement = Placement::single(1, 0);
+  cfg.classify_mes = 1;
+  cfg.threads = 1;
+  cfg.app.pre_compute = kPre;
+  cfg.app.header_dram_words = 0;
+  cfg.app.post_compute = kPost;
+  const SimResult res = simulate(traces, cfg);
+  const double ctx = cfg.npu.context_switch_cycles;
+  const double service =
+      cfg.npu.sram_cmd_overhead + kWords * cfg.npu.sram_cycles_per_word;
+  const double per_packet = (ctx + kPre) +                      // preamble
+                            (ctx + kAccessCompute + cfg.npu.issue_cycles) +
+                            service + cfg.npu.sram_read_latency +  // memory
+                            (ctx + kTail + kPost);                 // postamble
+  EXPECT_DOUBLE_EQ(res.cycles, kPackets * per_packet);
+  EXPECT_DOUBLE_EQ(res.mean_packet_cycles, per_packet);
+  EXPECT_EQ(res.sram[0].commands, kPackets);
+  EXPECT_EQ(res.sram[0].words, kPackets * kWords);
+  EXPECT_DOUBLE_EQ(res.sram[0].busy_cycles, kPackets * service);
+}
+
+TEST(Sim, CollectTracesMatchesClassifier) {
+  workload::Workbench wb(500);
+  const RuleSet& rs = wb.ruleset("FW01");
+  const Trace& tr = wb.trace("FW01");
+  const ClassifierPtr cls =
+      workload::make_classifier(workload::Algo::kExpCuts, rs);
+  const auto traces = collect_traces(*cls, tr);
+  ASSERT_EQ(traces.size(), tr.size());
+  for (const LookupTrace& lt : traces) {
+    EXPECT_GT(lt.access_count(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace npsim
+}  // namespace pclass

@@ -1,0 +1,129 @@
+// Unit tests for src/packet: headers, traces, trace generation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "classify/linear.hpp"
+#include "common/error.hpp"
+#include "packet/tracegen.hpp"
+#include "rules/generator.hpp"
+
+namespace pclass {
+namespace {
+
+TEST(PacketHeader, FieldAccess) {
+  const PacketHeader h{0x01020304, 0x05060708, 1234, 80, 6};
+  EXPECT_EQ(h.field(Dim::kSrcIp), 0x01020304u);
+  EXPECT_EQ(h.field(Dim::kDstIp), 0x05060708u);
+  EXPECT_EQ(h.field(Dim::kSrcPort), 1234u);
+  EXPECT_EQ(h.field(Dim::kDstPort), 80u);
+  EXPECT_EQ(h.field(Dim::kProto), 6u);
+  const auto p = h.as_point();
+  EXPECT_EQ(p[0], 0x01020304u);
+  EXPECT_EQ(p[4], 6u);
+}
+
+TEST(PacketHeader, Strings) {
+  EXPECT_EQ(ip_to_string(0xC0A80102), "192.168.1.2");
+  const PacketHeader h{0xC0A80102, 0x0A000001, 99, 80, 17};
+  EXPECT_EQ(h.str(), "192.168.1.2 10.0.0.1 99 80 17");
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  Trace t;
+  t.push_back(PacketHeader{1, 2, 3, 4, 5});
+  t.push_back(PacketHeader{0xffffffff, 0, 65535, 0, 255});
+  std::stringstream ss;
+  t.save(ss);
+  const Trace back = Trace::load(ss);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0], t[0]);
+  EXPECT_EQ(back[1], t[1]);
+}
+
+TEST(Trace, LoadSkipsCommentsRejectsGarbage) {
+  std::stringstream ok("# comment\n\n1 2 3 4 5\n");
+  EXPECT_EQ(Trace::load(ok).size(), 1u);
+  std::stringstream bad("1 2 3\n");
+  EXPECT_THROW(Trace::load(bad), ParseError);
+  std::stringstream out_of_range("1 2 3 4 999\n");
+  EXPECT_THROW(Trace::load(out_of_range), ParseError);
+}
+
+TEST(Trace, Append) {
+  Trace a, b;
+  a.push_back(PacketHeader{1, 1, 1, 1, 1});
+  b.push_back(PacketHeader{2, 2, 2, 2, 2});
+  a.append(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[1].sip, 2u);
+}
+
+TEST(TraceGen, SampleInRuleAlwaysMatches) {
+  const RuleSet rules = generate_paper_ruleset("FW01");
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const RuleId id = static_cast<RuleId>(rng.next_below(rules.size()));
+    const PacketHeader h = sample_in_rule(rules[id], rng);
+    EXPECT_TRUE(rules[id].matches(h)) << "rule " << id << " pkt " << h.str();
+  }
+}
+
+TEST(TraceGen, DeterministicAndSized) {
+  const RuleSet rules = generate_paper_ruleset("FW01");
+  TraceGenConfig cfg;
+  cfg.count = 1000;
+  cfg.seed = 9;
+  const Trace a = generate_trace(rules, cfg);
+  const Trace b = generate_trace(rules, cfg);
+  ASSERT_EQ(a.size(), 1000u);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(TraceGen, RuleDirectedFractionHitsRules) {
+  const RuleSet rules = generate_paper_ruleset("FW01");
+  LinearSearchClassifier ref(rules);
+  TraceGenConfig cfg;
+  cfg.count = 2000;
+  cfg.rule_directed_fraction = 1.0;
+  cfg.seed = 11;
+  const Trace t = generate_trace(rules, cfg);
+  // Every rule-directed packet matches *some* rule (possibly a higher
+  // priority one than sampled).
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_NE(ref.classify(t[i]), kNoMatch);
+  }
+}
+
+TEST(TraceGen, SkewConcentratesOnHighPriorityRules) {
+  const RuleSet rules = generate_paper_ruleset("FW02");
+  LinearSearchClassifier ref(rules);
+  TraceGenConfig skewed;
+  skewed.count = 3000;
+  skewed.rule_skew = 1.2;
+  skewed.rule_directed_fraction = 1.0;
+  skewed.seed = 21;
+  TraceGenConfig uniform = skewed;
+  uniform.rule_skew = 0.0;
+  auto mean_match = [&](const Trace& t) {
+    double sum = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      sum += static_cast<double>(ref.classify(t[i]));
+    }
+    return sum / static_cast<double>(t.size());
+  };
+  EXPECT_LT(mean_match(generate_trace(rules, skewed)),
+            mean_match(generate_trace(rules, uniform)));
+}
+
+TEST(TraceGen, RejectsRuleDirectedOnEmptySet) {
+  RuleSet empty;
+  TraceGenConfig cfg;
+  cfg.count = 10;
+  EXPECT_THROW(generate_trace(empty, cfg), InternalError);
+  cfg.rule_directed_fraction = 0.0;
+  EXPECT_EQ(generate_trace(empty, cfg).size(), 10u);
+}
+
+}  // namespace
+}  // namespace pclass

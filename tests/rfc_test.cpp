@@ -1,0 +1,109 @@
+// RFC correctness and structure tests.
+#include <gtest/gtest.h>
+
+#include "classify/verify.hpp"
+#include "common/error.hpp"
+#include "packet/tracegen.hpp"
+#include "rfc/rfc.hpp"
+#include "rules/generator.hpp"
+#include "rules/parser.hpp"
+
+namespace pclass {
+namespace rfc {
+namespace {
+
+Trace make_trace(const RuleSet& rules, std::size_t n, u64 seed) {
+  TraceGenConfig cfg;
+  cfg.count = n;
+  cfg.seed = seed;
+  return generate_trace(rules, cfg);
+}
+
+TEST(Rfc, ChunkDecompositionIsExactForPrefixes) {
+  // A /24 source prefix: hi chunk is an exact value, lo chunk a range.
+  const RuleSet rs = parse_classbench_string(
+      "@192.168.1.0/24 0.0.0.0/0 0 : 65535 0 : 65535 0x00/0x00\n");
+  const RfcClassifier cls(rs);
+  EXPECT_EQ(cls.classify(PacketHeader{0xC0A80105, 1, 2, 3, 4}), 0u);
+  EXPECT_EQ(cls.classify(PacketHeader{0xC0A80205, 1, 2, 3, 4}), kNoMatch);
+  // Same hi half, lo half outside the /24.
+  EXPECT_EQ(cls.classify(PacketHeader{0xC0A8FF05, 1, 2, 3, 4}), kNoMatch);
+}
+
+TEST(Rfc, ShortPrefixLeavesLoChunkFree) {
+  // /8 prefix: the lo chunk must be unconstrained.
+  const RuleSet rs = parse_classbench_string(
+      "@10.0.0.0/8 0.0.0.0/0 0 : 65535 0 : 65535 0x00/0x00\n");
+  const RfcClassifier cls(rs);
+  EXPECT_EQ(cls.classify(PacketHeader{0x0A000000, 1, 2, 3, 4}), 0u);
+  EXPECT_EQ(cls.classify(PacketHeader{0x0AFFFFFF, 1, 2, 3, 4}), 0u);
+  EXPECT_EQ(cls.classify(PacketHeader{0x0B000000, 1, 2, 3, 4}), kNoMatch);
+}
+
+TEST(Rfc, PortRangesStayWhole) {
+  const RuleSet rs = parse_classbench_string(
+      "@0.0.0.0/0 0.0.0.0/0 1000 : 3000 0 : 65535 0x06/0xFF\n"
+      "@0.0.0.0/0 0.0.0.0/0 0 : 65535 0 : 65535 0x00/0x00\n");
+  const RfcClassifier cls(rs);
+  EXPECT_EQ(cls.classify(PacketHeader{1, 2, 999, 3, 6}), 1u);
+  EXPECT_EQ(cls.classify(PacketHeader{1, 2, 1000, 3, 6}), 0u);
+  EXPECT_EQ(cls.classify(PacketHeader{1, 2, 3000, 3, 6}), 0u);
+  EXPECT_EQ(cls.classify(PacketHeader{1, 2, 3001, 3, 6}), 1u);
+  EXPECT_EQ(cls.classify(PacketHeader{1, 2, 2000, 3, 17}), 1u);
+}
+
+TEST(Rfc, ConstantProbeCount) {
+  // RFC's probe count is independent of the rule count — the property
+  // that distinguishes it from HSM in the paper's taxonomy.
+  const RfcClassifier small(generate_paper_ruleset("FW01"));
+  const RfcClassifier large(generate_paper_ruleset("CR03"));
+  EXPECT_EQ(small.stats().probes, large.stats().probes);
+  LookupTrace lt;
+  small.classify_traced(PacketHeader{1, 2, 3, 4, 5}, lt);
+  EXPECT_EQ(lt.access_count(), small.stats().probes);
+  for (const MemAccess& a : lt.accesses) EXPECT_EQ(a.words, 1u);
+}
+
+TEST(Rfc, Phase0TablesCoverDomains) {
+  const RfcClassifier cls(generate_paper_ruleset("FW01"));
+  EXPECT_EQ(cls.chunk(kSipHi).class_of_value.size(), 65536u);
+  EXPECT_EQ(cls.chunk(kSport).class_of_value.size(), 65536u);
+  EXPECT_EQ(cls.chunk(kProto).class_of_value.size(), 256u);
+  EXPECT_GE(cls.stats().phase0_bytes, 6u * 65536 * 4 + 256 * 4);
+}
+
+TEST(Rfc, TableCapThrows) {
+  Config c;
+  c.max_table_entries = 10;
+  const RuleSet rs = generate_paper_ruleset("FW02");
+  EXPECT_THROW((RfcClassifier(rs, c)), ConfigError);
+}
+
+TEST(Rfc, MemoryGrowsFasterThanHsm) {
+  // RFC trades memory for its constant probe count; on the larger sets it
+  // must cost more than the 13 direct probes suggest.
+  const RfcClassifier small(generate_paper_ruleset("FW01"));
+  const RfcClassifier large(generate_paper_ruleset("CR02"));
+  EXPECT_GT(large.stats().memory_bytes, small.stats().memory_bytes);
+  EXPECT_GT(large.footprint().bytes, 4u * 1024 * 1024);  // phase tables grow
+}
+
+class RfcDifferential : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RfcDifferential, AgreesWithLinear) {
+  const RuleSet rs = generate_paper_ruleset(GetParam());
+  const RfcClassifier cls(rs);
+  const Trace trace = make_trace(rs, 4000, 0xFC);
+  const VerifyResult res = verify_against_linear(cls, rs, trace);
+  EXPECT_TRUE(res.ok()) << res.str();
+  const VerifyResult tr = verify_traced_consistency(cls, trace);
+  EXPECT_TRUE(tr.ok()) << tr.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRuleSets, RfcDifferential,
+                         ::testing::Values("FW01", "FW02", "FW03", "CR01",
+                                           "CR02", "CR03", "CR04"));
+
+}  // namespace
+}  // namespace rfc
+}  // namespace pclass

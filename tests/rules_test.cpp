@@ -1,0 +1,246 @@
+// Unit tests for src/rules: rule semantics, rule sets, parser round-trips,
+// synthetic generators and structural analysis.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "packet/header.hpp"
+#include "rules/analysis.hpp"
+#include "rules/generator.hpp"
+#include "rules/parser.hpp"
+#include "rules/ruleset.hpp"
+
+namespace pclass {
+namespace {
+
+Rule web_rule() {
+  return Rule::make(0xC0A80000, 16, 0x0A000000, 8, 0, 65535, 80, 80,
+                    kProtoTcp);
+}
+
+TEST(Rule, MakeAndMatch) {
+  const Rule r = web_rule();
+  PacketHeader h{0xC0A80101, 0x0A010203, 1234, 80, kProtoTcp};
+  EXPECT_TRUE(r.matches(h));
+  h.dport = 81;
+  EXPECT_FALSE(r.matches(h));
+  h.dport = 80;
+  h.sip = 0xC0A90101;  // outside /16
+  EXPECT_FALSE(r.matches(h));
+}
+
+TEST(Rule, ProtoWildcard) {
+  const Rule r = Rule::make(0, 0, 0, 0, 0, 65535, 0, 65535, 0, true);
+  EXPECT_EQ(r.field(Dim::kProto), Interval::full(8));
+  EXPECT_TRUE(r.matches(PacketHeader{1, 2, 3, 4, 200}));
+}
+
+TEST(Rule, AnyCoversFullBox) {
+  EXPECT_TRUE(Rule::any().covers(Box::full()));
+  EXPECT_EQ(Rule::any().wildcard_count(), 5u);
+  EXPECT_EQ(web_rule().wildcard_count(), 1u);  // only sport
+}
+
+TEST(Rule, IntersectsAndCovers) {
+  const Rule r = web_rule();
+  Box b = Box::full();
+  EXPECT_TRUE(r.intersects(b));
+  EXPECT_FALSE(r.covers(b));
+  b[Dim::kSrcIp] = Interval{0xC0A80000, 0xC0A800FF};
+  b[Dim::kDstIp] = Interval{0x0A000000, 0x0A0000FF};
+  b[Dim::kDstPort] = Interval{80, 80};
+  b[Dim::kProto] = Interval::point(kProtoTcp);
+  EXPECT_TRUE(r.covers(b));
+}
+
+TEST(RuleSet, PriorityAndDefault) {
+  RuleSet rs;
+  rs.push_back(web_rule());
+  EXPECT_FALSE(rs.has_default());
+  rs.ensure_default();
+  EXPECT_TRUE(rs.has_default());
+  EXPECT_EQ(rs.size(), 2u);
+  rs.ensure_default();  // idempotent
+  EXPECT_EQ(rs.size(), 2u);
+}
+
+TEST(RuleSet, ValidateRejectsBadRules) {
+  Rule bad = web_rule();
+  bad.box[Dim::kSrcPort] = Interval{10, 5};  // inverted
+  RuleSet rs({bad});
+  EXPECT_THROW(rs.validate(), ConfigError);
+
+  Rule out_of_domain = web_rule();
+  out_of_domain.box[Dim::kProto] = Interval{0, 300};
+  RuleSet rs2({out_of_domain});
+  EXPECT_THROW(rs2.validate(), ConfigError);
+}
+
+TEST(Parser, ParsesClassBenchLine) {
+  const RuleSet rs = parse_classbench_string(
+      "@192.168.1.0/24\t10.0.0.0/8\t0 : 65535\t80 : 80\t0x06/0xFF\n");
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs[0].field(Dim::kSrcIp), Interval::from_prefix(0xC0A80100, 24, 32));
+  EXPECT_EQ(rs[0].field(Dim::kDstIp), Interval::from_prefix(0x0A000000, 8, 32));
+  EXPECT_EQ(rs[0].field(Dim::kDstPort), Interval::point(80));
+  EXPECT_EQ(rs[0].field(Dim::kProto), Interval::point(6));
+}
+
+TEST(Parser, SkipsCommentsAndBlanks) {
+  const RuleSet rs = parse_classbench_string(
+      "# header comment\n"
+      "\n"
+      "@0.0.0.0/0 0.0.0.0/0 0 : 65535 0 : 65535 0x00/0x00\n");
+  EXPECT_EQ(rs.size(), 1u);
+  EXPECT_TRUE(rs[0].covers(Box::full()));
+}
+
+TEST(Parser, IgnoresTrailingFlagsColumn) {
+  const RuleSet rs = parse_classbench_string(
+      "@1.2.3.4/32 5.6.7.8/32 0 : 65535 0 : 65535 0x06/0xFF 0x1000/0x1000\n");
+  EXPECT_EQ(rs.size(), 1u);
+}
+
+TEST(Parser, MasksHostBitsInShortPrefixes) {
+  const RuleSet rs = parse_classbench_string(
+      "@192.168.1.77/24 0.0.0.0/0 0 : 65535 0 : 65535 0x00/0x00\n");
+  EXPECT_EQ(rs[0].field(Dim::kSrcIp),
+            Interval::from_prefix(0xC0A80100, 24, 32));
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_classbench_string("@0.0.0.0/0 0.0.0.0/0 0 : 65535 0 : 65535 0x00/0x00\n"
+                            "not a rule\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Parser, RejectsBadValues) {
+  EXPECT_THROW(parse_classbench_string("@1.2.3.4/40 0.0.0.0/0 0 : 65535 0 : 65535 0x00/0x00\n"),
+               ParseError);
+  EXPECT_THROW(parse_classbench_string("@1.2.3.4/32 0.0.0.0/0 9 : 5 0 : 65535 0x00/0x00\n"),
+               ParseError);
+  EXPECT_THROW(parse_classbench_string("@1.2.3.4/32 0.0.0.0/0 0 : 70000 0 : 65535 0x00/0x00\n"),
+               ParseError);
+  EXPECT_THROW(parse_classbench_string("@1.2.3.4/32 0.0.0.0/0 0 : 65535 0 : 65535 0x06/0x0F\n"),
+               ParseError);
+  EXPECT_THROW(parse_classbench_string("@299.2.3.4/32 0.0.0.0/0 0 : 65535 0 : 65535 0x00/0x00\n"),
+               ParseError);
+}
+
+TEST(Parser, RoundTrip) {
+  GeneratorConfig cfg;
+  cfg.rule_count = 50;
+  cfg.seed = 5;
+  const RuleSet original = generate_ruleset(cfg);
+  const std::string text = write_classbench_string(original);
+  const RuleSet reparsed = parse_classbench_string(text);
+  ASSERT_EQ(reparsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(original[static_cast<RuleId>(i)].box,
+              reparsed[static_cast<RuleId>(i)].box)
+        << "rule " << i;
+  }
+}
+
+TEST(Generator, DeterministicBySeed) {
+  GeneratorConfig cfg;
+  cfg.rule_count = 64;
+  cfg.seed = 123;
+  const RuleSet a = generate_ruleset(cfg);
+  const RuleSet b = generate_ruleset(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[static_cast<RuleId>(i)].box, b[static_cast<RuleId>(i)].box);
+  }
+  cfg.seed = 124;
+  const RuleSet c = generate_ruleset(cfg);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < std::min(a.size(), c.size()); ++i) {
+    any_diff |= !(a[static_cast<RuleId>(i)].box == c[static_cast<RuleId>(i)].box);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, ProducesRequestedCountWithDistinctRegionsAndDefault) {
+  for (RuleProfile profile : {RuleProfile::kFirewall, RuleProfile::kCoreRouter}) {
+    GeneratorConfig cfg;
+    cfg.profile = profile;
+    cfg.rule_count = 200;
+    cfg.seed = 77;
+    const RuleSet rs = generate_ruleset(cfg);
+    EXPECT_EQ(rs.size(), 200u);
+    EXPECT_TRUE(rs.has_default());
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      for (std::size_t j = i + 1; j < rs.size(); ++j) {
+        ASSERT_FALSE(rs[static_cast<RuleId>(i)].box ==
+                     rs[static_cast<RuleId>(j)].box)
+            << i << " vs " << j;
+      }
+    }
+    rs.validate();
+  }
+}
+
+TEST(Generator, PaperRuleSetsHavePaperSizes) {
+  const auto& specs = paper_rulesets();
+  ASSERT_EQ(specs.size(), 7u);
+  EXPECT_STREQ(specs.back().name, "CR04");
+  EXPECT_EQ(specs.back().rule_count, 1945u);  // the paper's largest
+  const RuleSet cr04 = generate_paper_ruleset("CR04");
+  EXPECT_EQ(cr04.size(), 1945u);
+  EXPECT_EQ(cr04.name(), "CR04");
+  EXPECT_THROW(generate_paper_ruleset("CR05"), ConfigError);
+}
+
+TEST(Generator, FirewallProfileIsWildcardHeavyOnSource) {
+  const RuleSet fw = generate_paper_ruleset("FW03");
+  const RuleSetProfile p = profile_ruleset(fw);
+  // Sources are mostly wildcard; destinations mostly specific.
+  EXPECT_GT(p.dims[dim_index(Dim::kSrcIp)].wildcards, fw.size() / 3);
+  EXPECT_LT(p.dims[dim_index(Dim::kDstIp)].wildcards, fw.size() / 4);
+}
+
+TEST(Generator, RejectsBadConfig) {
+  GeneratorConfig cfg;
+  cfg.rule_count = 0;
+  EXPECT_THROW(generate_ruleset(cfg), ConfigError);
+  cfg.rule_count = 10;
+  cfg.site_blocks = 0;
+  EXPECT_THROW(generate_ruleset(cfg), ConfigError);
+}
+
+TEST(Analysis, ProfileCountsOverlapsAndShadows) {
+  RuleSet rs;
+  rs.push_back(Rule::make(0, 0, 0, 0, 0, 65535, 80, 80, kProtoTcp));
+  // Shadowed: strictly inside rule 0's region.
+  rs.push_back(Rule::make(0xC0A80000, 16, 0, 0, 0, 65535, 80, 80, kProtoTcp));
+  // Disjoint from both (different port).
+  rs.push_back(Rule::make(0, 0, 0, 0, 0, 65535, 443, 443, kProtoTcp));
+  const RuleSetProfile p = profile_ruleset(rs);
+  EXPECT_EQ(p.rule_count, 3u);
+  EXPECT_EQ(p.overlapping_pairs, 1u);
+  EXPECT_EQ(p.shadowed_rules, 1u);
+  EXPECT_EQ(p.dims[dim_index(Dim::kDstPort)].exact_values, 3u);
+  EXPECT_FALSE(p.str("test").empty());
+}
+
+TEST(Analysis, DistinctProjectionsClipsToBox) {
+  RuleSet rs;
+  rs.push_back(Rule::make(0, 0, 0, 0, 0, 65535, 0, 100, kProtoTcp));
+  rs.push_back(Rule::make(0, 0, 0, 0, 0, 65535, 50, 200, kProtoTcp));
+  const std::vector<RuleId> ids = {0, 1};
+  // Over the full domain the two dport projections differ...
+  EXPECT_EQ(distinct_projections(rs, ids, Dim::kDstPort, Interval::full(16)), 2u);
+  // ...but clipped to [60,90] they are identical.
+  EXPECT_EQ(distinct_projections(rs, ids, Dim::kDstPort, Interval{60, 90}), 1u);
+  // Rules not overlapping the window are ignored entirely.
+  EXPECT_EQ(distinct_projections(rs, ids, Dim::kDstPort, Interval{300, 400}), 0u);
+}
+
+}  // namespace
+}  // namespace pclass

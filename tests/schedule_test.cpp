@@ -1,0 +1,94 @@
+// Unit tests for the ExpCuts cut schedule.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "expcuts/schedule.hpp"
+
+namespace pclass {
+namespace expcuts {
+namespace {
+
+TEST(Schedule, DepthIsKeyBitsOverStride) {
+  for (u32 w : {1u, 2u, 4u, 8u}) {
+    const Schedule s = Schedule::make(w);
+    EXPECT_EQ(s.depth(), kKeyBits / w) << "w=" << w;
+    EXPECT_EQ(s.stride(), w);
+  }
+  EXPECT_THROW(Schedule::make(3), ConfigError);
+  EXPECT_THROW(Schedule::make(16), ConfigError);
+  EXPECT_THROW(Schedule::make(0), ConfigError);
+}
+
+TEST(Schedule, CoversEveryFieldBitExactlyOnce) {
+  for (ChunkOrder order : {ChunkOrder::kInterleaved, ChunkOrder::kSequential}) {
+    for (u32 w : {1u, 2u, 4u, 8u}) {
+      const Schedule s = Schedule::make(w, order);
+      u64 seen[kNumDims] = {0, 0, 0, 0, 0};
+      for (u32 l = 0; l < s.depth(); ++l) {
+        const Chunk& c = s.level(l);
+        const u64 mask = ((u64{1} << w) - 1) << c.shift;
+        EXPECT_EQ(seen[dim_index(c.dim)] & mask, 0u) << "bit reused";
+        seen[dim_index(c.dim)] |= mask;
+      }
+      for (std::size_t d = 0; d < kNumDims; ++d) {
+        const u64 full = (kDimBits[d] >= 64) ? ~u64{0}
+                                             : (u64{1} << kDimBits[d]) - 1;
+        EXPECT_EQ(seen[d], full) << "dim " << d << " not fully covered";
+      }
+    }
+  }
+}
+
+TEST(Schedule, MsbChunksComeFirstPerField) {
+  const Schedule s = Schedule::make(8);
+  u32 last_shift[kNumDims];
+  bool seen[kNumDims] = {};
+  for (u32 l = 0; l < s.depth(); ++l) {
+    const Chunk& c = s.level(l);
+    const std::size_t d = dim_index(c.dim);
+    if (seen[d]) EXPECT_LT(c.shift, last_shift[d]);
+    last_shift[d] = c.shift;
+    seen[d] = true;
+  }
+}
+
+TEST(Schedule, SequentialOrderIsFieldMajor) {
+  const Schedule s = Schedule::make(8, ChunkOrder::kSequential);
+  ASSERT_EQ(s.depth(), 13u);
+  EXPECT_EQ(s.level(0).dim, Dim::kSrcIp);
+  EXPECT_EQ(s.level(3).dim, Dim::kSrcIp);
+  EXPECT_EQ(s.level(4).dim, Dim::kDstIp);
+  EXPECT_EQ(s.level(8).dim, Dim::kSrcPort);
+  EXPECT_EQ(s.level(12).dim, Dim::kProto);
+}
+
+TEST(Schedule, InterleavedAlternatesIpChunksFirst) {
+  const Schedule s = Schedule::make(8, ChunkOrder::kInterleaved);
+  EXPECT_EQ(s.level(0).dim, Dim::kSrcIp);
+  EXPECT_EQ(s.level(1).dim, Dim::kDstIp);
+  EXPECT_EQ(s.level(2).dim, Dim::kSrcPort);
+  EXPECT_EQ(s.level(0).shift, 24u);
+}
+
+TEST(Schedule, ChunkValueExtractsHeaderBits) {
+  const Schedule s = Schedule::make(8, ChunkOrder::kSequential);
+  const PacketHeader h{0xAABBCCDD, 0x11223344, 0xBEEF, 0x1234, 0x7F};
+  EXPECT_EQ(s.chunk_value(h, 0), 0xAAu);
+  EXPECT_EQ(s.chunk_value(h, 3), 0xDDu);
+  EXPECT_EQ(s.chunk_value(h, 4), 0x11u);
+  EXPECT_EQ(s.chunk_value(h, 8), 0xBEu);
+  EXPECT_EQ(s.chunk_value(h, 9), 0xEFu);
+  EXPECT_EQ(s.chunk_value(h, 12), 0x7Fu);
+}
+
+TEST(Schedule, ChunkSpan) {
+  const Schedule s = Schedule::make(8, ChunkOrder::kSequential);
+  // Level 3 = sip bits 7..0.
+  const auto [lo, hi] = s.chunk_span(0xAABBCC10, 0xAABBCC7F, 3);
+  EXPECT_EQ(lo, 0x10u);
+  EXPECT_EQ(hi, 0x7Fu);
+}
+
+}  // namespace
+}  // namespace expcuts
+}  // namespace pclass

@@ -1,0 +1,45 @@
+// End-to-end smoke test: the three algorithms agree with linear search on
+// a small rule set, and the simulator produces sane throughput.
+#include <gtest/gtest.h>
+
+#include "classify/verify.hpp"
+#include "packet/tracegen.hpp"
+#include "rules/generator.hpp"
+#include "workload/workload.hpp"
+
+namespace pclass {
+namespace {
+
+TEST(Smoke, AllAlgorithmsAgreeOnFW01) {
+  const RuleSet rules = generate_paper_ruleset("FW01");
+  TraceGenConfig tcfg;
+  tcfg.count = 2000;
+  tcfg.seed = 99;
+  const Trace trace = generate_trace(rules, tcfg);
+  for (workload::Algo algo : {workload::Algo::kExpCuts, workload::Algo::kHiCuts,
+                              workload::Algo::kHsm}) {
+    const ClassifierPtr cls = workload::make_classifier(algo, rules);
+    const VerifyResult res = verify_against_linear(*cls, rules, trace);
+    EXPECT_TRUE(res.ok()) << cls->name() << ": " << res.str();
+    const VerifyResult tr = verify_traced_consistency(*cls, trace);
+    EXPECT_TRUE(tr.ok()) << cls->name() << " traced: " << tr.str();
+  }
+}
+
+TEST(Smoke, SimulatorProducesThroughput) {
+  const RuleSet rules = generate_paper_ruleset("FW01");
+  TraceGenConfig tcfg;
+  tcfg.count = 1500;
+  tcfg.seed = 7;
+  const Trace trace = generate_trace(rules, tcfg);
+  const ClassifierPtr cls =
+      workload::make_classifier(workload::Algo::kExpCuts, rules);
+  const npsim::SimConfig cfg = workload::standard_sim_config(13);
+  const npsim::SimResult res = npsim::simulate_classifier(*cls, trace, cfg);
+  EXPECT_EQ(res.packets, trace.size());
+  EXPECT_GT(res.mbps, 100.0);
+  EXPECT_LT(res.mbps, 100000.0);
+}
+
+}  // namespace
+}  // namespace pclass

@@ -1,0 +1,87 @@
+// Tuple Space Search tests.
+#include <gtest/gtest.h>
+
+#include "classify/verify.hpp"
+#include "common/error.hpp"
+#include "packet/tracegen.hpp"
+#include "rules/generator.hpp"
+#include "rules/parser.hpp"
+#include "tss/tss.hpp"
+
+namespace pclass {
+namespace tss {
+namespace {
+
+TEST(Tss, ExactAndWildcardTuples) {
+  const RuleSet rs = parse_classbench_string(
+      "@192.168.1.0/24 10.0.0.0/8 0 : 65535 80 : 80 0x06/0xFF\n"
+      "@0.0.0.0/0 0.0.0.0/0 0 : 65535 0 : 65535 0x00/0x00\n");
+  const TssClassifier cls(rs);
+  EXPECT_EQ(cls.stats().tuples, 2u);
+  EXPECT_EQ(cls.classify(PacketHeader{0xC0A80105, 0x0A010101, 5, 80, 6}), 0u);
+  EXPECT_EQ(cls.classify(PacketHeader{0xC0A80105, 0x0A010101, 5, 81, 6}), 1u);
+}
+
+TEST(Tss, RangeExpansionCounts) {
+  // [1024,65535] expands to 6 prefixes => 6 entries in 6 tuples (dport
+  // lengths differ).
+  const RuleSet rs = parse_classbench_string(
+      "@0.0.0.0/0 0.0.0.0/0 0 : 65535 1024 : 65535 0x06/0xFF\n");
+  const TssClassifier cls(rs);
+  EXPECT_EQ(cls.stats().entries, 6u);
+  EXPECT_DOUBLE_EQ(cls.stats().expansion, 6.0);
+  EXPECT_EQ(cls.classify(PacketHeader{1, 2, 3, 1024, 6}), 0u);
+  EXPECT_EQ(cls.classify(PacketHeader{1, 2, 3, 65535, 6}), 0u);
+  EXPECT_EQ(cls.classify(PacketHeader{1, 2, 3, 1023, 6}), kNoMatch);
+}
+
+TEST(Tss, PriorityAcrossTuplesAndWithinTuple) {
+  const RuleSet rs = parse_classbench_string(
+      "@192.168.0.0/16 0.0.0.0/0 0 : 65535 80 : 80 0x06/0xFF\n"
+      "@192.168.0.0/16 0.0.0.0/0 0 : 65535 0 : 65535 0x06/0xFF\n"
+      "@192.168.0.0/16 0.0.0.0/0 0 : 65535 80 : 80 0x06/0xFF\n");  // dup of 0
+  const TssClassifier cls(rs);
+  // Rules 0 and 2 share a tuple and a masked key: rule 0 must win.
+  EXPECT_EQ(cls.classify(PacketHeader{0xC0A80001, 9, 9, 80, 6}), 0u);
+  // Across tuples, the /16-any-port rule loses to the port-80 rule.
+  EXPECT_EQ(cls.classify(PacketHeader{0xC0A80001, 9, 9, 81, 6}), 1u);
+}
+
+TEST(Tss, ProbeCountIsTupleCount) {
+  const RuleSet rs = generate_paper_ruleset("FW02");
+  const TssClassifier cls(rs);
+  LookupTrace lt;
+  cls.classify_traced(PacketHeader{1, 2, 3, 4, 5}, lt);
+  EXPECT_EQ(lt.access_count(), cls.stats().tuples);
+  for (const MemAccess& a : lt.accesses) EXPECT_EQ(a.words, 4u);
+}
+
+TEST(Tss, EntryCapThrows) {
+  const RuleSet rs = generate_paper_ruleset("FW03");
+  Config c;
+  c.max_entries = 5;
+  EXPECT_THROW((TssClassifier(rs, c)), ConfigError);
+}
+
+class TssDifferential : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TssDifferential, AgreesWithLinear) {
+  const RuleSet rs = generate_paper_ruleset(GetParam());
+  const TssClassifier cls(rs);
+  TraceGenConfig tcfg;
+  tcfg.count = 3000;
+  tcfg.seed = 0x755;
+  const Trace trace = generate_trace(rs, tcfg);
+  const VerifyResult res = verify_against_linear(cls, rs, trace);
+  EXPECT_TRUE(res.ok()) << res.str();
+  const VerifyResult tr = verify_traced_consistency(cls, trace);
+  EXPECT_TRUE(tr.ok()) << tr.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRuleSets, TssDifferential,
+                         ::testing::Values("FW01", "FW02", "FW03", "CR01",
+                                           "CR02", "CR03", "CR04"));
+
+}  // namespace
+}  // namespace tss
+}  // namespace pclass

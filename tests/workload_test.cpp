@@ -1,0 +1,93 @@
+// Tests for the workload harness: classifier factory, workbench caching,
+// simulator configuration and the paper-reference constants.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "workload/workload.hpp"
+
+namespace pclass {
+namespace workload {
+namespace {
+
+TEST(Factory, BuildsEveryAlgorithm) {
+  Workbench wb(200);
+  const RuleSet& rs = wb.ruleset("FW01");
+  for (Algo a : {Algo::kExpCuts, Algo::kHiCuts, Algo::kHsm, Algo::kLinear}) {
+    const ClassifierPtr cls = make_classifier(a, rs);
+    ASSERT_NE(cls, nullptr);
+    EXPECT_EQ(cls->name(), algo_name(a));
+  }
+}
+
+TEST(Workbench, NamesAndCaching) {
+  Workbench wb(100);
+  ASSERT_EQ(wb.names().size(), 7u);
+  EXPECT_EQ(wb.names().front(), "FW01");
+  EXPECT_EQ(wb.names().back(), "CR04");
+  const RuleSet& a = wb.ruleset("FW01");
+  const RuleSet& b = wb.ruleset("FW01");
+  EXPECT_EQ(&a, &b);  // cached, not regenerated
+  const Trace& t = wb.trace("FW01");
+  EXPECT_EQ(t.size(), 100u);
+  EXPECT_EQ(&t, &wb.trace("FW01"));
+}
+
+TEST(Config, ChannelSubsets) {
+  // k = 1 uses the empty 100%-headroom channel (Sec. 6.5).
+  EXPECT_EQ(channel_headroom_subset(1), std::vector<double>{1.0});
+  const auto two = channel_headroom_subset(2);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_DOUBLE_EQ(two[0], 0.44);
+  EXPECT_DOUBLE_EQ(two[1], 1.00);
+  EXPECT_EQ(channel_headroom_subset(4).size(), 4u);
+  EXPECT_THROW(channel_headroom_subset(0), ConfigError);
+  EXPECT_THROW(channel_headroom_subset(5), ConfigError);
+}
+
+TEST(Config, StandardSimConfig) {
+  const npsim::SimConfig cfg = standard_sim_config(13);
+  EXPECT_EQ(cfg.threads, 71u);
+  EXPECT_EQ(cfg.classify_mes, 9u);
+  EXPECT_EQ(cfg.npu.sram_channels, 4u);
+  EXPECT_EQ(cfg.placement.levels(), 13u);
+  EXPECT_THROW(standard_sim_config(13, 9), ConfigError);
+}
+
+TEST(Config, PaperReferences) {
+  EXPECT_EQ(PaperRef::table5_mbps(),
+            (std::vector<double>{4963, 5357, 6483, 7261}));
+  EXPECT_EQ(PaperRef::fig7_threads().front(), 7u);
+  EXPECT_EQ(PaperRef::fig7_threads().back(), 71u);
+  EXPECT_EQ(PaperRef::fig8_rule_counts().size(), 9u);
+}
+
+TEST(Run, EndToEndOnSmallSet) {
+  Workbench wb(800);
+  const ClassifierPtr cls =
+      make_classifier(Algo::kExpCuts, wb.ruleset("FW01"));
+  RunSpec spec;
+  spec.threads = 16;
+  spec.classify_mes = 2;
+  const npsim::SimResult res = run_on_npu(*cls, wb.trace("FW01"), spec);
+  EXPECT_EQ(res.packets, 800u);
+  EXPECT_GT(res.mbps, 0.0);
+  EXPECT_EQ(res.sram.size(), 4u);
+}
+
+TEST(Run, WeightedPlacementForBaselines) {
+  Workbench wb(500);
+  const ClassifierPtr hsm = make_classifier(Algo::kHsm, wb.ruleset("FW01"));
+  RunSpec spec;
+  spec.threads = 16;
+  spec.classify_mes = 2;
+  const npsim::SimResult res = run_on_npu(*hsm, wb.trace("FW01"), spec);
+  // The weighted placement must spread HSM's probes: no channel may carry
+  // everything while others idle.
+  u64 nonzero = 0;
+  for (const auto& ch : res.sram) nonzero += ch.commands > 0 ? 1 : 0;
+  EXPECT_GE(nonzero, 2u);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace pclass
