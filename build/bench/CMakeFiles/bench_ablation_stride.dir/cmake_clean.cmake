@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stride.dir/bench_ablation_stride.cpp.o"
+  "CMakeFiles/bench_ablation_stride.dir/bench_ablation_stride.cpp.o.d"
+  "bench_ablation_stride"
+  "bench_ablation_stride.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stride.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_build.dir/bench_micro_build.cpp.o"
+  "CMakeFiles/bench_micro_build.dir/bench_micro_build.cpp.o.d"
+  "bench_micro_build"
+  "bench_micro_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_habs.dir/bench_micro_habs.cpp.o"
+  "CMakeFiles/bench_micro_habs.dir/bench_micro_habs.cpp.o.d"
+  "bench_micro_habs"
+  "bench_micro_habs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_habs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_lookup.dir/bench_micro_lookup.cpp.o"
+  "CMakeFiles/bench_micro_lookup.dir/bench_micro_lookup.cpp.o.d"
+  "bench_micro_lookup"
+  "bench_micro_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

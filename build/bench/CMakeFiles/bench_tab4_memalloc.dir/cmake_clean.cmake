@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_memalloc.dir/bench_tab4_memalloc.cpp.o"
+  "CMakeFiles/bench_tab4_memalloc.dir/bench_tab4_memalloc.cpp.o.d"
+  "bench_tab4_memalloc"
+  "bench_tab4_memalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_memalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_plane.dir/control_plane.cpp.o"
+  "CMakeFiles/control_plane.dir/control_plane.cpp.o.d"
+  "control_plane"
+  "control_plane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_plane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

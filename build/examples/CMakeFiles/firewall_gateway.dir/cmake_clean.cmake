@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firewall_gateway.dir/firewall_gateway.cpp.o"
+  "CMakeFiles/firewall_gateway.dir/firewall_gateway.cpp.o.d"
+  "firewall_gateway"
+  "firewall_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firewall_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

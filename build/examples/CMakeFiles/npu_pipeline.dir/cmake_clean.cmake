@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npu_pipeline.dir/npu_pipeline.cpp.o"
+  "CMakeFiles/npu_pipeline.dir/npu_pipeline.cpp.o.d"
+  "npu_pipeline"
+  "npu_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npu_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

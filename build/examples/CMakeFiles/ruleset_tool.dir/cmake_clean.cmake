@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ruleset_tool.dir/ruleset_tool.cpp.o"
+  "CMakeFiles/ruleset_tool.dir/ruleset_tool.cpp.o.d"
+  "ruleset_tool"
+  "ruleset_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ruleset_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ruleset_tool.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("eqclass")
+subdirs("geom")
+subdirs("rules")
+subdirs("packet")
+subdirs("classify")
+subdirs("bv")
+subdirs("hicuts")
+subdirs("hypercuts")
+subdirs("hsm")
+subdirs("rfc")
+subdirs("tss")
+subdirs("expcuts")
+subdirs("engine")
+subdirs("npsim")
+subdirs("workload")

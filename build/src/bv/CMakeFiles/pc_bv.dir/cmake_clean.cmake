@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_bv.dir/bv.cpp.o"
+  "CMakeFiles/pc_bv.dir/bv.cpp.o.d"
+  "libpc_bv.a"
+  "libpc_bv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_bv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_classify.dir/linear.cpp.o"
+  "CMakeFiles/pc_classify.dir/linear.cpp.o.d"
+  "CMakeFiles/pc_classify.dir/verify.cpp.o"
+  "CMakeFiles/pc_classify.dir/verify.cpp.o.d"
+  "libpc_classify.a"
+  "libpc_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bitops.cpp" "src/common/CMakeFiles/pc_common.dir/bitops.cpp.o" "gcc" "src/common/CMakeFiles/pc_common.dir/bitops.cpp.o.d"
+  "/root/repo/src/common/bitset.cpp" "src/common/CMakeFiles/pc_common.dir/bitset.cpp.o" "gcc" "src/common/CMakeFiles/pc_common.dir/bitset.cpp.o.d"
+  "/root/repo/src/common/netaddr.cpp" "src/common/CMakeFiles/pc_common.dir/netaddr.cpp.o" "gcc" "src/common/CMakeFiles/pc_common.dir/netaddr.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/pc_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/pc_common.dir/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/pc_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/pc_common.dir/stats.cpp.o.d"
+  "/root/repo/src/common/texttable.cpp" "src/common/CMakeFiles/pc_common.dir/texttable.cpp.o" "gcc" "src/common/CMakeFiles/pc_common.dir/texttable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_common.dir/bitops.cpp.o"
+  "CMakeFiles/pc_common.dir/bitops.cpp.o.d"
+  "CMakeFiles/pc_common.dir/bitset.cpp.o"
+  "CMakeFiles/pc_common.dir/bitset.cpp.o.d"
+  "CMakeFiles/pc_common.dir/netaddr.cpp.o"
+  "CMakeFiles/pc_common.dir/netaddr.cpp.o.d"
+  "CMakeFiles/pc_common.dir/rng.cpp.o"
+  "CMakeFiles/pc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/pc_common.dir/stats.cpp.o"
+  "CMakeFiles/pc_common.dir/stats.cpp.o.d"
+  "CMakeFiles/pc_common.dir/texttable.cpp.o"
+  "CMakeFiles/pc_common.dir/texttable.cpp.o.d"
+  "libpc_common.a"
+  "libpc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

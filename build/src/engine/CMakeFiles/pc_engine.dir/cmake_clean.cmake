@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_engine.dir/flow_cache.cpp.o"
+  "CMakeFiles/pc_engine.dir/flow_cache.cpp.o.d"
+  "CMakeFiles/pc_engine.dir/parallel.cpp.o"
+  "CMakeFiles/pc_engine.dir/parallel.cpp.o.d"
+  "CMakeFiles/pc_engine.dir/thread_pool.cpp.o"
+  "CMakeFiles/pc_engine.dir/thread_pool.cpp.o.d"
+  "libpc_engine.a"
+  "libpc_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_eqclass.dir/crossproduct.cpp.o"
+  "CMakeFiles/pc_eqclass.dir/crossproduct.cpp.o.d"
+  "libpc_eqclass.a"
+  "libpc_eqclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_eqclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

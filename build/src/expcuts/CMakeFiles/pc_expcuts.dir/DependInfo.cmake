@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expcuts/dynamic.cpp" "src/expcuts/CMakeFiles/pc_expcuts.dir/dynamic.cpp.o" "gcc" "src/expcuts/CMakeFiles/pc_expcuts.dir/dynamic.cpp.o.d"
+  "/root/repo/src/expcuts/expcuts.cpp" "src/expcuts/CMakeFiles/pc_expcuts.dir/expcuts.cpp.o" "gcc" "src/expcuts/CMakeFiles/pc_expcuts.dir/expcuts.cpp.o.d"
+  "/root/repo/src/expcuts/flat.cpp" "src/expcuts/CMakeFiles/pc_expcuts.dir/flat.cpp.o" "gcc" "src/expcuts/CMakeFiles/pc_expcuts.dir/flat.cpp.o.d"
+  "/root/repo/src/expcuts/habs.cpp" "src/expcuts/CMakeFiles/pc_expcuts.dir/habs.cpp.o" "gcc" "src/expcuts/CMakeFiles/pc_expcuts.dir/habs.cpp.o.d"
+  "/root/repo/src/expcuts/image_io.cpp" "src/expcuts/CMakeFiles/pc_expcuts.dir/image_io.cpp.o" "gcc" "src/expcuts/CMakeFiles/pc_expcuts.dir/image_io.cpp.o.d"
+  "/root/repo/src/expcuts/report.cpp" "src/expcuts/CMakeFiles/pc_expcuts.dir/report.cpp.o" "gcc" "src/expcuts/CMakeFiles/pc_expcuts.dir/report.cpp.o.d"
+  "/root/repo/src/expcuts/schedule.cpp" "src/expcuts/CMakeFiles/pc_expcuts.dir/schedule.cpp.o" "gcc" "src/expcuts/CMakeFiles/pc_expcuts.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/classify/CMakeFiles/pc_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/pc_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/pc_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/pc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_expcuts.dir/dynamic.cpp.o"
+  "CMakeFiles/pc_expcuts.dir/dynamic.cpp.o.d"
+  "CMakeFiles/pc_expcuts.dir/expcuts.cpp.o"
+  "CMakeFiles/pc_expcuts.dir/expcuts.cpp.o.d"
+  "CMakeFiles/pc_expcuts.dir/flat.cpp.o"
+  "CMakeFiles/pc_expcuts.dir/flat.cpp.o.d"
+  "CMakeFiles/pc_expcuts.dir/habs.cpp.o"
+  "CMakeFiles/pc_expcuts.dir/habs.cpp.o.d"
+  "CMakeFiles/pc_expcuts.dir/image_io.cpp.o"
+  "CMakeFiles/pc_expcuts.dir/image_io.cpp.o.d"
+  "CMakeFiles/pc_expcuts.dir/report.cpp.o"
+  "CMakeFiles/pc_expcuts.dir/report.cpp.o.d"
+  "CMakeFiles/pc_expcuts.dir/schedule.cpp.o"
+  "CMakeFiles/pc_expcuts.dir/schedule.cpp.o.d"
+  "libpc_expcuts.a"
+  "libpc_expcuts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_expcuts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_geom.dir/box.cpp.o"
+  "CMakeFiles/pc_geom.dir/box.cpp.o.d"
+  "CMakeFiles/pc_geom.dir/interval.cpp.o"
+  "CMakeFiles/pc_geom.dir/interval.cpp.o.d"
+  "libpc_geom.a"
+  "libpc_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_hicuts.dir/hicuts.cpp.o"
+  "CMakeFiles/pc_hicuts.dir/hicuts.cpp.o.d"
+  "libpc_hicuts.a"
+  "libpc_hicuts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_hicuts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_hsm.dir/hsm.cpp.o"
+  "CMakeFiles/pc_hsm.dir/hsm.cpp.o.d"
+  "CMakeFiles/pc_hsm.dir/segmentation.cpp.o"
+  "CMakeFiles/pc_hsm.dir/segmentation.cpp.o.d"
+  "libpc_hsm.a"
+  "libpc_hsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_hsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

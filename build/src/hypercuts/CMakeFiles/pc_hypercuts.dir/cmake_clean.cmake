@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_hypercuts.dir/hypercuts.cpp.o"
+  "CMakeFiles/pc_hypercuts.dir/hypercuts.cpp.o.d"
+  "libpc_hypercuts.a"
+  "libpc_hypercuts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_hypercuts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

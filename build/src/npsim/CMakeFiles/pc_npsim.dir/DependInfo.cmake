@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/npsim/config.cpp" "src/npsim/CMakeFiles/pc_npsim.dir/config.cpp.o" "gcc" "src/npsim/CMakeFiles/pc_npsim.dir/config.cpp.o.d"
+  "/root/repo/src/npsim/placement.cpp" "src/npsim/CMakeFiles/pc_npsim.dir/placement.cpp.o" "gcc" "src/npsim/CMakeFiles/pc_npsim.dir/placement.cpp.o.d"
+  "/root/repo/src/npsim/sim.cpp" "src/npsim/CMakeFiles/pc_npsim.dir/sim.cpp.o" "gcc" "src/npsim/CMakeFiles/pc_npsim.dir/sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/classify/CMakeFiles/pc_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/pc_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/pc_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/pc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_npsim.dir/config.cpp.o"
+  "CMakeFiles/pc_npsim.dir/config.cpp.o.d"
+  "CMakeFiles/pc_npsim.dir/placement.cpp.o"
+  "CMakeFiles/pc_npsim.dir/placement.cpp.o.d"
+  "CMakeFiles/pc_npsim.dir/sim.cpp.o"
+  "CMakeFiles/pc_npsim.dir/sim.cpp.o.d"
+  "libpc_npsim.a"
+  "libpc_npsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_npsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packet/flowgen.cpp" "src/packet/CMakeFiles/pc_packet.dir/flowgen.cpp.o" "gcc" "src/packet/CMakeFiles/pc_packet.dir/flowgen.cpp.o.d"
+  "/root/repo/src/packet/header.cpp" "src/packet/CMakeFiles/pc_packet.dir/header.cpp.o" "gcc" "src/packet/CMakeFiles/pc_packet.dir/header.cpp.o.d"
+  "/root/repo/src/packet/trace.cpp" "src/packet/CMakeFiles/pc_packet.dir/trace.cpp.o" "gcc" "src/packet/CMakeFiles/pc_packet.dir/trace.cpp.o.d"
+  "/root/repo/src/packet/tracegen.cpp" "src/packet/CMakeFiles/pc_packet.dir/tracegen.cpp.o" "gcc" "src/packet/CMakeFiles/pc_packet.dir/tracegen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/pc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/pc_rules.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

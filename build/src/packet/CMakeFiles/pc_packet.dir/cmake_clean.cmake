@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_packet.dir/flowgen.cpp.o"
+  "CMakeFiles/pc_packet.dir/flowgen.cpp.o.d"
+  "CMakeFiles/pc_packet.dir/header.cpp.o"
+  "CMakeFiles/pc_packet.dir/header.cpp.o.d"
+  "CMakeFiles/pc_packet.dir/trace.cpp.o"
+  "CMakeFiles/pc_packet.dir/trace.cpp.o.d"
+  "CMakeFiles/pc_packet.dir/tracegen.cpp.o"
+  "CMakeFiles/pc_packet.dir/tracegen.cpp.o.d"
+  "libpc_packet.a"
+  "libpc_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

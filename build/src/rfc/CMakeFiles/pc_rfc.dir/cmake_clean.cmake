@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_rfc.dir/rfc.cpp.o"
+  "CMakeFiles/pc_rfc.dir/rfc.cpp.o.d"
+  "libpc_rfc.a"
+  "libpc_rfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_rfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/analysis.cpp" "src/rules/CMakeFiles/pc_rules.dir/analysis.cpp.o" "gcc" "src/rules/CMakeFiles/pc_rules.dir/analysis.cpp.o.d"
+  "/root/repo/src/rules/generator.cpp" "src/rules/CMakeFiles/pc_rules.dir/generator.cpp.o" "gcc" "src/rules/CMakeFiles/pc_rules.dir/generator.cpp.o.d"
+  "/root/repo/src/rules/parser.cpp" "src/rules/CMakeFiles/pc_rules.dir/parser.cpp.o" "gcc" "src/rules/CMakeFiles/pc_rules.dir/parser.cpp.o.d"
+  "/root/repo/src/rules/rule.cpp" "src/rules/CMakeFiles/pc_rules.dir/rule.cpp.o" "gcc" "src/rules/CMakeFiles/pc_rules.dir/rule.cpp.o.d"
+  "/root/repo/src/rules/ruleset.cpp" "src/rules/CMakeFiles/pc_rules.dir/ruleset.cpp.o" "gcc" "src/rules/CMakeFiles/pc_rules.dir/ruleset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/pc_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

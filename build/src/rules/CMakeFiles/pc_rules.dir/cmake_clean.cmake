@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_rules.dir/analysis.cpp.o"
+  "CMakeFiles/pc_rules.dir/analysis.cpp.o.d"
+  "CMakeFiles/pc_rules.dir/generator.cpp.o"
+  "CMakeFiles/pc_rules.dir/generator.cpp.o.d"
+  "CMakeFiles/pc_rules.dir/parser.cpp.o"
+  "CMakeFiles/pc_rules.dir/parser.cpp.o.d"
+  "CMakeFiles/pc_rules.dir/rule.cpp.o"
+  "CMakeFiles/pc_rules.dir/rule.cpp.o.d"
+  "CMakeFiles/pc_rules.dir/ruleset.cpp.o"
+  "CMakeFiles/pc_rules.dir/ruleset.cpp.o.d"
+  "libpc_rules.a"
+  "libpc_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

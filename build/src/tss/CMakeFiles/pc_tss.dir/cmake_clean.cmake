@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_tss.dir/tss.cpp.o"
+  "CMakeFiles/pc_tss.dir/tss.cpp.o.d"
+  "libpc_tss.a"
+  "libpc_tss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_tss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

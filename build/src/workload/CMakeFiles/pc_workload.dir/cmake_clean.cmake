@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_workload.dir/workload.cpp.o"
+  "CMakeFiles/pc_workload.dir/workload.cpp.o.d"
+  "libpc_workload.a"
+  "libpc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bv_test.dir/bv_test.cpp.o"
+  "CMakeFiles/bv_test.dir/bv_test.cpp.o.d"
+  "bv_test"
+  "bv_test.pdb"
+  "bv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

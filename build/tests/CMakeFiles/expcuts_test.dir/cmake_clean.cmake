@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expcuts_test.dir/expcuts_test.cpp.o"
+  "CMakeFiles/expcuts_test.dir/expcuts_test.cpp.o.d"
+  "expcuts_test"
+  "expcuts_test.pdb"
+  "expcuts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expcuts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

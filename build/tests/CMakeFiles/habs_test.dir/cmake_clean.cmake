@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/habs_test.dir/habs_test.cpp.o"
+  "CMakeFiles/habs_test.dir/habs_test.cpp.o.d"
+  "habs_test"
+  "habs_test.pdb"
+  "habs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/habs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

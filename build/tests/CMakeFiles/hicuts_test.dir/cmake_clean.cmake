@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hicuts_test.dir/hicuts_test.cpp.o"
+  "CMakeFiles/hicuts_test.dir/hicuts_test.cpp.o.d"
+  "hicuts_test"
+  "hicuts_test.pdb"
+  "hicuts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hicuts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hypercuts_test.cpp" "tests/CMakeFiles/hypercuts_test.dir/hypercuts_test.cpp.o" "gcc" "tests/CMakeFiles/hypercuts_test.dir/hypercuts_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/pc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/bv/CMakeFiles/pc_bv.dir/DependInfo.cmake"
+  "/root/repo/build/src/tss/CMakeFiles/pc_tss.dir/DependInfo.cmake"
+  "/root/repo/build/src/expcuts/CMakeFiles/pc_expcuts.dir/DependInfo.cmake"
+  "/root/repo/build/src/hicuts/CMakeFiles/pc_hicuts.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypercuts/CMakeFiles/pc_hypercuts.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsm/CMakeFiles/pc_hsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfc/CMakeFiles/pc_rfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/eqclass/CMakeFiles/pc_eqclass.dir/DependInfo.cmake"
+  "/root/repo/build/src/npsim/CMakeFiles/pc_npsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/pc_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/pc_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/pc_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/pc_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/pc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypercuts_test.dir/hypercuts_test.cpp.o"
+  "CMakeFiles/hypercuts_test.dir/hypercuts_test.cpp.o.d"
+  "hypercuts_test"
+  "hypercuts_test.pdb"
+  "hypercuts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypercuts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

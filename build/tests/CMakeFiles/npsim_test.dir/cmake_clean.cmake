@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npsim_test.dir/npsim_test.cpp.o"
+  "CMakeFiles/npsim_test.dir/npsim_test.cpp.o.d"
+  "npsim_test"
+  "npsim_test.pdb"
+  "npsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfc_test.dir/rfc_test.cpp.o"
+  "CMakeFiles/rfc_test.dir/rfc_test.cpp.o.d"
+  "rfc_test"
+  "rfc_test.pdb"
+  "rfc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tss_test.dir/tss_test.cpp.o"
+  "CMakeFiles/tss_test.dir/tss_test.cpp.o.d"
+  "tss_test"
+  "tss_test.pdb"
+  "tss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

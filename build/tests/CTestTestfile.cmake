@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/rules_test[1]_include.cmake")
+include("/root/repo/build/tests/packet_test[1]_include.cmake")
+include("/root/repo/build/tests/classify_test[1]_include.cmake")
+include("/root/repo/build/tests/habs_test[1]_include.cmake")
+include("/root/repo/build/tests/schedule_test[1]_include.cmake")
+include("/root/repo/build/tests/expcuts_test[1]_include.cmake")
+include("/root/repo/build/tests/bv_test[1]_include.cmake")
+include("/root/repo/build/tests/hicuts_test[1]_include.cmake")
+include("/root/repo/build/tests/hypercuts_test[1]_include.cmake")
+include("/root/repo/build/tests/hsm_test[1]_include.cmake")
+include("/root/repo/build/tests/rfc_test[1]_include.cmake")
+include("/root/repo/build/tests/tss_test[1]_include.cmake")
+include("/root/repo/build/tests/dynamic_test[1]_include.cmake")
+include("/root/repo/build/tests/image_io_test[1]_include.cmake")
+include("/root/repo/build/tests/npsim_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_differential_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/reproduction_test[1]_include.cmake")
+include("/root/repo/build/tests/smoke_test[1]_include.cmake")
