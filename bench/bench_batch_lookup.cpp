@@ -1,0 +1,202 @@
+// Scalar vs G-way interleaved batch lookup vs batch + threads.
+//
+// Measures the host-side latency-hiding payoff of classify_batch
+// (DESIGN.md §9) on synthetic firewall / core-router rule sets well beyond
+// the paper's largest (CR04, 1945 rules): a serial lookup pays a full
+// cache-miss round trip per tree level, the interleaved walk overlaps G of
+// them. Emits a JSON baseline (default BENCH_batch_lookup.json, or argv[1])
+// so the perf trajectory is tracked across PRs.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/parallel.hpp"
+#include "hicuts/hicuts.hpp"
+#include "packet/tracegen.hpp"
+#include "rules/generator.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace pclass;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Row {
+  std::string set_name;
+  std::string algo;
+  std::size_t rules = 0;
+  double scalar_mpps = 0.0;
+  double batch_mpps = 0.0;
+  double batch_threads_mpps = 0.0;
+  unsigned threads = 1;
+  double mean_levels = 0.0;
+  u32 group_size = 0;
+  double image_mb = 0.0;
+
+  double batch_speedup() const {
+    return scalar_mpps > 0 ? batch_mpps / scalar_mpps : 0.0;
+  }
+  double threads_speedup() const {
+    return scalar_mpps > 0 ? batch_threads_mpps / scalar_mpps : 0.0;
+  }
+};
+
+/// Best-of-`reps` wall time of one full-trace pass, in Mpps.
+template <typename F>
+double measure_mpps(const Trace& trace, int reps, F&& pass) {
+  pass();  // warmup
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_seconds();
+    pass();
+    best = std::min(best, now_seconds() - t0);
+  }
+  return static_cast<double>(trace.size()) / best / 1e6;
+}
+
+/// The workload defaults, except HiCuts: binth 8 / 4M nodes is tuned for
+/// the paper-scale sets (<= 2k rules) and blows up on the 12k synthetic
+/// ones; a coarser leaf bound keeps the build tractable.
+ClassifierPtr make_bench_classifier(workload::Algo algo,
+                                    const RuleSet& rules) {
+  if (algo == workload::Algo::kHiCuts) {
+    hicuts::Config cfg;
+    cfg.binth = 16;
+    cfg.spfac = 2.0;
+    cfg.max_nodes = 16'000'000;
+    return std::make_unique<hicuts::HiCutsClassifier>(rules, cfg);
+  }
+  return workload::make_classifier(algo, rules);
+}
+
+Row run_one(const std::string& set_name, workload::Algo algo,
+            const RuleSet& rules, const Trace& trace, unsigned threads) {
+  const ClassifierPtr cls = make_bench_classifier(algo, rules);
+  const PacketHeader* headers = trace.packets().data();
+  std::vector<RuleId> out(trace.size(), kNoMatch);
+  constexpr int kReps = 5;
+
+  Row row;
+  row.set_name = set_name;
+  row.algo = workload::algo_name(algo);
+  row.rules = rules.size();
+  row.threads = threads;
+  row.image_mb =
+      static_cast<double>(cls->footprint().bytes) / (1024.0 * 1024.0);
+
+  row.scalar_mpps = measure_mpps(trace, kReps, [&] {
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      out[i] = cls->classify(trace[i]);
+    }
+  });
+
+  BatchLookupStats stats;
+  row.batch_mpps = measure_mpps(trace, kReps, [&] {
+    cls->classify_batch(headers, out.data(), trace.size(), &stats);
+  });
+  row.mean_levels = stats.mean_levels();
+  row.group_size = stats.group_size;
+
+  row.batch_threads_mpps = measure_mpps(trace, kReps, [&] {
+    classify_parallel(*cls, trace, threads, 4096);
+  });
+
+  std::printf(
+      "%-8s %-8s rules=%-6zu image=%.1fMB scalar=%.2f Mpps  "
+      "batch=%.2f Mpps (%.2fx)  batch+%uT=%.2f Mpps (%.2fx)  "
+      "levels/pkt=%.2f G=%u\n",
+      set_name.c_str(), row.algo.c_str(), row.rules, row.image_mb,
+      row.scalar_mpps, row.batch_mpps, row.batch_speedup(), threads,
+      row.batch_threads_mpps, row.threads_speedup(), row.mean_levels,
+      row.group_size);
+  std::fflush(stdout);
+  return row;
+}
+
+void write_json(const char* path, const std::vector<Row>& rows,
+                std::size_t packets, unsigned threads) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"batch_lookup\",\n");
+  std::fprintf(f, "  \"group_size\": %zu,\n", kBatchInterleaveWays);
+  std::fprintf(f, "  \"threads\": %u,\n", threads);
+  std::fprintf(f, "  \"packets\": %zu,\n", packets);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"set\": \"%s\", \"algo\": \"%s\", \"rules\": %zu, "
+        "\"image_mb\": %.2f, "
+        "\"scalar_mpps\": %.3f, \"batch_mpps\": %.3f, "
+        "\"batch_speedup\": %.3f, \"batch_threads_mpps\": %.3f, "
+        "\"threads_speedup\": %.3f, \"mean_levels\": %.3f}%s\n",
+        r.set_name.c_str(), r.algo.c_str(), r.rules, r.image_mb,
+        r.scalar_mpps, r.batch_mpps, r.batch_speedup(), r.batch_threads_mpps,
+        r.threads_speedup(), r.mean_levels, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_batch_lookup.json";
+  const unsigned threads =
+      std::max(2u, std::min(8u, std::thread::hardware_concurrency()));
+
+  struct SetSpec {
+    const char* name;
+    RuleProfile profile;
+    std::size_t rules;
+    u64 seed;
+  };
+  // FW/CR-style synthetic sets, ~6x the paper's largest evaluation set.
+  const SetSpec sets[] = {
+      {"FW-12k", RuleProfile::kFirewall, 12000, 97},
+      {"CR-12k", RuleProfile::kCoreRouter, 12000, 98},
+  };
+
+  std::vector<Row> rows;
+  std::size_t packets = 0;
+  for (const SetSpec& s : sets) {
+    GeneratorConfig gcfg;
+    gcfg.profile = s.profile;
+    gcfg.rule_count = s.rules;
+    gcfg.seed = s.seed;
+    gcfg.site_blocks = 24;
+    const RuleSet rules = generate_ruleset(gcfg);
+
+    TraceGenConfig tcfg;
+    tcfg.count = 200000;
+    tcfg.seed = s.seed ^ 0xba7c4;
+    tcfg.rule_directed_fraction = 0.8;  // diverse headers defeat the caches
+    const Trace trace = generate_trace(rules, tcfg);
+    packets = trace.size();
+
+    const double t0 = now_seconds();
+    for (workload::Algo algo :
+         {workload::Algo::kExpCuts, workload::Algo::kHiCuts}) {
+      rows.push_back(run_one(s.name, algo, rules, trace, threads));
+    }
+    std::printf("%s total (incl. builds): %.1fs\n", s.name,
+                now_seconds() - t0);
+  }
+  write_json(out_path, rows, packets, threads);
+  return 0;
+}

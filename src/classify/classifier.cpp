@@ -1,0 +1,17 @@
+#include "classify/classifier.hpp"
+
+#include <algorithm>
+
+namespace pclass {
+
+void Classifier::classify_batch(const PacketHeader* h, RuleId* out,
+                                std::size_t n, BatchLookupStats* stats) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] = classify(h[i]);
+  if (stats != nullptr) {
+    stats->lookups += n;
+    ++stats->batches;
+    if (n > 0) stats->group_size = std::max(stats->group_size, 1u);
+  }
+}
+
+}  // namespace pclass

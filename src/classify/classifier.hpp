@@ -10,16 +10,32 @@
 // The NP simulator replays those traces through its microengine/SRAM model;
 // this is what lets the reproduction execute the *real* serialized data
 // structures while modelling IXP2850 memory behaviour (DESIGN.md §2).
+//
+// A third entry point, classify_batch(), classifies a contiguous span of
+// headers. The base implementation is a scalar loop; latency-bound
+// algorithms override it with a G-way interleaved walk that keeps several
+// lookups in flight and prefetches their next memory references — the
+// host-side analogue of the IXP2850 hiding SRAM latency behind 8 hardware
+// thread contexts per microengine (DESIGN.md §9).
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "packet/header.hpp"
 #include "rules/ruleset.hpp"
 
 namespace pclass {
+
+/// In-flight lookups per interleave group in batched walks — the software
+/// counterpart of the IXP2850's 8 hardware threads per microengine (paper
+/// Sec. 5). 2x the IXP's context count measures best on deep cache
+/// hierarchies (bench_batch_lookup sweeps this): enough overlap to cover
+/// an L3/DRAM round trip with other packets' compute, small enough that
+/// the group's lane state stays register/L1-resident.
+inline constexpr std::size_t kBatchInterleaveWays = 16;
 
 /// One off-chip memory reference issued during a lookup.
 struct MemAccess {
@@ -83,6 +99,16 @@ class Classifier {
   /// which the caller is expected to clear()).
   virtual RuleId classify_traced(const PacketHeader& h,
                                  LookupTrace& trace) const = 0;
+
+  /// Batched lookup: out[i] = classify(h[i]) for i in [0, n). The default
+  /// is a scalar loop; overrides interleave G lookups with software
+  /// prefetch so memory stalls overlap instead of serializing. `stats`
+  /// (optional) accumulates per-run counters; pass one instance per
+  /// calling thread — classify_batch itself is const and thread-safe, the
+  /// stats object is not synchronized.
+  virtual void classify_batch(const PacketHeader* h, RuleId* out,
+                              std::size_t n,
+                              BatchLookupStats* stats = nullptr) const;
 
   virtual MemoryFootprint footprint() const = 0;
 };

@@ -1,5 +1,6 @@
 #include "classify/verify.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "classify/linear.hpp"
@@ -42,6 +43,44 @@ VerifyResult verify_traced_consistency(const Classifier& subject,
         res.got = traced;
       }
       ++res.mismatches;
+    }
+  }
+  return res;
+}
+
+VerifyResult verify_batch_consistency(const Classifier& subject,
+                                      const Trace& trace) {
+  VerifyResult res;
+  std::vector<RuleId> want(trace.size(), kNoMatch);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    want[i] = subject.classify(trace[i]);
+  }
+  const PacketHeader* headers = trace.packets().data();
+
+  // n == 0 must be a no-op (exercised even on an empty trace).
+  subject.classify_batch(headers, nullptr, 0);
+
+  constexpr std::size_t G = kBatchInterleaveWays;
+  const std::size_t sizes[] = {1, G - 1, G, 3 * G + 1, trace.size()};
+  std::vector<RuleId> got(trace.size(), kNoMatch);
+  for (const std::size_t size : sizes) {
+    if (size == 0) continue;
+    std::fill(got.begin(), got.end(), kNoMatch);
+    BatchLookupStats stats;
+    for (std::size_t begin = 0; begin < trace.size(); begin += size) {
+      const std::size_t n = std::min(size, trace.size() - begin);
+      subject.classify_batch(headers + begin, got.data() + begin, n, &stats);
+    }
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      ++res.packets;
+      if (want[i] != got[i]) {
+        if (res.mismatches == 0) {
+          res.first_bad = trace[i];
+          res.expected = want[i];
+          res.got = got[i];
+        }
+        ++res.mismatches;
+      }
     }
   }
   return res;

@@ -29,4 +29,11 @@ VerifyResult verify_against_linear(const Classifier& subject,
 VerifyResult verify_traced_consistency(const Classifier& subject,
                                        const Trace& trace);
 
+/// Checks classify_batch() agrees with classify() on every packet, sweeping
+/// batch sizes that exercise the interleave edge cases (0, 1, G-1, G,
+/// 3G+1 for G = kBatchInterleaveWays, plus the whole trace at once).
+/// `packets` counts packet comparisons summed over all sweeps.
+VerifyResult verify_batch_consistency(const Classifier& subject,
+                                      const Trace& trace);
+
 }  // namespace pclass

@@ -36,6 +36,18 @@ constexpr u64 extract_bits(u64 value, u32 lsb, u32 width) {
   return (width >= 64) ? shifted : (shifted & ((u64{1} << width) - 1));
 }
 
+/// Read-prefetch hint for pointer-chasing lookups (no-op where the
+/// builtin is unavailable). The host-side analogue of the IXP hiding SRAM
+/// latency behind its hardware thread contexts: issue the fetch early,
+/// do other packets' work while the line is in flight.
+inline void prefetch_ro(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
 /// True if x is a power of two (x > 0).
 constexpr bool is_pow2(u64 x) { return x != 0 && (x & (x - 1)) == 0; }
 

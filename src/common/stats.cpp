@@ -33,6 +33,29 @@ std::string RunningStats::summary() const {
   return buf;
 }
 
+void BatchLookupStats::merge(const BatchLookupStats& o) {
+  lookups += o.lookups;
+  batches += o.batches;
+  levels_walked += o.levels_walked;
+  group_size = std::max(group_size, o.group_size);
+}
+
+double BatchLookupStats::mean_levels() const {
+  return lookups == 0 ? 0.0
+                      : static_cast<double>(levels_walked) /
+                            static_cast<double>(lookups);
+}
+
+std::string BatchLookupStats::summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "lookups=%llu batches=%llu levels/pkt=%.2f G=%u",
+                static_cast<unsigned long long>(lookups),
+                static_cast<unsigned long long>(batches), mean_levels(),
+                group_size);
+  return buf;
+}
+
 Histogram::Histogram(std::size_t bucket_count) : buckets_(bucket_count, 0) {
   if (bucket_count == 0) buckets_.resize(1);
 }

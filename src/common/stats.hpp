@@ -35,6 +35,22 @@ class RunningStats {
   double sum_ = 0.0;
 };
 
+/// Counters for the batched lookup path (Classifier::classify_batch).
+/// Accumulated per caller (one instance per worker thread — the struct is
+/// not synchronized) and merged into run-level totals.
+struct BatchLookupStats {
+  u64 lookups = 0;       ///< Packets classified through the batch path.
+  u64 batches = 0;       ///< classify_batch invocations.
+  u64 levels_walked = 0; ///< Tree levels advanced (0 for non-tree paths).
+  u32 group_size = 0;    ///< Largest in-flight interleave group used.
+
+  void merge(const BatchLookupStats& o);
+  double mean_levels() const;
+
+  /// "lookups=.. batches=.. levels/pkt=.. G=.." one-liner for logs.
+  std::string summary() const;
+};
+
 /// Fixed-bucket histogram over integer values [0, bucket_count).
 /// Values beyond the last bucket are clamped into it.
 class Histogram {

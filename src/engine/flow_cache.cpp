@@ -81,6 +81,30 @@ RuleId CachedClassifier::classify_traced(const PacketHeader& h,
   return verdict;
 }
 
+void CachedClassifier::classify_batch(const PacketHeader* h, RuleId* out,
+                                      std::size_t n,
+                                      BatchLookupStats* stats) const {
+  // Probe phase: resolve hits in place, gather the misses densely so the
+  // inner batch walk interleaves over real lookups only.
+  std::vector<std::size_t> miss_idx;
+  std::vector<PacketHeader> miss_h;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (const std::optional<RuleId> cached = cache_.get(h[i])) {
+      out[i] = *cached;
+    } else {
+      miss_idx.push_back(i);
+      miss_h.push_back(h[i]);
+    }
+  }
+  if (miss_idx.empty()) return;
+  std::vector<RuleId> miss_out(miss_idx.size(), kNoMatch);
+  inner_.classify_batch(miss_h.data(), miss_out.data(), miss_h.size(), stats);
+  for (std::size_t k = 0; k < miss_idx.size(); ++k) {
+    out[miss_idx[k]] = miss_out[k];
+    cache_.put(miss_h[k], miss_out[k]);
+  }
+}
+
 MemoryFootprint CachedClassifier::footprint() const {
   MemoryFootprint f = inner_.footprint();
   f.bytes += cache_.capacity() * kBucketWords * 4;

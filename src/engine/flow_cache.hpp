@@ -73,6 +73,13 @@ class CachedClassifier final : public Classifier {
   RuleId classify(const PacketHeader& h) const override;
   RuleId classify_traced(const PacketHeader& h,
                          LookupTrace& trace) const override;
+  /// Probes the cache for the whole batch first, then classifies only the
+  /// misses through the inner classifier's batch path — so cache misses
+  /// still get the interleaved latency hiding. Duplicate 5-tuples that
+  /// miss within one batch are classified redundantly (and converge on
+  /// the same verdict); the cache is updated once per miss.
+  void classify_batch(const PacketHeader* h, RuleId* out, std::size_t n,
+                      BatchLookupStats* stats = nullptr) const override;
   MemoryFootprint footprint() const override;
 
   const FlowCacheStats& cache_stats() const { return cache_.stats(); }

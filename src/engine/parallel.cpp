@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <mutex>
 
 #include "common/error.hpp"
 #include "engine/thread_pool.hpp"
@@ -15,26 +16,30 @@ ParallelRunResult classify_parallel(const Classifier& cls, const Trace& trace,
   out.threads = threads;
   out.results.assign(trace.size(), kNoMatch);
 
+  const PacketHeader* headers = trace.packets().data();
   const auto t0 = std::chrono::steady_clock::now();
   if (threads <= 1) {
-    for (std::size_t i = 0; i < trace.size(); ++i) {
-      out.results[i] = cls.classify(trace[i]);
-    }
+    cls.classify_batch(headers, out.results.data(), trace.size(),
+                       &out.batch_stats);
   } else {
     ThreadPool pool(threads);
     // Workers claim batches via a shared cursor; each batch's results slice
     // is private to its worker (no write sharing, Core Guidelines CP.2).
+    // Stats are per-worker and merged under a mutex after the drain.
     std::atomic<std::size_t> cursor{0};
+    std::mutex stats_mu;
     auto worker = [&] {
+      BatchLookupStats local;
       for (;;) {
         const std::size_t begin =
             cursor.fetch_add(batch_size, std::memory_order_relaxed);
-        if (begin >= trace.size()) return;
+        if (begin >= trace.size()) break;
         const std::size_t end = std::min(begin + batch_size, trace.size());
-        for (std::size_t i = begin; i < end; ++i) {
-          out.results[i] = cls.classify(trace[i]);
-        }
+        cls.classify_batch(headers + begin, out.results.data() + begin,
+                           end - begin, &local);
       }
+      const std::lock_guard<std::mutex> lock(stats_mu);
+      out.batch_stats.merge(local);
     };
     for (unsigned t = 0; t < threads; ++t) pool.submit(worker);
     pool.wait_idle();

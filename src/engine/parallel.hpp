@@ -17,6 +17,10 @@ struct ParallelRunResult {
   std::vector<RuleId> results;   ///< Per packet, trace order.
   double seconds = 0.0;          ///< Wall time of the classification phase.
   unsigned threads = 1;
+  /// Batch-path counters merged across workers (lookups, levels walked,
+  /// interleave group size); levels_walked is 0 for algorithms that fall
+  /// back to the scalar default.
+  BatchLookupStats batch_stats;
 
   double packets_per_second(std::size_t packets) const {
     return seconds > 0 ? static_cast<double>(packets) / seconds : 0.0;
@@ -25,6 +29,9 @@ struct ParallelRunResult {
 
 /// Classifies the whole trace with `threads` workers over fixed-size
 /// batches; results land in trace order (workers write disjoint slices).
+/// Each worker runs its slice through Classifier::classify_batch, so
+/// algorithms with an interleaved batch walk hide memory latency within
+/// every slice on top of the thread-level parallelism.
 ParallelRunResult classify_parallel(const Classifier& cls, const Trace& trace,
                                     unsigned threads,
                                     std::size_t batch_size = 1024);

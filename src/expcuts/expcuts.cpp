@@ -169,6 +169,13 @@ RuleId ExpCutsClassifier::classify_traced(const PacketHeader& h,
   return flat_->lookup(h, sched_, &trace);
 }
 
+void ExpCutsClassifier::classify_batch(const PacketHeader* h, RuleId* out,
+                                       std::size_t n,
+                                       BatchLookupStats* stats) const {
+  check(flat_ != nullptr, "ExpCuts: flat image missing");
+  flat_->lookup_batch(h, out, n, sched_, stats);
+}
+
 void ExpCutsClassifier::finalize_stats() {
   stats_ = TreeStats{};
   stats_.node_count = nodes_.size();

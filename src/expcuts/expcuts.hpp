@@ -91,6 +91,10 @@ class ExpCutsClassifier final : public Classifier {
   RuleId classify(const PacketHeader& h) const override;
   RuleId classify_traced(const PacketHeader& h,
                          LookupTrace& trace) const override;
+  /// G-way interleaved walk of the serialized word image (flat.hpp), the
+  /// same structure traced lookups execute against.
+  void classify_batch(const PacketHeader* h, RuleId* out, std::size_t n,
+                      BatchLookupStats* stats = nullptr) const override;
   MemoryFootprint footprint() const override;
 
   const Config& config() const { return cfg_; }

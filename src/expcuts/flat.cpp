@@ -82,39 +82,94 @@ RuleId FlatImage::lookup(const PacketHeader& h, const Schedule& sched,
                          LookupTrace* trace, bool popcount_hw) const {
   Ptr p = root_;
   while (!ptr_is_leaf(p)) {
-    const u32 header = words_[p];
-    const u32 level = level_of_header(header);
-    const u32 chunk = sched.chunk_value(h, level);
-    u32 next_off;
-    if (aggregated_) {
-      const u32 habs = header & 0xffff;
-      const u32 m = chunk >> u_;
-      const u32 j = chunk & ((u32{1} << u_) - 1);
-      const u32 masked = habs & ((u32{2} << m) - 1);
-      const u32 i = popcount32(masked) - 1;
-      next_off = p + 1 + ((i << u_) + j);
-      if (trace != nullptr) {
+    const LevelStep s = decode_step(words_[p], p, h, sched);
+    if (trace != nullptr) {
+      if (aggregated_) {
         // Header long-word, then the CPA entry.
         trace->accesses.push_back(
-            MemAccess{static_cast<u16>(level), 1, kChunkExtractCycles});
+            MemAccess{static_cast<u16>(s.level), 1, kChunkExtractCycles});
         const u32 pop_cost =
-            popcount_hw ? kPopCountCycles : risc_popcount_cycles(masked);
-        trace->accesses.push_back(MemAccess{static_cast<u16>(level), 1,
+            popcount_hw ? kPopCountCycles : risc_popcount_cycles(s.masked);
+        trace->accesses.push_back(MemAccess{static_cast<u16>(s.level), 1,
                                             pop_cost + kRankMathCycles});
-      }
-    } else {
-      // Direct index into the full pointer array: a single reference.
-      next_off = p + 1 + chunk;
-      if (trace != nullptr) {
+      } else {
+        // Direct index into the full pointer array: a single reference.
         trace->accesses.push_back(MemAccess{
-            static_cast<u16>(level), 1,
+            static_cast<u16>(s.level), 1,
             kChunkExtractCycles + kDirectIndexCycles});
       }
     }
-    p = words_[next_off];
+    p = words_[s.ptr_off];
   }
   if (trace != nullptr) trace->tail_compute_cycles = 2;
   return leaf_rule(p);
+}
+
+void FlatImage::lookup_batch(const PacketHeader* h, RuleId* out,
+                             std::size_t n, const Schedule& sched,
+                             BatchLookupStats* stats) const {
+  constexpr std::size_t G = kBatchInterleaveWays;
+  if (stats != nullptr && n > 0) {
+    stats->lookups += n;
+    ++stats->batches;
+    stats->group_size =
+        std::max(stats->group_size, static_cast<u32>(std::min(n, G)));
+  }
+  if (ptr_is_leaf(root_)) {
+    const RuleId r = leaf_rule(root_);
+    for (std::size_t i = 0; i < n; ++i) out[i] = r;
+    return;
+  }
+
+  // G in-flight lookups advance in lock-step rounds of two phases, so
+  // every dependent load was prefetched a phase (G-1 other lanes) earlier:
+  //   phase 1 — decode each lane's node header (prefetched by the
+  //     previous round) and prefetch the child-pointer word it selects;
+  //   phase 2 — read the child pointers; descend (prefetching the next
+  //     header), or retire the lookup and refill the lane.
+  // Lane state is struct-of-arrays so the tight phase loops stay in
+  // registers; retired lanes compact by swapping in the tail lane.
+  const u32* const words = words_.data();
+  std::size_t pkt[G];
+  u32 node[G];  ///< Node word offset; phase 1 input.
+  u32 poff[G];  ///< Child-pointer word offset; phase 2 input.
+  std::size_t active = 0;
+  std::size_t next = 0;
+  u64 levels = 0;
+  while (next < n && active < G) {
+    pkt[active] = next++;
+    node[active] = root_;
+    ++active;
+  }
+  prefetch_ro(words + root_);
+
+  while (active > 0) {
+    for (std::size_t k = 0; k < active; ++k) {
+      const LevelStep s =
+          decode_step(words[node[k]], node[k], h[pkt[k]], sched);
+      poff[k] = s.ptr_off;
+      prefetch_ro(words + s.ptr_off);
+    }
+    levels += active;
+    for (std::size_t k = active; k-- > 0;) {
+      const Ptr child = words[poff[k]];
+      if (!ptr_is_leaf(child)) {
+        node[k] = child;
+        prefetch_ro(words + child);
+        continue;
+      }
+      out[pkt[k]] = leaf_rule(child);
+      if (next < n) {
+        pkt[k] = next++;
+        node[k] = root_;  // root line is hot by now
+      } else {
+        --active;  // swapped-in tail lane was already stepped this round
+        pkt[k] = pkt[active];
+        node[k] = node[active];
+      }
+    }
+  }
+  if (stats != nullptr) stats->levels_walked += levels;
 }
 
 }  // namespace expcuts

@@ -41,6 +41,16 @@ class FlatImage {
   RuleId lookup(const PacketHeader& h, const Schedule& sched,
                 LookupTrace* trace, bool popcount_hw = true) const;
 
+  /// Batched lookup: out[i] = lookup(h[i]) for i in [0, n), as a G-way
+  /// interleaved state machine (G = kBatchInterleaveWays). Each in-flight
+  /// lookup advances half a level per round — header decode, then child
+  /// pointer read — and prefetches its next word before rotating to the
+  /// next lane, so per-level memory stalls overlap across packets instead
+  /// of serializing (DESIGN.md §9).
+  void lookup_batch(const PacketHeader* h, RuleId* out, std::size_t n,
+                    const Schedule& sched,
+                    BatchLookupStats* stats = nullptr) const;
+
   u64 word_count() const { return words_.size(); }
   u64 bytes() const { return words_.size() * 4 + 4; }
   bool aggregated() const { return aggregated_; }
@@ -53,6 +63,31 @@ class FlatImage {
   static u32 level_of_header(u32 header) { return (header >> 16) & 0x7f; }
 
  private:
+  /// One tree level of a lookup, shared by the scalar, traced, and batched
+  /// variants so the three cannot drift: decode the already-loaded header
+  /// word of the node at offset `p`, extract the packet's chunk for that
+  /// level, rank it through the HABS (aggregated layout) and locate the
+  /// word holding the child pointer.
+  struct LevelStep {
+    u32 level;    ///< Node's level tag (schedule index).
+    u32 ptr_off;  ///< Word offset of the child pointer (CPA or direct).
+    u32 masked;   ///< HABS & rank mask (aggregated; 0 direct) — trace cost.
+  };
+  LevelStep decode_step(u32 header, Ptr p, const PacketHeader& h,
+                        const Schedule& sched) const {
+    const u32 level = level_of_header(header);
+    const u32 chunk = sched.chunk_value(h, level);
+    if (aggregated_) {
+      const u32 habs = header & 0xffff;
+      const u32 m = chunk >> u_;
+      const u32 j = chunk & ((u32{1} << u_) - 1);
+      const u32 masked = habs & ((u32{2} << m) - 1);
+      const u32 i = popcount32(masked) - 1;
+      return {level, p + 1 + ((i << u_) + j), masked};
+    }
+    return {level, p + 1 + chunk, 0};
+  }
+
   std::vector<u32> words_;
   Ptr root_ = kEmptyLeaf;  ///< Leaf-tagged or word offset of the root node.
   u32 u_ = 4;              ///< log2 pointers per CPA sub-array.

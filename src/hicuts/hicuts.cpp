@@ -178,6 +178,76 @@ RuleId HiCutsClassifier::classify(const PacketHeader& h) const {
   return kNoMatch;
 }
 
+void HiCutsClassifier::classify_batch(const PacketHeader* h, RuleId* out,
+                                      std::size_t n,
+                                      BatchLookupStats* stats) const {
+  constexpr std::size_t G = kBatchInterleaveWays;
+  if (stats != nullptr && n > 0) {
+    stats->lookups += n;
+    ++stats->batches;
+    stats->group_size =
+        std::max(stats->group_size, static_cast<u32>(std::min(n, G)));
+  }
+  // G in-flight lookups advance in lock-step rounds of two phases,
+  // mirroring FlatImage::lookup_batch; the two dependent loads per level
+  // here are the node struct, then its heap-allocated children array.
+  //   phase 1 — decode each lane's node (prefetched by the previous
+  //     round): leaves resolve by linear scan and retire/refill the lane,
+  //     internal nodes select and prefetch their child-pointer slot;
+  //   phase 2 — read the child pointers and prefetch the child nodes.
+  std::size_t pkt[G];
+  const Node* node[G];   ///< Phase 1 input.
+  const u32* slot[G];    ///< Child-pointer entry; phase 2 input.
+  std::size_t active = 0;
+  std::size_t next = 0;
+  u64 levels = 0;
+  const Node* const root = &nodes_[0];
+  while (next < n && active < G) {
+    pkt[active] = next++;
+    node[active] = root;
+    ++active;
+  }
+  prefetch_ro(root);
+
+  while (active > 0) {
+    std::size_t k = 0;
+    while (k < active) {
+      const Node* nd = node[k];
+      if (nd->is_leaf()) {
+        RuleId matched = kNoMatch;
+        for (RuleId id : nd->rules) {
+          if (rules_[id].matches(h[pkt[k]])) {
+            matched = id;
+            break;
+          }
+        }
+        out[pkt[k]] = matched;
+        if (next < n) {
+          pkt[k] = next++;
+          node[k] = root;  // root line is hot; decoded on this same pass
+        } else {
+          --active;  // swap in the tail lane and re-decode slot k
+          pkt[k] = pkt[active];
+          node[k] = node[active];
+        }
+        continue;
+      }
+      const u64 v = h[pkt[k]].field(nd->cut_dim);
+      const u64 idx = (v - nd->cut_range.lo) / nd->cut_step;
+      slot[k] = nd->children.data() + static_cast<std::size_t>(idx);
+      prefetch_ro(slot[k]);
+      ++levels;
+      ++k;
+    }
+    for (k = 0; k < active; ++k) {
+      const Node* child = &nodes_[*slot[k]];
+      node[k] = child;
+      prefetch_ro(child);
+    }
+  }
+  if (stats != nullptr) stats->levels_walked += levels;
+}
+
 RuleId HiCutsClassifier::classify_traced(const PacketHeader& h,
                                          LookupTrace& trace) const {
   const Node* n = &nodes_[0];

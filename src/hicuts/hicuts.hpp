@@ -71,6 +71,11 @@ class HiCutsClassifier final : public Classifier {
   RuleId classify(const PacketHeader& h) const override;
   RuleId classify_traced(const PacketHeader& h,
                          LookupTrace& trace) const override;
+  /// G-way interleaved walk of the in-memory tree: each in-flight lookup
+  /// advances half a level per round (node decode, then child-pointer
+  /// read) and prefetches its next dependent line before rotating.
+  void classify_batch(const PacketHeader* h, RuleId* out, std::size_t n,
+                      BatchLookupStats* stats = nullptr) const override;
   MemoryFootprint footprint() const override;
 
   const TreeStats& stats() const { return stats_; }

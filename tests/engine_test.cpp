@@ -90,6 +90,37 @@ TEST(Parallel, MatchesSequential) {
   EXPECT_GT(par.packets_per_second(tr.size()), 0.0);
 }
 
+TEST(Parallel, BatchStatsPopulated) {
+  workload::Workbench wb(2000);
+  const RuleSet& rs = wb.ruleset("FW01");
+  const Trace& tr = wb.trace("FW01");
+  const ClassifierPtr cls =
+      workload::make_classifier(workload::Algo::kExpCuts, rs);
+  const ParallelRunResult seq = classify_parallel(*cls, tr, 1);
+  EXPECT_EQ(seq.batch_stats.lookups, tr.size());
+  EXPECT_GE(seq.batch_stats.batches, 1u);
+  // ExpCuts walks the interleaved flat image: levels and group size land.
+  EXPECT_GT(seq.batch_stats.levels_walked, 0u);
+  EXPECT_EQ(seq.batch_stats.group_size, kBatchInterleaveWays);
+  EXPECT_GT(seq.batch_stats.mean_levels(), 0.0);
+
+  const ParallelRunResult par = classify_parallel(*cls, tr, 4, 128);
+  EXPECT_EQ(par.batch_stats.lookups, tr.size());
+  EXPECT_EQ(par.batch_stats.levels_walked, seq.batch_stats.levels_walked);
+  EXPECT_EQ(seq.results, par.results);
+}
+
+TEST(Parallel, ScalarDefaultBatchStats) {
+  workload::Workbench wb(500);
+  const ClassifierPtr cls = workload::make_classifier(
+      workload::Algo::kLinear, wb.ruleset("FW01"));
+  const Trace& tr = wb.trace("FW01");
+  const ParallelRunResult res = classify_parallel(*cls, tr, 1);
+  EXPECT_EQ(res.batch_stats.lookups, tr.size());
+  EXPECT_EQ(res.batch_stats.levels_walked, 0u);  // scalar fallback
+  EXPECT_EQ(res.batch_stats.group_size, 1u);
+}
+
 TEST(Parallel, RejectsZeroBatch) {
   workload::Workbench wb(100);
   const ClassifierPtr cls = workload::make_classifier(

@@ -68,6 +68,32 @@ TEST(CachedClassifier, AgreesWithInner) {
   EXPECT_GT(cached.cache_stats().hit_rate(), 0.5);  // flows repeat
 }
 
+TEST(CachedClassifier, BatchMatchesScalarAndBatchesMisses) {
+  const RuleSet rs = generate_paper_ruleset("FW02");
+  const ClassifierPtr inner =
+      workload::make_classifier(workload::Algo::kExpCuts, rs);
+  const CachedClassifier cached(*inner, 512);
+  FlowTraceConfig fcfg;
+  fcfg.flows = 300;
+  fcfg.packets = 5000;
+  fcfg.seed = 7;
+  const Trace trace = generate_flow_trace(rs, fcfg);
+  const VerifyResult res = verify_batch_consistency(cached, trace);
+  EXPECT_TRUE(res.ok()) << res.str();
+
+  // A repeat batch through a warm cache reaches the inner classifier only
+  // for the (zero) misses: the batch stats stay untouched.
+  std::vector<RuleId> out(trace.size(), kNoMatch);
+  BatchLookupStats warm;
+  cached.classify_batch(trace.packets().data(), out.data(), trace.size(),
+                        &warm);
+  BatchLookupStats repeat;
+  cached.classify_batch(trace.packets().data(), out.data(), trace.size(),
+                        &repeat);
+  EXPECT_EQ(repeat.lookups, 0u);
+  EXPECT_LT(warm.lookups, trace.size());  // flows repeat within the batch
+}
+
 TEST(CachedClassifier, TracedHitIsOneBucketProbe) {
   const RuleSet rs = generate_paper_ruleset("FW01");
   const ClassifierPtr inner =

@@ -1,7 +1,8 @@
 // Randomized differential testing: every algorithm vs linear search on
 // randomly configured rule sets (sizes, profiles, wildcard mixes, with
-// and without default rules) and mixed traffic. This is the broad-sweep
-// safety net behind the per-algorithm suites.
+// and without default rules) and mixed traffic, plus batch-vs-scalar
+// agreement across interleave-edge batch sizes (0, 1, G-1, G, 3G+1).
+// This is the broad-sweep safety net behind the per-algorithm suites.
 #include <gtest/gtest.h>
 
 #include "classify/verify.hpp"
@@ -45,6 +46,11 @@ TEST_P(FuzzDifferential, AllAlgorithmsAgreeWithLinear) {
     const VerifyResult res = verify_against_linear(*cls, rules, trace);
     EXPECT_TRUE(res.ok()) << cls->name() << " seed=" << p.seed << ": "
                           << res.str();
+    // Batch-vs-scalar differential: covers the interleaved overrides
+    // (ExpCuts flat image, HiCuts) and the scalar default of the rest.
+    const VerifyResult batch = verify_batch_consistency(*cls, trace);
+    EXPECT_TRUE(batch.ok()) << cls->name() << " batch seed=" << p.seed
+                            << ": " << batch.str();
   }
 }
 
