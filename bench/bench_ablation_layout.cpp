@@ -6,6 +6,7 @@
 //  * channel placement policy for the lookup stream.
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "common/texttable.hpp"
 #include "expcuts/expcuts.hpp"
 #include "expcuts/flat.hpp"
@@ -24,10 +25,12 @@ double avg_accesses(const std::vector<LookupTrace>& traces) {
 
 }  // namespace
 
-int main() {
-  workload::Workbench wb;
+int main(int argc, char** argv) {
+  bench::BenchReport report("ablation_layout", argc, argv);
+  workload::Workbench wb(report.quick() ? 4000 : 20000);
   const RuleSet& rules = wb.ruleset("CR03");
   const Trace& trace = wb.trace("CR03");
+  report.config("set", "CR03");
 
   // --- Schedule order and HABS granularity ---
   std::cout << "=== Layout ablations on CR03 (" << rules.size()
@@ -46,6 +49,14 @@ int main() {
       t1.add(oname, v, st.node_count,
              format_bytes(static_cast<double>(st.bytes_aggregated)),
              st.cpa_words, format_fixed(st.mean_habs_set_bits, 2));
+      report.add_row()
+          .set("ablation", "schedule_habs")
+          .set("schedule", std::string(oname))
+          .set("habs_v", v)
+          .set("nodes", st.node_count)
+          .set("bytes_aggregated", st.bytes_aggregated)
+          .set("cpa_words", st.cpa_words)
+          .set("mean_habs_bits", st.mean_habs_set_bits);
     }
   }
   t1.print(std::cout);
@@ -61,6 +72,12 @@ int main() {
     t2.add(share ? "on" : "off", st.node_count,
            format_bytes(static_cast<double>(st.bytes_aggregated)),
            format_bytes(static_cast<double>(st.bytes_unaggregated)));
+    report.add_row()
+        .set("ablation", "subtree_sharing")
+        .set("share_subtrees", share)
+        .set("nodes", st.node_count)
+        .set("bytes_aggregated", st.bytes_aggregated)
+        .set("bytes_unaggregated", st.bytes_unaggregated);
   }
   t2.print(std::cout);
 
@@ -84,6 +101,12 @@ int main() {
     t3.add(hw ? "hardware (3 cyc)" : "RISC loop (>100 cyc)",
            format_fixed(avg_accesses(traces), 1), format_fixed(compute, 0),
            format_mbps(res.mbps));
+    report.add_row()
+        .set("ablation", "popcount")
+        .set("hardware_popcount", hw)
+        .set("avg_accesses", avg_accesses(traces))
+        .set("avg_compute_cycles", compute)
+        .set("throughput_mbps", res.mbps);
   }
   t3.print(std::cout);
 
@@ -111,7 +134,12 @@ int main() {
     for (const auto& ch : res.sram) busiest = std::max(busiest, ch.utilization);
     t4.add(p.name, format_mbps(res.mbps),
            format_fixed(busiest * 100, 0) + "%");
+    report.add_row()
+        .set("ablation", "placement")
+        .set("policy", std::string(p.name))
+        .set("throughput_mbps", res.mbps)
+        .set("busiest_util", busiest);
   }
   t4.print(std::cout);
-  return 0;
+  return report.write();
 }

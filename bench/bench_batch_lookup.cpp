@@ -4,8 +4,11 @@
 // (DESIGN.md §9) on synthetic firewall / core-router rule sets well beyond
 // the paper's largest (CR04, 1945 rules): a serial lookup pays a full
 // cache-miss round trip per tree level, the interleaved walk overlaps G of
-// them. Emits a JSON baseline (default BENCH_batch_lookup.json, or argv[1])
-// so the perf trajectory is tracked across PRs.
+// them. Emits the standardized bench JSON (bench_json.hpp; default
+// BENCH_batch_lookup.json) whose per-row ns_per_lookup feeds the CI perf
+// gate (tools/check_bench.py). --quick shrinks packets/reps for CI smoke
+// runs while keeping the same rule sets, so rows stay comparable to the
+// committed baseline.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -14,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "engine/parallel.hpp"
 #include "hicuts/hicuts.hpp"
 #include "packet/tracegen.hpp"
@@ -28,39 +32,6 @@ double now_seconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
-}
-
-struct Row {
-  std::string set_name;
-  std::string algo;
-  std::size_t rules = 0;
-  double scalar_mpps = 0.0;
-  double batch_mpps = 0.0;
-  double batch_threads_mpps = 0.0;
-  unsigned threads = 1;
-  double mean_levels = 0.0;
-  u32 group_size = 0;
-  double image_mb = 0.0;
-
-  double batch_speedup() const {
-    return scalar_mpps > 0 ? batch_mpps / scalar_mpps : 0.0;
-  }
-  double threads_speedup() const {
-    return scalar_mpps > 0 ? batch_threads_mpps / scalar_mpps : 0.0;
-  }
-};
-
-/// Best-of-`reps` wall time of one full-trace pass, in Mpps.
-template <typename F>
-double measure_mpps(const Trace& trace, int reps, F&& pass) {
-  pass();  // warmup
-  double best = 1e30;
-  for (int r = 0; r < reps; ++r) {
-    const double t0 = now_seconds();
-    pass();
-    best = std::min(best, now_seconds() - t0);
-  }
-  return static_cast<double>(trace.size()) / best / 1e6;
 }
 
 /// The workload defaults, except HiCuts: binth 8 / 4M nodes is tuned for
@@ -78,87 +49,81 @@ ClassifierPtr make_bench_classifier(workload::Algo algo,
   return workload::make_classifier(algo, rules);
 }
 
-Row run_one(const std::string& set_name, workload::Algo algo,
-            const RuleSet& rules, const Trace& trace, unsigned threads) {
+void run_one(bench::BenchReport& report, const std::string& set_name,
+             workload::Algo algo, const RuleSet& rules, const Trace& trace,
+             unsigned threads, int reps) {
   const ClassifierPtr cls = make_bench_classifier(algo, rules);
   const PacketHeader* headers = trace.packets().data();
   std::vector<RuleId> out(trace.size(), kNoMatch);
-  constexpr int kReps = 5;
-
-  Row row;
-  row.set_name = set_name;
-  row.algo = workload::algo_name(algo);
-  row.rules = rules.size();
-  row.threads = threads;
-  row.image_mb =
+  const double pkts = static_cast<double>(trace.size());
+  const std::string algo_name = workload::algo_name(algo);
+  const double image_mb =
       static_cast<double>(cls->footprint().bytes) / (1024.0 * 1024.0);
 
-  row.scalar_mpps = measure_mpps(trace, kReps, [&] {
+  // Per-rep ns/lookup samples feed the latency_ns percentile series.
+  std::vector<double> scalar_s, batch_s, batch_threads_s;
+  const double scalar_best = bench::best_seconds(reps, [&] {
     for (std::size_t i = 0; i < trace.size(); ++i) {
       out[i] = cls->classify(trace[i]);
     }
-  });
+  }, &scalar_s);
 
   BatchLookupStats stats;
-  row.batch_mpps = measure_mpps(trace, kReps, [&] {
+  const double batch_best = bench::best_seconds(reps, [&] {
     cls->classify_batch(headers, out.data(), trace.size(), &stats);
-  });
-  row.mean_levels = stats.mean_levels();
-  row.group_size = stats.group_size;
+  }, &batch_s);
 
-  row.batch_threads_mpps = measure_mpps(trace, kReps, [&] {
+  const double threads_best = bench::best_seconds(reps, [&] {
     classify_parallel(*cls, trace, threads, 4096);
-  });
+  }, &batch_threads_s);
+
+  auto to_ns = [&](std::vector<double>& xs) {
+    for (double& x : xs) x = x / pkts * 1e9;
+    return xs;
+  };
+  const std::string tag = set_name + "/" + algo_name;
+  report.add_latency_ns(tag + "/scalar", to_ns(scalar_s));
+  report.add_latency_ns(tag + "/batch", to_ns(batch_s));
+  report.add_latency_ns(tag + "/batch_threads", to_ns(batch_threads_s));
+
+  const double scalar_mpps = pkts / scalar_best / 1e6;
+  const double batch_mpps = pkts / batch_best / 1e6;
+  const double threads_mpps = pkts / threads_best / 1e6;
+  bench::BenchReport::Row& row = report.add_row();
+  row.set("set", set_name)
+      .set("algo", algo_name)
+      .set("rules", u64{rules.size()})
+      .set("image_mb", image_mb)
+      .set("scalar_mpps", scalar_mpps)
+      .set("batch_mpps", batch_mpps)
+      .set("batch_speedup", scalar_mpps > 0 ? batch_mpps / scalar_mpps : 0.0)
+      .set("batch_threads_mpps", threads_mpps)
+      .set("threads_speedup", scalar_mpps > 0 ? threads_mpps / scalar_mpps : 0.0)
+      .set("ns_per_lookup", batch_best / pkts * 1e9)
+      .set("scalar_ns_per_lookup", scalar_best / pkts * 1e9)
+      .set("mean_levels", stats.mean_levels())
+      .set("group_size", stats.group_size);
 
   std::printf(
       "%-8s %-8s rules=%-6zu image=%.1fMB scalar=%.2f Mpps  "
       "batch=%.2f Mpps (%.2fx)  batch+%uT=%.2f Mpps (%.2fx)  "
       "levels/pkt=%.2f G=%u\n",
-      set_name.c_str(), row.algo.c_str(), row.rules, row.image_mb,
-      row.scalar_mpps, row.batch_mpps, row.batch_speedup(), threads,
-      row.batch_threads_mpps, row.threads_speedup(), row.mean_levels,
-      row.group_size);
+      set_name.c_str(), algo_name.c_str(), rules.size(), image_mb,
+      scalar_mpps, batch_mpps,
+      scalar_mpps > 0 ? batch_mpps / scalar_mpps : 0.0, threads,
+      threads_mpps, scalar_mpps > 0 ? threads_mpps / scalar_mpps : 0.0,
+      stats.mean_levels(), stats.group_size);
   std::fflush(stdout);
-  return row;
-}
-
-void write_json(const char* path, const std::vector<Row>& rows,
-                std::size_t packets, unsigned threads) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path);
-    return;
-  }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"batch_lookup\",\n");
-  std::fprintf(f, "  \"group_size\": %zu,\n", kBatchInterleaveWays);
-  std::fprintf(f, "  \"threads\": %u,\n", threads);
-  std::fprintf(f, "  \"packets\": %zu,\n", packets);
-  std::fprintf(f, "  \"results\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    std::fprintf(
-        f,
-        "    {\"set\": \"%s\", \"algo\": \"%s\", \"rules\": %zu, "
-        "\"image_mb\": %.2f, "
-        "\"scalar_mpps\": %.3f, \"batch_mpps\": %.3f, "
-        "\"batch_speedup\": %.3f, \"batch_threads_mpps\": %.3f, "
-        "\"threads_speedup\": %.3f, \"mean_levels\": %.3f}%s\n",
-        r.set_name.c_str(), r.algo.c_str(), r.rules, r.image_mb,
-        r.scalar_mpps, r.batch_mpps, r.batch_speedup(), r.batch_threads_mpps,
-        r.threads_speedup(), r.mean_levels, i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", path);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* out_path = argc > 1 ? argv[1] : "BENCH_batch_lookup.json";
+  bench::BenchReport report("batch_lookup", argc, argv);
   const unsigned threads =
       std::max(2u, std::min(8u, std::thread::hardware_concurrency()));
+  const std::size_t packets = report.quick() ? 40000 : 200000;
+  const int reps = report.quick() ? 2 : 5;
 
   struct SetSpec {
     const char* name;
@@ -172,8 +137,12 @@ int main(int argc, char** argv) {
       {"CR-12k", RuleProfile::kCoreRouter, 12000, 98},
   };
 
-  std::vector<Row> rows;
-  std::size_t packets = 0;
+  report.config("group_size", u64{kBatchInterleaveWays});
+  report.config("threads", threads);
+  report.config("packets", u64{packets});
+  report.config("reps", reps);
+  report.config("batch_size", u64{4096});
+
   for (const SetSpec& s : sets) {
     GeneratorConfig gcfg;
     gcfg.profile = s.profile;
@@ -183,20 +152,18 @@ int main(int argc, char** argv) {
     const RuleSet rules = generate_ruleset(gcfg);
 
     TraceGenConfig tcfg;
-    tcfg.count = 200000;
+    tcfg.count = packets;
     tcfg.seed = s.seed ^ 0xba7c4;
     tcfg.rule_directed_fraction = 0.8;  // diverse headers defeat the caches
     const Trace trace = generate_trace(rules, tcfg);
-    packets = trace.size();
 
     const double t0 = now_seconds();
     for (workload::Algo algo :
          {workload::Algo::kExpCuts, workload::Algo::kHiCuts}) {
-      rows.push_back(run_one(s.name, algo, rules, trace, threads));
+      run_one(report, s.name, algo, rules, trace, threads, reps);
     }
     std::printf("%s total (incl. builds): %.1fs\n", s.name,
                 now_seconds() - t0);
   }
-  write_json(out_path, rows, packets, threads);
-  return 0;
+  return report.write();
 }

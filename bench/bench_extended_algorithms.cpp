@@ -5,13 +5,15 @@
 // paper's taxonomy describes.
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "common/texttable.hpp"
 #include "npsim/sim.hpp"
 #include "workload/workload.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pclass;
-  workload::Workbench wb;
+  bench::BenchReport report("extended_algorithms", argc, argv);
+  workload::Workbench wb(report.quick() ? 4000 : 20000);
   const std::vector<workload::Algo> algos = {
       workload::Algo::kExpCuts,   workload::Algo::kHiCuts,
       workload::Algo::kHyperCuts, workload::Algo::kHsm,
@@ -27,7 +29,9 @@ int main() {
   TextTable mem(cols);
   TextTable acc(cols);
   const u64 sram_budget = npsim::NpuConfig::ixp2850().sram_bytes();
-  for (const std::string& name : wb.names()) {
+  std::vector<std::string> names = wb.names();
+  if (report.quick()) names.resize(2);
+  for (const std::string& name : names) {
     const RuleSet& rules = wb.ruleset(name);
     const Trace& trace = wb.trace(name);
     std::vector<std::string> row_t{name}, row_m{name}, row_a{name};
@@ -43,6 +47,13 @@ int main() {
           traces, workload::RunSpec{}, npsim::AppModel{},
           algo == workload::Algo::kExpCuts);
       const u64 bytes = cls->footprint().bytes;
+      report.add_row()
+          .set("set", name)
+          .set("algo", workload::algo_name(algo))
+          .set("throughput_mbps", res.mbps)
+          .set("footprint_bytes", bytes)
+          .set("accesses_per_packet", accesses)
+          .set("fits_sram", bytes <= sram_budget);
       row_t.push_back(format_mbps(res.mbps));
       row_m.push_back(format_bytes(static_cast<double>(bytes)) +
                       (bytes > sram_budget ? " (!)" : ""));
@@ -70,5 +81,5 @@ int main() {
          "  why production tuple-space classifiers hide behind a flow\n"
          "  cache (see bench_flow_cache); ExpCuts takes decision-tree\n"
          "  memory economics *and* a bounded access count.\n";
-  return 0;
+  return report.write();
 }

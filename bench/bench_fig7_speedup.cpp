@@ -6,15 +6,19 @@
 // thread converts latency hiding into throughput.
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "common/texttable.hpp"
 #include "npsim/sim.hpp"
 #include "workload/workload.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pclass;
-  workload::Workbench wb;
+  bench::BenchReport report("fig7_speedup", argc, argv);
+  workload::Workbench wb(report.quick() ? 4000 : 20000);
   const RuleSet& rules = wb.ruleset("CR04");
   const Trace& trace = wb.trace("CR04");
+  report.config("set", "CR04");
+  report.config("packets", u64{trace.size()});
   const ClassifierPtr cls =
       workload::make_classifier(workload::Algo::kExpCuts, rules);
   const std::vector<LookupTrace> traces = npsim::collect_traces(*cls, trace);
@@ -36,9 +40,15 @@ int main() {
     t.add(threads, spec.classify_mes, format_mbps(res.mbps),
           format_fixed(speedup, 2) + "x",
           format_fixed(efficiency * 100.0, 0) + "%");
+    report.add_row()
+        .set("threads", threads)
+        .set("mes", spec.classify_mes)
+        .set("throughput_mbps", res.mbps)
+        .set("speedup", speedup)
+        .set("efficiency", efficiency);
   }
   t.print(std::cout);
   std::cout << "\n  speedup is relative to the 7-thread (1 ME) configuration;\n"
                "  efficiency = speedup / (threads/7).\n";
-  return 0;
+  return report.write();
 }

@@ -11,6 +11,7 @@
 //       scans, showing the same cliff inside the complete algorithm.
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "classify/linear.hpp"
 #include "common/texttable.hpp"
 #include "hicuts/hicuts.hpp"
@@ -36,8 +37,9 @@ std::vector<LookupTrace> linear_traces(u32 rules, std::size_t packets) {
 
 }  // namespace
 
-int main() {
-  workload::Workbench wb;
+int main(int argc, char** argv) {
+  bench::BenchReport report("fig8_linear", argc, argv);
+  workload::Workbench wb(report.quick() ? 4000 : 20000);
 
   std::cout << "=== Figure 8: linear search effect ===\n"
             << "  (paper: >8 rules of leaf linear search cap throughput "
@@ -60,6 +62,11 @@ int main() {
     const auto traces = linear_traces(n, 4000);
     const npsim::SimResult res = workload::run_traces_on_npu(traces, spec, app);
     ta.add(n, format_mbps(res.mbps), n * kRuleWords);
+    report.add_row()
+        .set("sweep", "isolated_linear")
+        .set("rules", n)
+        .set("throughput_mbps", res.mbps)
+        .set("words_per_packet", n * kRuleWords);
   }
   std::cout << "-- (a) isolated linear search --\n";
   ta.print(std::cout);
@@ -70,7 +77,10 @@ int main() {
   const RuleSet& rules = wb.ruleset("CR02");
   const Trace& trace = wb.trace("CR02");
   TextTable tb({"binth", "throughput_mbps", "max_depth", "avg_accesses"});
-  for (u32 n : {2u, 4u, 8u, 12u, 16u, 20u}) {
+  const std::vector<u32> binths =
+      report.quick() ? std::vector<u32>{4u, 16u}
+                     : std::vector<u32>{2u, 4u, 8u, 12u, 16u, 20u};
+  for (u32 n : binths) {
     hicuts::Config cfg;
     cfg.binth = n;
     cfg.worst_case_leaf_scan = true;
@@ -83,6 +93,12 @@ int main() {
         workload::run_traces_on_npu(traces, workload::RunSpec{});
     tb.add(n, format_mbps(res.mbps), cls.stats().max_depth,
            format_fixed(acc, 1));
+    report.add_row()
+        .set("sweep", "hicuts_binth")
+        .set("binth", n)
+        .set("throughput_mbps", res.mbps)
+        .set("max_depth", cls.stats().max_depth)
+        .set("avg_accesses", acc);
   }
   std::cout << "\n-- (b) full HiCuts on CR02, binth sweep --\n";
   tb.print(std::cout);
@@ -91,5 +107,5 @@ int main() {
                "  full HiCuts the same term appears as the large-binth side\n"
                "  of the sweep, while tiny binth explodes depth instead —\n"
                "  ExpCuts escapes both sides (binth = 1 with bounded depth).\n";
-  return 0;
+  return report.write();
 }

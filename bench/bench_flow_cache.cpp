@@ -9,25 +9,31 @@
 // per-packet-random trace, on the simulated NP.
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "common/texttable.hpp"
 #include "engine/flow_cache.hpp"
 #include "npsim/sim.hpp"
 #include "packet/flowgen.hpp"
 #include "workload/workload.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pclass;
-  workload::Workbench wb;
+  bench::BenchReport report("flow_cache", argc, argv);
+  workload::Workbench wb(report.quick() ? 4000 : 20000);
   const RuleSet& rules = wb.ruleset("CR04");
   const ClassifierPtr inner =
       workload::make_classifier(workload::Algo::kExpCuts, rules);
 
   FlowTraceConfig fcfg;
-  fcfg.flows = 8000;
-  fcfg.packets = 20000;
+  fcfg.flows = report.quick() ? 2000 : 8000;
+  fcfg.packets = report.quick() ? 4000 : 20000;
   fcfg.zipf_s = 1.1;
   fcfg.seed = 0xF10;
   const Trace flow_trace = generate_flow_trace(rules, fcfg);
+  report.config("set", "CR04");
+  report.config("flows", u64{fcfg.flows});
+  report.config("packets", u64{fcfg.packets});
+  report.config("zipf_s", fcfg.zipf_s);
 
   std::cout << "=== Flow cache in front of ExpCuts (CR04, " << fcfg.flows
             << " flows, Zipf " << fcfg.zipf_s << ") ===\n\n";
@@ -43,6 +49,10 @@ int main() {
         traces, workload::RunSpec{}, npsim::AppModel{}, true);
     t.add("(none)", "-", format_fixed(acc / traces.size(), 1),
           format_mbps(res.mbps));
+    report.add_row()
+        .set("cache", "none")
+        .set("accesses_per_packet", acc / traces.size())
+        .set("throughput_mbps", res.mbps);
   }
   for (std::size_t entries : {1024u, 4096u, 16384u, 65536u}) {
     CachedClassifier cached(*inner, entries);
@@ -58,6 +68,12 @@ int main() {
         traces, workload::RunSpec{}, npsim::AppModel{}, true);
     t.add(entries, format_fixed(cached.cache_stats().hit_rate() * 100, 1) + "%",
           format_fixed(acc / traces.size(), 1), format_mbps(res.mbps));
+    report.add_row()
+        .set("cache", std::to_string(entries))
+        .set("cache_entries", u64{entries})
+        .set("hit_rate", cached.cache_stats().hit_rate())
+        .set("accesses_per_packet", acc / traces.size())
+        .set("throughput_mbps", res.mbps);
   }
   t.print(std::cout);
 
@@ -79,6 +95,10 @@ int main() {
               << format_fixed(cached_tss.cache_stats().hit_rate() * 100, 1)
               << "% hits, " << format_mbps(res.mbps) << " Mbps (naive TSS: "
               << "~24 Mbps on CR04)\n";
+    report.add_row()
+        .set("cache", "tss_16384")
+        .set("hit_rate", cached_tss.cache_stats().hit_rate())
+        .set("throughput_mbps", res.mbps);
   }
 
   // The cache-hostile case: per-packet random headers (the paper's
@@ -92,5 +112,9 @@ int main() {
             << "% hits, " << format_mbps(res.mbps)
             << " Mbps — caching cannot replace a fast classifier,\n"
                "  which is the paper's argument for algorithmic speed.\n";
-  return 0;
+  report.add_row()
+      .set("cache", "hostile_65536")
+      .set("hit_rate", hostile.cache_stats().hit_rate())
+      .set("throughput_mbps", res.mbps);
+  return report.write();
 }

@@ -1,0 +1,317 @@
+// Shared JSON reporter for every bench_* binary.
+//
+// Each bench emits ONE standardized document (schema below) instead of
+// ad-hoc printf/JSON output, so tools/check_bench.py can validate and
+// diff runs mechanically and CI can gate on regressions. Console tables
+// remain for humans; the JSON is the artifact.
+//
+//   {
+//     "schema_version": 1,
+//     "bench": "<name>",            // binary name without the bench_ prefix
+//     "quick": false,               // --quick: reduced CI smoke workload
+//     "machine":  {...},            // host + build description
+//     "config":   {...},            // bench-specific knobs, flat key/value
+//     "results":  [{...}, ...],     // one flat object per measured case
+//     "latency_ns": {"series": {"samples","mean","p50","p90","p99",...}},
+//     "metrics":  {"counters": {...}, "histograms": {...}}  // Registry dump
+//   }
+//
+// Usage:
+//   BenchReport report("fig6_space", argc, argv);
+//   if (report.quick()) { ...smaller workload... }
+//   report.config("rule_count", rules.size());
+//   BenchReport::Row& row = report.add_row();
+//   row.set("algo", "ExpCuts").set("mpps", 3.2);
+//   return report.write();
+//
+// Every bench accepts:  --quick   reduced workload for CI smoke jobs
+//                       --json=PATH (default BENCH_<name>.json in $CWD)
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/types.hpp"
+
+namespace pclass {
+namespace bench {
+
+inline constexpr int kSchemaVersion = 1;
+
+/// Escapes a string for embedding in a JSON document.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Encodes one scalar as a JSON value token.
+inline std::string json_value(const std::string& v) {
+  return "\"" + json_escape(v) + "\"";
+}
+inline std::string json_value(const char* v) { return json_value(std::string(v)); }
+inline std::string json_value(bool v) { return v ? "true" : "false"; }
+inline std::string json_value(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+template <typename T,
+          typename = std::enable_if_t<std::is_integral_v<T> &&
+                                      !std::is_same_v<T, bool>>>
+inline std::string json_value(T v) {
+  return std::to_string(v);
+}
+
+/// Mean/percentile summary of a latency sample series.
+struct LatencySummary {
+  std::size_t samples = 0;
+  double mean = 0, p50 = 0, p90 = 0, p99 = 0, min = 0, max = 0;
+
+  static LatencySummary of(std::vector<double> xs) {
+    LatencySummary s;
+    if (xs.empty()) return s;
+    std::sort(xs.begin(), xs.end());
+    s.samples = xs.size();
+    double sum = 0;
+    for (double x : xs) sum += x;
+    s.mean = sum / static_cast<double>(xs.size());
+    auto at = [&](double f) {
+      const std::size_t i = std::min(
+          xs.size() - 1,
+          static_cast<std::size_t>(f * static_cast<double>(xs.size())));
+      return xs[i];
+    };
+    s.p50 = at(0.50);
+    s.p90 = at(0.90);
+    s.p99 = at(0.99);
+    s.min = xs.front();
+    s.max = xs.back();
+    return s;
+  }
+};
+
+class BenchReport {
+ public:
+  /// A flat key/value result object; values are stored pre-encoded.
+  class Row {
+   public:
+    template <typename T>
+    Row& set(const std::string& key, const T& value) {
+      kv_.emplace_back(key, json_value(value));
+      return *this;
+    }
+
+   private:
+    friend class BenchReport;
+    std::vector<std::pair<std::string, std::string>> kv_;
+  };
+
+  BenchReport(std::string name, int argc, char** argv)
+      : name_(std::move(name)), json_path_("BENCH_" + name_ + ".json") {
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strcmp(a, "--quick") == 0) {
+        quick_ = true;
+      } else if (std::strncmp(a, "--json=", 7) == 0) {
+        json_path_ = a + 7;
+      } else if (std::strcmp(a, "--json") == 0 && i + 1 < argc) {
+        json_path_ = argv[++i];
+      } else {
+        std::fprintf(stderr,
+                     "%s: unknown argument '%s' (supported: --quick "
+                     "--json=PATH)\n",
+                     name_.c_str(), a);
+      }
+    }
+  }
+
+  bool quick() const { return quick_; }
+  const std::string& json_path() const { return json_path_; }
+
+  template <typename T>
+  void config(const std::string& key, const T& value) {
+    config_.emplace_back(key, json_value(value));
+  }
+
+  Row& add_row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// Records a named latency series (ns units by convention).
+  void add_latency_ns(const std::string& series, std::vector<double> samples) {
+    latency_.emplace_back(series, LatencySummary::of(std::move(samples)));
+  }
+
+  /// Captures the metrics snapshot and writes the document. Returns an
+  /// exit code for main(): 0 on success.
+  int write() const {
+    std::FILE* f = std::fopen(json_path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path_.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema_version\": %d,\n", kSchemaVersion);
+    std::fprintf(f, "  \"bench\": %s,\n", json_value(name_).c_str());
+    std::fprintf(f, "  \"quick\": %s,\n", quick_ ? "true" : "false");
+    write_machine(f);
+    write_pairs(f, "config", config_);
+    write_rows(f);
+    write_latency(f);
+    write_metrics(f, metrics::Registry::global().snapshot());
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path_.c_str());
+    return 0;
+  }
+
+ private:
+  using Pairs = std::vector<std::pair<std::string, std::string>>;
+
+  static void write_pairs(std::FILE* f, const char* section, const Pairs& kv,
+                          const char* indent = "  ", bool trailing_comma = true) {
+    std::fprintf(f, "%s\"%s\": {", indent, section);
+    for (std::size_t i = 0; i < kv.size(); ++i) {
+      std::fprintf(f, "%s\"%s\": %s", i ? ", " : "",
+                   json_escape(kv[i].first).c_str(), kv[i].second.c_str());
+    }
+    std::fprintf(f, "}%s\n", trailing_comma ? "," : "");
+  }
+
+  void write_machine(std::FILE* f) const {
+    Pairs m;
+    m.emplace_back("hardware_threads",
+                   json_value(u64{std::thread::hardware_concurrency()}));
+    m.emplace_back("arch_bits", json_value(u64{sizeof(void*) * 8}));
+#if defined(__VERSION__)
+    m.emplace_back("compiler", json_value(std::string(__VERSION__)));
+#else
+    m.emplace_back("compiler", json_value(std::string("unknown")));
+#endif
+#if defined(NDEBUG)
+    m.emplace_back("assertions", json_value(false));
+#else
+    m.emplace_back("assertions", json_value(true));
+#endif
+    m.emplace_back("metrics_enabled", json_value(PCLASS_METRICS_ENABLED != 0));
+    write_pairs(f, "machine", m);
+  }
+
+  void write_rows(std::FILE* f) const {
+    std::fprintf(f, "  \"results\": [");
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "%s\n    {", r ? "," : "");
+      const Pairs& kv = rows_[r].kv_;
+      for (std::size_t i = 0; i < kv.size(); ++i) {
+        std::fprintf(f, "%s\"%s\": %s", i ? ", " : "",
+                     json_escape(kv[i].first).c_str(), kv[i].second.c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "%s],\n", rows_.empty() ? "" : "\n  ");
+  }
+
+  void write_latency(std::FILE* f) const {
+    std::fprintf(f, "  \"latency_ns\": {");
+    for (std::size_t i = 0; i < latency_.size(); ++i) {
+      const auto& [series, s] = latency_[i];
+      std::fprintf(f,
+                   "%s\n    \"%s\": {\"samples\": %zu, \"mean\": %s, "
+                   "\"p50\": %s, \"p90\": %s, \"p99\": %s, \"min\": %s, "
+                   "\"max\": %s}",
+                   i ? "," : "", json_escape(series).c_str(), s.samples,
+                   json_value(s.mean).c_str(), json_value(s.p50).c_str(),
+                   json_value(s.p90).c_str(), json_value(s.p99).c_str(),
+                   json_value(s.min).c_str(), json_value(s.max).c_str());
+    }
+    std::fprintf(f, "%s},\n", latency_.empty() ? "" : "\n  ");
+  }
+
+  static void write_metrics(std::FILE* f, const metrics::Snapshot& snap) {
+    std::fprintf(f, "  \"metrics\": {\n    \"counters\": {");
+    for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+      std::fprintf(f, "%s\n      \"%s\": %llu", i ? "," : "",
+                   json_escape(snap.counters[i].first).c_str(),
+                   static_cast<unsigned long long>(snap.counters[i].second));
+    }
+    std::fprintf(f, "%s},\n    \"histograms\": {",
+                 snap.counters.empty() ? "" : "\n    ");
+    for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+      const metrics::HistogramSnapshot& h = snap.histograms[i];
+      std::fprintf(
+          f,
+          "%s\n      \"%s\": {\"scale\": \"%s\", \"width\": %llu, "
+          "\"total\": %llu, \"p50\": %llu, \"p90\": %llu, \"p99\": %llu, "
+          "\"buckets\": [",
+          i ? "," : "", json_escape(h.name).c_str(),
+          h.scale == metrics::Scale::kLinear ? "linear" : "log2",
+          static_cast<unsigned long long>(h.width),
+          static_cast<unsigned long long>(h.total),
+          static_cast<unsigned long long>(h.percentile(0.50)),
+          static_cast<unsigned long long>(h.percentile(0.90)),
+          static_cast<unsigned long long>(h.percentile(0.99)));
+      for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+        std::fprintf(f, "%s%llu", b ? ", " : "",
+                     static_cast<unsigned long long>(h.buckets[b]));
+      }
+      std::fprintf(f, "]}");
+    }
+    std::fprintf(f, "%s}\n  }\n", snap.histograms.empty() ? "" : "\n    ");
+  }
+
+  std::string name_;
+  std::string json_path_;
+  bool quick_ = false;
+  Pairs config_;
+  std::vector<Row> rows_;
+  std::vector<std::pair<std::string, LatencySummary>> latency_;
+};
+
+/// Best-of-`reps` seconds for one invocation of `pass`, with one warmup.
+/// Also appends each rep's seconds to `samples_s` when non-null.
+template <typename F>
+double best_seconds(int reps, F&& pass, std::vector<double>* samples_s = nullptr) {
+  pass();  // warmup
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    pass();
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (samples_s != nullptr) samples_s->push_back(dt);
+    best = std::min(best, dt);
+  }
+  return best;
+}
+
+}  // namespace bench
+}  // namespace pclass

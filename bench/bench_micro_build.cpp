@@ -1,47 +1,57 @@
 // Preprocessing (build) cost of the three algorithms on the paper's
 // smallest and largest rule sets.
-#include <benchmark/benchmark.h>
+#include <iostream>
 
+#include "bench_json.hpp"
+#include "common/texttable.hpp"
 #include "workload/workload.hpp"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace pclass;
+  bench::BenchReport report("micro_build", argc, argv);
+  workload::Workbench wb(100);
 
-using namespace pclass;
+  struct Case {
+    workload::Algo algo;
+    const char* set;
+    int reps;
+  };
+  const std::vector<Case> cases = {
+      {workload::Algo::kExpCuts, "FW01", 10},
+      {workload::Algo::kExpCuts, "CR04", 3},
+      {workload::Algo::kHiCuts, "CR04", 5},
+      {workload::Algo::kHsm, "CR04", 5},
+  };
 
-workload::Workbench& bench_workbench() {
-  static workload::Workbench wb(100);
-  return wb;
-}
-
-void run_build(benchmark::State& state, workload::Algo algo,
-               const char* set_name) {
-  const RuleSet& rules = bench_workbench().ruleset(set_name);
-  for (auto _ : state) {
-    const ClassifierPtr cls = workload::make_classifier(algo, rules);
-    benchmark::DoNotOptimize(cls.get());
+  std::cout << "=== Preprocessing (build) cost ===\n\n";
+  TextTable t({"algo", "set", "rules", "build_ms"});
+  for (const Case& c : cases) {
+    const RuleSet& rules = wb.ruleset(c.set);
+    const int reps = report.quick() ? 1 : c.reps;
+    std::vector<double> samples_s;
+    const double best = bench::best_seconds(
+        reps,
+        [&] {
+          const ClassifierPtr cls = workload::make_classifier(c.algo, rules);
+          volatile const void* sink = cls.get();
+          (void)sink;
+        },
+        &samples_s);
+    const double ms = best * 1e3;
+    const std::string label =
+        std::string(workload::algo_name(c.algo)) + "/" + c.set;
+    std::vector<double> ns_samples;
+    ns_samples.reserve(samples_s.size());
+    for (double s : samples_s) ns_samples.push_back(s * 1e9);
+    report.add_latency_ns("build/" + label, std::move(ns_samples));
+    report.add_row()
+        .set("algo", workload::algo_name(c.algo))
+        .set("set", std::string(c.set))
+        .set("rules", u64{rules.size()})
+        .set("build_ms", ms);
+    t.add(workload::algo_name(c.algo), c.set, rules.size(),
+          format_fixed(ms, 2));
   }
+  t.print(std::cout);
+  return report.write();
 }
-
-void BM_Build_ExpCuts_FW01(benchmark::State& s) {
-  run_build(s, workload::Algo::kExpCuts, "FW01");
-}
-void BM_Build_ExpCuts_CR04(benchmark::State& s) {
-  run_build(s, workload::Algo::kExpCuts, "CR04");
-}
-void BM_Build_HiCuts_CR04(benchmark::State& s) {
-  run_build(s, workload::Algo::kHiCuts, "CR04");
-}
-void BM_Build_HSM_CR04(benchmark::State& s) {
-  run_build(s, workload::Algo::kHsm, "CR04");
-}
-
-BENCHMARK(BM_Build_ExpCuts_FW01)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Build_ExpCuts_CR04)
-    ->Unit(benchmark::kMillisecond)
-    ->Iterations(3);
-BENCHMARK(BM_Build_HiCuts_CR04)->Unit(benchmark::kMillisecond)->Iterations(5);
-BENCHMARK(BM_Build_HSM_CR04)->Unit(benchmark::kMillisecond)->Iterations(5);
-
-}  // namespace
-
-BENCHMARK_MAIN();

@@ -1,8 +1,10 @@
 // Micro-benchmarks of the HABS codec and rank primitive (host-native).
-#include <benchmark/benchmark.h>
+#include <iostream>
 
+#include "bench_json.hpp"
 #include "common/bitops.hpp"
 #include "common/rng.hpp"
+#include "common/texttable.hpp"
 #include "expcuts/habs.hpp"
 
 namespace {
@@ -24,44 +26,78 @@ std::vector<u32> make_pointers(u32 children, u64 seed) {
   return ptrs;
 }
 
-void BM_HabsEncode(benchmark::State& state) {
-  const auto ptrs = make_pointers(static_cast<u32>(state.range(0)), 42);
-  for (auto _ : state) {
-    auto enc = expcuts::habs_encode(ptrs, 8, 4);
-    benchmark::DoNotOptimize(enc.cpa.data());
-  }
-}
-BENCHMARK(BM_HabsEncode)->Arg(2)->Arg(10)->Arg(64);
-
-void BM_HabsLookup(benchmark::State& state) {
-  const auto ptrs = make_pointers(10, 42);
-  const auto enc = expcuts::habs_encode(ptrs, 8, 4);
-  u32 n = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(enc.lookup(n & 0xff));
-    ++n;
-  }
-}
-BENCHMARK(BM_HabsLookup);
-
-void BM_Popcount32(benchmark::State& state) {
-  u32 x = 0x12345678;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(popcount32(x));
-    x = x * 1664525 + 1013904223;
-  }
-}
-BENCHMARK(BM_Popcount32);
-
-void BM_RankInclusive(benchmark::State& state) {
-  u32 x = 0xbeef;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rank_inclusive(x, x & 15));
-    x = x * 1664525 + 1013904223;
-  }
-}
-BENCHMARK(BM_RankInclusive);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace pclass;
+  bench::BenchReport report("micro_habs", argc, argv);
+  const int reps = report.quick() ? 3 : 7;
+  report.config("reps", reps);
+
+  std::cout << "=== HABS codec / rank primitive micro-benchmarks ===\n\n";
+  TextTable t({"op", "ns_per_op"});
+  // Each case runs `iters` operations per timed rep and reports ns/op.
+  const auto run = [&](const std::string& name, u64 iters, auto&& body) {
+    std::vector<double> samples_s;
+    const double best = bench::best_seconds(reps, body, &samples_s);
+    const double ns = best * 1e9 / static_cast<double>(iters);
+    std::vector<double> ns_samples;
+    ns_samples.reserve(samples_s.size());
+    for (double s : samples_s) {
+      ns_samples.push_back(s * 1e9 / static_cast<double>(iters));
+    }
+    report.add_latency_ns(name, std::move(ns_samples));
+    report.add_row().set("op", name).set("ns_per_op", ns);
+    t.add(name, format_fixed(ns, 2));
+  };
+
+  const u64 encode_iters = report.quick() ? 2000 : 20000;
+  for (u32 children : {2u, 10u, 64u}) {
+    const auto ptrs = make_pointers(children, 42);
+    run("habs_encode/" + std::to_string(children), encode_iters, [&] {
+      volatile const u32* sink = nullptr;
+      for (u64 i = 0; i < encode_iters; ++i) {
+        const auto enc = expcuts::habs_encode(ptrs, 8, 4);
+        sink = enc.cpa.data();
+      }
+      (void)sink;
+    });
+  }
+
+  const u64 lookup_iters = report.quick() ? 2000000 : 20000000;
+  {
+    const auto ptrs = make_pointers(10, 42);
+    const auto enc = expcuts::habs_encode(ptrs, 8, 4);
+    run("habs_lookup", lookup_iters, [&] {
+      u32 acc = 0;
+      for (u64 n = 0; n < lookup_iters; ++n) {
+        acc ^= enc.lookup(static_cast<u32>(n) & 0xff);
+      }
+      volatile u32 sink = acc;
+      (void)sink;
+    });
+  }
+
+  run("popcount32", lookup_iters, [&] {
+    u32 x = 0x12345678, acc = 0;
+    for (u64 n = 0; n < lookup_iters; ++n) {
+      acc += popcount32(x);
+      x = x * 1664525 + 1013904223;
+    }
+    volatile u32 sink = acc;
+    (void)sink;
+  });
+
+  run("rank_inclusive", lookup_iters, [&] {
+    u32 x = 0xbeef, acc = 0;
+    for (u64 n = 0; n < lookup_iters; ++n) {
+      acc += rank_inclusive(x, x & 15);
+      x = x * 1664525 + 1013904223;
+    }
+    volatile u32 sink = acc;
+    (void)sink;
+  });
+
+  t.print(std::cout);
+  return report.write();
+}

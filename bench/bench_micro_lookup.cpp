@@ -1,56 +1,75 @@
-// Host-native lookup throughput of the three algorithms (single thread).
+// Host-native lookup throughput of the scalar classify() path
+// (single thread).
 //
 // This measures the portable C++ classify() path, not the NP simulation:
-// useful for library users running on commodity CPUs.
-#include <benchmark/benchmark.h>
+// useful for library users running on commodity CPUs. The ns_per_lookup
+// column is the CI-gated number (tools/check_bench.py).
+#include <iostream>
 
+#include "bench_json.hpp"
+#include "common/texttable.hpp"
 #include "workload/workload.hpp"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace pclass;
+  bench::BenchReport report("micro_lookup", argc, argv);
+  workload::Workbench wb(4000);
 
-using namespace pclass;
+  struct Case {
+    workload::Algo algo;
+    const char* set;
+  };
+  const std::vector<Case> cases = {
+      {workload::Algo::kExpCuts, "FW01"}, {workload::Algo::kExpCuts, "CR04"},
+      {workload::Algo::kHiCuts, "CR04"},  {workload::Algo::kHsm, "CR04"},
+      {workload::Algo::kLinear, "CR04"},
+  };
+  const int reps = report.quick() ? 3 : 7;
+  const std::size_t passes = report.quick() ? 2 : 10;
+  report.config("reps", reps);
+  report.config("trace_passes_per_rep", u64{passes});
 
-workload::Workbench& bench_workbench() {
-  static workload::Workbench wb(4000);
-  return wb;
-}
+  std::cout << "=== Host-native scalar lookup (single thread) ===\n\n";
+  TextTable t({"algo", "set", "rules", "ns_per_lookup", "mlookups_per_s"});
+  for (const Case& c : cases) {
+    const RuleSet& rules = wb.ruleset(c.set);
+    const Trace& trace = wb.trace(c.set);
+    const ClassifierPtr cls = workload::make_classifier(c.algo, rules);
+    const double lookups_per_rep =
+        static_cast<double>(trace.size()) * static_cast<double>(passes);
 
-void run_lookup(benchmark::State& state, workload::Algo algo,
-                const char* set_name) {
-  workload::Workbench& wb = bench_workbench();
-  const RuleSet& rules = wb.ruleset(set_name);
-  const Trace& trace = wb.trace(set_name);
-  const ClassifierPtr cls = workload::make_classifier(algo, rules);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cls->classify(trace[i]));
-    i = (i + 1) % trace.size();
+    volatile RuleId sink = 0;  // keeps classify() from being optimized out
+    std::vector<double> samples_s;
+    const double best = bench::best_seconds(
+        reps,
+        [&] {
+          RuleId acc = 0;
+          for (std::size_t p = 0; p < passes; ++p) {
+            for (std::size_t i = 0; i < trace.size(); ++i) {
+              acc ^= cls->classify(trace[i]);
+            }
+          }
+          sink = acc;
+        },
+        &samples_s);
+    (void)sink;
+
+    const double ns = best * 1e9 / lookups_per_rep;
+    const std::string label =
+        std::string(workload::algo_name(c.algo)) + "/" + c.set;
+    std::vector<double> ns_samples;
+    ns_samples.reserve(samples_s.size());
+    for (double s : samples_s) ns_samples.push_back(s * 1e9 / lookups_per_rep);
+    report.add_latency_ns(label, std::move(ns_samples));
+    report.add_row()
+        .set("algo", workload::algo_name(c.algo))
+        .set("set", std::string(c.set))
+        .set("rules", u64{rules.size()})
+        .set("ns_per_lookup", ns)
+        .set("mlookups_per_s", 1e3 / ns);
+    t.add(workload::algo_name(c.algo), c.set, rules.size(),
+          format_fixed(ns, 1), format_fixed(1e3 / ns, 2));
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  t.print(std::cout);
+  return report.write();
 }
-
-void BM_Lookup_ExpCuts_FW01(benchmark::State& s) {
-  run_lookup(s, workload::Algo::kExpCuts, "FW01");
-}
-void BM_Lookup_ExpCuts_CR04(benchmark::State& s) {
-  run_lookup(s, workload::Algo::kExpCuts, "CR04");
-}
-void BM_Lookup_HiCuts_CR04(benchmark::State& s) {
-  run_lookup(s, workload::Algo::kHiCuts, "CR04");
-}
-void BM_Lookup_HSM_CR04(benchmark::State& s) {
-  run_lookup(s, workload::Algo::kHsm, "CR04");
-}
-void BM_Lookup_Linear_CR04(benchmark::State& s) {
-  run_lookup(s, workload::Algo::kLinear, "CR04");
-}
-
-BENCHMARK(BM_Lookup_ExpCuts_FW01);
-BENCHMARK(BM_Lookup_ExpCuts_CR04);
-BENCHMARK(BM_Lookup_HiCuts_CR04);
-BENCHMARK(BM_Lookup_HSM_CR04);
-BENCHMARK(BM_Lookup_Linear_CR04);
-
-}  // namespace
-
-BENCHMARK_MAIN();

@@ -3,12 +3,14 @@
 // microengine allocation) and the Table 4 level-to-channel allocation.
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "npsim/config.hpp"
 #include "npsim/placement.hpp"
 #include "common/texttable.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pclass;
+  bench::BenchReport report("platform", argc, argv);
   const npsim::NpuConfig npu = npsim::NpuConfig::ixp2850();
   std::cout << "=== Table 1: hardware overview of the simulated IXP2850 ===\n"
             << npu.describe() << "\n";
@@ -34,6 +36,8 @@ int main() {
     if (ranges[c].first < 0) ranges[c].first = static_cast<int>(l);
     ranges[c].second = static_cast<int>(l);
   }
+  report.config("sram_channels", npu.sram_channels);
+  report.config("depth", u64{13});
   for (u32 c = 0; c < npu.sram_channels; ++c) {
     const double headroom = npu.sram_headroom[c];
     std::string levels = "-";
@@ -44,9 +48,14 @@ int main() {
     t.add("SRAM#" + std::to_string(c),
           format_fixed((1.0 - headroom) * 100, 0) + "%",
           format_fixed(headroom * 100, 0) + "%", levels);
+    report.add_row()
+        .set("channel", c)
+        .set("app_util", 1.0 - headroom)
+        .set("headroom", headroom)
+        .set("levels", levels);
   }
   t.print(std::cout);
   std::cout << "\n  (paper Table 4: util 56/0/47/31%, levels 0~1 / 2~6 / "
                "7~9 / 10~13)\n";
-  return 0;
+  return report.write();
 }

@@ -8,16 +8,20 @@
 // ranges) and the resulting measured channel utilization during a CR04 run.
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "common/texttable.hpp"
 #include "npsim/sim.hpp"
 #include "workload/workload.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pclass;
-  workload::Workbench wb;
+  bench::BenchReport report("tab4_memalloc", argc, argv);
+  workload::Workbench wb(report.quick() ? 4000 : 20000);
   const ClassifierPtr cls =
       workload::make_classifier(workload::Algo::kExpCuts, wb.ruleset("CR04"));
   const auto traces = npsim::collect_traces(*cls, wb.trace("CR04"));
+  report.config("set", "CR04");
+  report.config("packets", u64{traces.size()});
 
   const npsim::NpuConfig npu = npsim::NpuConfig::ixp2850();
   const npsim::Placement placement = npsim::Placement::headroom_proportional(
@@ -38,9 +42,16 @@ int main() {
           format_fixed((1.0 - npu.sram_headroom[c]) * 100, 0) + "%",
           format_fixed(npu.sram_headroom[c] * 100, 0) + "%",
           format_fixed(ch.utilization * 100, 1) + "%", ch.commands, ch.words);
+    report.add_row()
+        .set("channel", c)
+        .set("app_util", 1.0 - npu.sram_headroom[c])
+        .set("classification_util", ch.utilization)
+        .set("commands", ch.commands)
+        .set("words", ch.words);
   }
+  report.config("throughput_mbps", res.mbps);
   t.print(std::cout);
   std::cout << "\n  throughput at this allocation: " << format_mbps(res.mbps)
             << " Mbps (Table 5's 4-channel row).\n";
-  return 0;
+  return report.write();
 }

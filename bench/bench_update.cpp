@@ -6,6 +6,7 @@
 #include <chrono>
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "common/rng.hpp"
 #include "common/texttable.hpp"
 #include "expcuts/dynamic.hpp"
@@ -25,10 +26,13 @@ double ms_since(Clock::time_point t0) {
 
 }  // namespace
 
-int main() {
-  workload::Workbench wb;
+int main(int argc, char** argv) {
+  bench::BenchReport report("update", argc, argv);
+  workload::Workbench wb(report.quick() ? 4000 : 20000);
   const RuleSet base = wb.ruleset("CR02");
   const Trace& trace = wb.trace("CR02");
+  report.config("set", "CR02");
+  report.config("packets", u64{trace.size()});
 
   std::cout << "=== ExpCuts live updates (CR02, " << base.size()
             << " rules) ===\n\n";
@@ -71,15 +75,23 @@ int main() {
     t.add(dyn.pending_updates(), format_fixed(ins_ms, 3),
           format_mbps(res.mbps), format_fixed(words - base_words, 1),
           format_bytes(static_cast<double>(dyn.footprint().bytes)));
+    report.add_row()
+        .set("pending_updates", u64{dyn.pending_updates()})
+        .set("insert_ms", ins_ms)
+        .set("lookup_mbps_sim", res.mbps)
+        .set("extra_words_per_packet", words - base_words)
+        .set("footprint_bytes", dyn.footprint().bytes);
   }
   t.print(std::cout);
 
   // Rebuild cost amortizing the pending state away.
   const Clock::time_point t0 = Clock::now();
   dyn.rebuild();
-  std::cout << "\n  full rebuild: " << format_fixed(ms_since(t0), 1)
+  const double rebuild_ms = ms_since(t0);
+  report.config("rebuild_ms", rebuild_ms);
+  std::cout << "\n  full rebuild: " << format_fixed(rebuild_ms, 1)
             << " ms, rebuilds so far: " << dyn.rebuild_count() << "\n"
             << "  Each pending insert adds one worst-case 6-word reference;\n"
                "  the rebuild threshold bounds the degradation.\n";
-  return 0;
+  return report.write();
 }

@@ -2,11 +2,19 @@
 
 #include <algorithm>
 
+#include "common/metrics.hpp"
+
 namespace pclass {
 
 void Classifier::classify_batch(const PacketHeader* h, RuleId* out,
                                 std::size_t n, BatchLookupStats* stats) const {
+  static metrics::Counter& lookups =
+      metrics::Registry::global().counter("classify.scalar_batch.lookups");
+  static metrics::Counter& batches =
+      metrics::Registry::global().counter("classify.scalar_batch.batches");
   for (std::size_t i = 0; i < n; ++i) out[i] = classify(h[i]);
+  lookups.add(n);
+  batches.inc();
   if (stats != nullptr) {
     stats->lookups += n;
     ++stats->batches;

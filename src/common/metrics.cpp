@@ -1,0 +1,145 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pclass {
+namespace metrics {
+
+u64 Counter::value() const noexcept {
+  u64 sum = 0;
+  for (const Shard& s : shards_) sum += s.value.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void Counter::reset() noexcept {
+  for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+}
+
+u64 HistogramSnapshot::bucket_lo(std::size_t i) const {
+  if (scale == Scale::kLinear) return static_cast<u64>(i) * width;
+  return i == 0 ? 0 : u64{1} << (i - 1);
+}
+
+u64 HistogramSnapshot::percentile(double fraction) const {
+  if (total == 0) return 0;
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const u64 target =
+      static_cast<u64>(std::ceil(fraction * static_cast<double>(total)));
+  u64 seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= target) return bucket_lo(i);
+  }
+  return bucket_lo(buckets.empty() ? 0 : buckets.size() - 1);
+}
+
+Histogram::Histogram(std::string name, Scale scale, std::size_t buckets,
+                     u64 width)
+    : name_(std::move(name)),
+      scale_(scale),
+      bucket_count_(buckets),
+      width_(width),
+      slots_(kShardCount * buckets) {
+  check(buckets >= 1, "Histogram: needs at least one bucket");
+  check(scale != Scale::kLinear || width >= 1,
+        "Histogram: linear width must be >= 1");
+}
+
+std::size_t Histogram::bucket_of(u64 value) const noexcept {
+  std::size_t i;
+  if (scale_ == Scale::kLinear) {
+    i = static_cast<std::size_t>(value / width_);
+  } else {
+    i = static_cast<std::size_t>(std::bit_width(value));  // 0 -> 0, 1 -> 1
+  }
+  return std::min(i, bucket_count_ - 1);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  out.name = name_;
+  out.scale = scale_;
+  out.width = width_;
+  out.buckets.assign(bucket_count_, 0);
+  for (std::size_t s = 0; s < kShardCount; ++s) {
+    for (std::size_t b = 0; b < bucket_count_; ++b) {
+      out.buckets[b] +=
+          slots_[s * bucket_count_ + b].load(std::memory_order_relaxed);
+    }
+  }
+  for (u64 n : out.buckets) out.total += n;
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (std::atomic<u64>& s : slots_) s.store(0, std::memory_order_relaxed);
+}
+
+u64 Snapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* Snapshot::histogram(std::string_view name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+Registry& Registry::global() {
+  // Leaked so instrumented code in static destructors stays safe.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& c : counters_) {
+    if (c->name() == name) return *c;
+  }
+  counters_.emplace_back(new Counter(std::string(name)));
+  return *counters_.back();
+}
+
+Histogram& Registry::histogram(std::string_view name, Scale scale,
+                               std::size_t buckets, u64 width) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& h : histograms_) {
+    if (h->name() == name) return *h;
+  }
+  histograms_.emplace_back(new Histogram(std::string(name), scale, buckets, width));
+  return *histograms_.back();
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot out;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    out.counters.reserve(counters_.size());
+    for (const auto& c : counters_) out.counters.emplace_back(c->name(), c->value());
+    out.histograms.reserve(histograms_.size());
+    for (const auto& h : histograms_) out.histograms.push_back(h->snapshot());
+  }
+  std::sort(out.counters.begin(), out.counters.end());
+  std::sort(out.histograms.begin(), out.histograms.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& c : counters_) c->reset();
+  for (const auto& h : histograms_) h->reset();
+}
+
+}  // namespace metrics
+}  // namespace pclass

@@ -1,0 +1,189 @@
+// Runtime observability: cheap always-on counters and fixed-bucket
+// histograms behind a process-wide registry.
+//
+// The paper's core claim is an *explicit worst case* (depth <= W/w, bounded
+// SRAM accesses per lookup); this layer makes that observable at runtime
+// instead of only through ad-hoc LookupTrace dumps. Hot paths increment
+// named counters / record into histograms; reporting code (the bench JSON
+// reporter, tests, operators) pulls a merged Snapshot.
+//
+// Design, in the spirit of Click's per-element counters:
+//   * Counters and histograms are sharded kShardCount ways; each thread
+//     hashes to a stable shard and updates it with a relaxed atomic add —
+//     no locks, no cross-thread cache-line ping-pong on the hot path.
+//   * Registration (Registry::counter / Registry::histogram) takes a mutex
+//     but happens once per call site (callers cache the returned reference
+//     in a function-local static).
+//   * snapshot() merges the shards under the registry mutex; it is safe to
+//     call concurrently with hot-path updates (relaxed reads may miss
+//     in-flight increments, never tear).
+//   * Building with -DPCLASS_METRICS=OFF (cmake) defines
+//     PCLASS_METRICS_ENABLED=0 and compiles every update to a no-op; the
+//     registry API stays available so call sites need no #ifdefs.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+#ifndef PCLASS_METRICS_ENABLED
+#define PCLASS_METRICS_ENABLED 1
+#endif
+
+namespace pclass {
+namespace metrics {
+
+/// Shards per metric. Power of two; more shards cost memory per metric,
+/// fewer shards cost contention when many workers share one.
+inline constexpr std::size_t kShardCount = 16;
+
+/// Stable per-thread shard slot in [0, kShardCount). Threads are assigned
+/// round-robin on first use; with more than kShardCount live threads,
+/// shards are shared (still correct — updates are atomic).
+inline std::size_t shard_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShardCount - 1);
+  return slot;
+}
+
+/// A named monotonic counter, sharded per thread.
+class Counter {
+ public:
+  void add(u64 n) noexcept {
+#if PCLASS_METRICS_ENABLED
+    shards_[shard_index()].value.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+  void inc() noexcept { add(1); }
+
+  /// Merged value across shards (relaxed; concurrent adds may be missed).
+  u64 value() const noexcept;
+  void reset() noexcept;
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  struct alignas(64) Shard {
+    std::atomic<u64> value{0};
+  };
+  std::string name_;
+  std::array<Shard, kShardCount> shards_;
+};
+
+/// Bucket scale of a sharded histogram.
+enum class Scale {
+  kLinear,  ///< bucket i covers [i*width, (i+1)*width); last bucket clamps.
+  kLog2,    ///< bucket 0 covers {0}, bucket i>=1 covers [2^(i-1), 2^i).
+};
+
+/// Merged view of one histogram, produced by Registry::snapshot().
+struct HistogramSnapshot {
+  std::string name;
+  Scale scale = Scale::kLinear;
+  u64 width = 1;
+  std::vector<u64> buckets;
+  u64 total = 0;
+
+  /// Inclusive lower bound of bucket i on the value axis.
+  u64 bucket_lo(std::size_t i) const;
+  /// Lower bound of the smallest bucket holding the `fraction` quantile.
+  u64 percentile(double fraction) const;
+};
+
+/// A named fixed-bucket histogram, sharded per thread. Values beyond the
+/// last bucket clamp into it (the explicit-worst-case framing: the final
+/// bucket is "past the bound", and should stay empty).
+class Histogram {
+ public:
+  void record(u64 value) noexcept { record_n(value, 1); }
+
+  /// Bulk form: `count` observations of `value` in one atomic add. Hot
+  /// batch loops accumulate counts in a local array and flush per batch
+  /// so the per-element cost is an L1 increment, not an atomic.
+  void record_n(u64 value, u64 count) noexcept {
+#if PCLASS_METRICS_ENABLED
+    if (count == 0) return;
+    slots_[shard_index() * bucket_count_ + bucket_of(value)].fetch_add(
+        count, std::memory_order_relaxed);
+#else
+    (void)value;
+    (void)count;
+#endif
+  }
+
+  std::size_t bucket_count() const { return bucket_count_; }
+  Scale scale() const { return scale_; }
+  u64 width() const { return width_; }
+  const std::string& name() const { return name_; }
+
+  /// Merged buckets across shards (relaxed reads).
+  HistogramSnapshot snapshot() const;
+  void reset() noexcept;
+
+ private:
+  friend class Registry;
+  Histogram(std::string name, Scale scale, std::size_t buckets, u64 width);
+
+  std::size_t bucket_of(u64 value) const noexcept;
+
+  std::string name_;
+  Scale scale_;
+  std::size_t bucket_count_;
+  u64 width_;
+  /// Shard-major so one thread's buckets stay on few cache lines.
+  std::vector<std::atomic<u64>> slots_;
+};
+
+/// Point-in-time merged view of every registered metric, sorted by name.
+struct Snapshot {
+  std::vector<std::pair<std::string, u64>> counters;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Value of a counter, or 0 when not registered.
+  u64 counter(std::string_view name) const;
+  /// Histogram by name, or nullptr when not registered.
+  const HistogramSnapshot* histogram(std::string_view name) const;
+};
+
+/// Process-wide registry of named metrics. Metrics live for the process
+/// lifetime once registered (references stay valid), so call sites cache
+/// them in function-local statics.
+class Registry {
+ public:
+  /// The process-wide instance used by the library's instrumented paths.
+  static Registry& global();
+
+  /// Finds or creates the counter `name`.
+  Counter& counter(std::string_view name);
+
+  /// Finds or creates the histogram `name`. Shape parameters apply on
+  /// first registration; later calls return the existing histogram.
+  Histogram& histogram(std::string_view name, Scale scale,
+                       std::size_t buckets, u64 width = 1);
+
+  Snapshot snapshot() const;
+
+  /// Zeroes every registered metric (bench warmup isolation). Not atomic
+  /// with respect to concurrent updates.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace metrics
+}  // namespace pclass

@@ -1,6 +1,7 @@
 #include "engine/flow_cache.hpp"
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 
 namespace pclass {
 namespace {
@@ -10,6 +11,23 @@ namespace {
 constexpr u16 kBucketWords = 4;
 constexpr u32 kHashCycles = 12;   // 5-tuple hash + compare
 constexpr u32 kWriteCycles = 6;
+
+/// Aggregated across all FlowCache instances (caches are per-worker; the
+/// registry merges them into the fleet-wide hit picture).
+struct CacheMetrics {
+  metrics::Counter& hits;
+  metrics::Counter& misses;
+  metrics::Counter& evictions;
+};
+CacheMetrics& cache_metrics() {
+  metrics::Registry& reg = metrics::Registry::global();
+  static CacheMetrics m{
+      reg.counter("flow_cache.hits"),
+      reg.counter("flow_cache.misses"),
+      reg.counter("flow_cache.evictions"),
+  };
+  return m;
+}
 
 }  // namespace
 
@@ -32,9 +50,11 @@ std::optional<RuleId> FlowCache::get(const PacketHeader& h) {
   const auto it = map_.find(h);
   if (it == map_.end()) {
     ++stats_.misses;
+    cache_metrics().misses.inc();
     return std::nullopt;
   }
   ++stats_.hits;
+  cache_metrics().hits.inc();
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
   return it->second->verdict;
 }
@@ -50,6 +70,7 @@ void FlowCache::put(const PacketHeader& h, RuleId verdict) {
     map_.erase(lru_.back().key);
     lru_.pop_back();
     ++stats_.evictions;
+    cache_metrics().evictions.inc();
   }
   lru_.push_front(Entry{h, verdict});
   map_.emplace(h, lru_.begin());

@@ -2,47 +2,92 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "engine/thread_pool.hpp"
 
 namespace pclass {
+namespace {
+
+/// Engine-level metrics: per-batch service latency (log2 ns buckets cover
+/// ~1us..~1s) and the spread of batches claimed per worker — a skewed
+/// histogram means the shared-cursor partitioning is imbalanced.
+struct EngineMetrics {
+  metrics::Counter& runs;
+  metrics::Counter& batches;
+  metrics::Histogram& batch_ns;
+  metrics::Histogram& worker_batches;
+};
+EngineMetrics& engine_metrics() {
+  metrics::Registry& reg = metrics::Registry::global();
+  static EngineMetrics m{
+      reg.counter("parallel.runs"),
+      reg.counter("parallel.batches"),
+      reg.histogram("parallel.batch_ns", metrics::Scale::kLog2, 32),
+      reg.histogram("parallel.worker_batches", metrics::Scale::kLog2, 24),
+  };
+  return m;
+}
+
+u64 now_ns() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
+}
+
+}  // namespace
 
 ParallelRunResult classify_parallel(const Classifier& cls, const Trace& trace,
                                     unsigned threads, std::size_t batch_size) {
   if (batch_size == 0) throw ConfigError("classify_parallel: batch_size == 0");
+  EngineMetrics& em = engine_metrics();
   ParallelRunResult out;
   out.threads = threads;
   out.results.assign(trace.size(), kNoMatch);
+  em.runs.inc();
 
   const PacketHeader* headers = trace.packets().data();
   const auto t0 = std::chrono::steady_clock::now();
   if (threads <= 1) {
     cls.classify_batch(headers, out.results.data(), trace.size(),
                        &out.batch_stats);
+    em.batches.inc();
+    em.worker_batches.record(1);
   } else {
     ThreadPool pool(threads);
     // Workers claim batches via a shared cursor; each batch's results slice
     // is private to its worker (no write sharing, Core Guidelines CP.2).
-    // Stats are per-worker and merged under a mutex after the drain.
+    // Stats land in a per-worker slot and are merged single-threaded at
+    // join time — the hot loop never touches a shared stats lock.
     std::atomic<std::size_t> cursor{0};
-    std::mutex stats_mu;
-    auto worker = [&] {
-      BatchLookupStats local;
-      for (;;) {
-        const std::size_t begin =
-            cursor.fetch_add(batch_size, std::memory_order_relaxed);
-        if (begin >= trace.size()) break;
-        const std::size_t end = std::min(begin + batch_size, trace.size());
-        cls.classify_batch(headers + begin, out.results.data() + begin,
-                           end - begin, &local);
-      }
-      const std::lock_guard<std::mutex> lock(stats_mu);
-      out.batch_stats.merge(local);
-    };
-    for (unsigned t = 0; t < threads; ++t) pool.submit(worker);
+    std::vector<BatchLookupStats> worker_stats(threads);
+    std::vector<u64> worker_batches(threads, 0);
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.submit([&, t] {
+        BatchLookupStats local;
+        u64 claimed = 0;
+        for (;;) {
+          const std::size_t begin =
+              cursor.fetch_add(batch_size, std::memory_order_relaxed);
+          if (begin >= trace.size()) break;
+          const std::size_t end = std::min(begin + batch_size, trace.size());
+          const u64 b0 = now_ns();
+          cls.classify_batch(headers + begin, out.results.data() + begin,
+                             end - begin, &local);
+          em.batch_ns.record(now_ns() - b0);
+          ++claimed;
+        }
+        worker_stats[t] = local;
+        worker_batches[t] = claimed;
+      });
+    }
     pool.wait_idle();
+    for (unsigned t = 0; t < threads; ++t) {
+      out.batch_stats.merge(worker_stats[t]);
+      em.batches.add(worker_batches[t]);
+      em.worker_batches.record(worker_batches[t]);
+    }
   }
   const auto t1 = std::chrono::steady_clock::now();
   out.seconds = std::chrono::duration<double>(t1 - t0).count();

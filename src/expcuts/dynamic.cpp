@@ -4,9 +4,34 @@
 
 #include "classify/linear.hpp"
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 
 namespace pclass {
 namespace expcuts {
+namespace {
+
+/// Update-path metrics: how big the bounded delta actually runs, how often
+/// the rare tombstone fallback scan triggers, and rebuild cadence.
+struct UpdateMetrics {
+  metrics::Counter& inserts;
+  metrics::Counter& erases;
+  metrics::Counter& rebuilds;
+  metrics::Counter& tombstone_fallbacks;
+  metrics::Histogram& delta_size;
+};
+UpdateMetrics& update_metrics() {
+  metrics::Registry& reg = metrics::Registry::global();
+  static UpdateMetrics m{
+      reg.counter("dynamic.inserts"),
+      reg.counter("dynamic.erases"),
+      reg.counter("dynamic.rebuilds"),
+      reg.counter("dynamic.tombstone_fallbacks"),
+      reg.histogram("dynamic.delta_size", metrics::Scale::kLog2, 12),
+  };
+  return m;
+}
+
+}  // namespace
 
 DynamicExpCutsClassifier::DynamicExpCutsClassifier(RuleSet initial,
                                                    Config cfg,
@@ -27,6 +52,7 @@ void DynamicExpCutsClassifier::rebuild() {
   delta_.clear();
   tombstones_ = 0;
   ++rebuilds_;
+  update_metrics().rebuilds.inc();
 }
 
 void DynamicExpCutsClassifier::maybe_rebuild() {
@@ -47,6 +73,8 @@ void DynamicExpCutsClassifier::insert(const Rule& r, std::size_t pos) {
   current_ = RuleSet(std::move(rules), current_.name());
   delta_.push_back(static_cast<RuleId>(pos));
   std::sort(delta_.begin(), delta_.end());
+  update_metrics().inserts.inc();
+  update_metrics().delta_size.record(delta_.size());
   maybe_rebuild();
 }
 
@@ -78,6 +106,8 @@ void DynamicExpCutsClassifier::erase(std::size_t pos) {
   std::vector<Rule> rules = current_.rules();
   rules.erase(rules.begin() + static_cast<std::ptrdiff_t>(pos));
   current_ = RuleSet(std::move(rules), current_.name());
+  update_metrics().erases.inc();
+  update_metrics().delta_size.record(delta_.size());
   maybe_rebuild();
 }
 
@@ -102,6 +132,7 @@ RuleId DynamicExpCutsClassifier::classify_impl(const PacketHeader& h,
       best = snap_to_cur_[snap];
     } else {
       // Tombstoned match: scan the remaining snapshot priorities.
+      update_metrics().tombstone_fallbacks.inc();
       for (RuleId s = snap + 1; s < snapshot_.size(); ++s) {
         if (trace != nullptr) {
           trace->accesses.push_back(MemAccess{0, kRuleWords, 10});

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 
 namespace pclass {
 namespace expcuts {
@@ -11,6 +12,31 @@ namespace {
 constexpr u32 kChunkExtractCycles = 2;  // shift + mask on the header field
 constexpr u32 kRankMathCycles = 6;      // HABS mask, add, shift for CPA index
 constexpr u32 kDirectIndexCycles = 3;   // unaggregated: add + issue
+
+/// Batch-walker metrics (EXPERIMENTS.md §metrics). Depth histogram buckets
+/// cover the paper's explicit bound (W/w = 13 for w = 8) with headroom:
+/// the top bucket staying empty is the bound holding at runtime.
+constexpr u32 kDepthBuckets = 16;
+
+struct WalkMetrics {
+  metrics::Counter& lookups;
+  metrics::Counter& rounds;
+  metrics::Counter& levels;
+  metrics::Counter& rank_ops;
+  metrics::Histogram& depth;
+};
+WalkMetrics& walk_metrics() {
+  metrics::Registry& reg = metrics::Registry::global();
+  static WalkMetrics m{
+      reg.counter("expcuts.batch.lookups"),
+      reg.counter("expcuts.batch.rounds"),
+      reg.counter("expcuts.batch.levels"),
+      reg.counter("expcuts.habs.rank_ops"),
+      reg.histogram("expcuts.lookup.depth", metrics::Scale::kLinear,
+                    kDepthBuckets),
+  };
+  return m;
+}
 
 }  // namespace
 
@@ -109,12 +135,14 @@ void FlatImage::lookup_batch(const PacketHeader* h, RuleId* out,
                              std::size_t n, const Schedule& sched,
                              BatchLookupStats* stats) const {
   constexpr std::size_t G = kBatchInterleaveWays;
+  WalkMetrics& wm = walk_metrics();
   if (stats != nullptr && n > 0) {
     stats->lookups += n;
     ++stats->batches;
     stats->group_size =
         std::max(stats->group_size, static_cast<u32>(std::min(n, G)));
   }
+  wm.lookups.add(n);
   if (ptr_is_leaf(root_)) {
     const RuleId r = leaf_rule(root_);
     for (std::size_t i = 0; i < n; ++i) out[i] = r;
@@ -131,23 +159,31 @@ void FlatImage::lookup_batch(const PacketHeader* h, RuleId* out,
   // registers; retired lanes compact by swapping in the tail lane.
   const u32* const words = words_.data();
   std::size_t pkt[G];
-  u32 node[G];  ///< Node word offset; phase 1 input.
-  u32 poff[G];  ///< Child-pointer word offset; phase 2 input.
+  u32 node[G];   ///< Node word offset; phase 1 input.
+  u32 poff[G];   ///< Child-pointer word offset; phase 2 input.
+  u32 depth[G];  ///< Levels walked by the lane's current lookup.
+  // Depth observations accumulate here (one L1 increment per retired
+  // lookup) and flush into the sharded histogram once per batch.
+  u32 depth_hist[kDepthBuckets] = {};
   std::size_t active = 0;
   std::size_t next = 0;
   u64 levels = 0;
+  u64 rounds = 0;
   while (next < n && active < G) {
     pkt[active] = next++;
     node[active] = root_;
+    depth[active] = 0;
     ++active;
   }
   prefetch_ro(words + root_);
 
   while (active > 0) {
+    ++rounds;
     for (std::size_t k = 0; k < active; ++k) {
       const LevelStep s =
           decode_step(words[node[k]], node[k], h[pkt[k]], sched);
       poff[k] = s.ptr_off;
+      ++depth[k];
       prefetch_ro(words + s.ptr_off);
     }
     levels += active;
@@ -159,16 +195,23 @@ void FlatImage::lookup_batch(const PacketHeader* h, RuleId* out,
         continue;
       }
       out[pkt[k]] = leaf_rule(child);
+      ++depth_hist[depth[k] < kDepthBuckets ? depth[k] : kDepthBuckets - 1];
       if (next < n) {
         pkt[k] = next++;
         node[k] = root_;  // root line is hot by now
+        depth[k] = 0;
       } else {
         --active;  // swapped-in tail lane was already stepped this round
         pkt[k] = pkt[active];
         node[k] = node[active];
+        depth[k] = depth[active];
       }
     }
   }
+  wm.rounds.add(rounds);
+  wm.levels.add(levels);
+  if (aggregated_) wm.rank_ops.add(levels);  // one HABS rank per level
+  for (u32 d = 0; d < kDepthBuckets; ++d) wm.depth.record_n(d, depth_hist[d]);
   if (stats != nullptr) stats->levels_walked += levels;
 }
 

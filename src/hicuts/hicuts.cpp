@@ -6,6 +6,7 @@
 #include "classify/linear.hpp"
 #include "common/bitops.hpp"
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/stats.hpp"
 #include "common/texttable.hpp"
 #include "rules/analysis.hpp"
@@ -31,6 +32,29 @@ u64 step_for(const Interval& iv, u32 nc) {
 
 u32 slots_for(const Interval& iv, u64 step) {
   return static_cast<u32>(ceil_div(iv.width(), step));
+}
+
+/// Batch-walker metrics (EXPERIMENTS.md §metrics). Unlike ExpCuts, HiCuts
+/// has no explicit depth bound (the paper's critique), so the depth
+/// histogram spans the build's hard recursion guard.
+struct WalkMetrics {
+  metrics::Counter& lookups;
+  metrics::Counter& rounds;
+  metrics::Counter& levels;
+  metrics::Counter& leaf_compares;
+  metrics::Histogram& depth;
+};
+WalkMetrics& walk_metrics() {
+  metrics::Registry& reg = metrics::Registry::global();
+  static WalkMetrics m{
+      reg.counter("hicuts.batch.lookups"),
+      reg.counter("hicuts.batch.rounds"),
+      reg.counter("hicuts.batch.levels"),
+      reg.counter("hicuts.batch.leaf_rule_compares"),
+      reg.histogram("hicuts.lookup.depth", metrics::Scale::kLinear,
+                    kMaxDepth + 2),
+  };
+  return m;
 }
 
 }  // namespace
@@ -182,12 +206,14 @@ void HiCutsClassifier::classify_batch(const PacketHeader* h, RuleId* out,
                                       std::size_t n,
                                       BatchLookupStats* stats) const {
   constexpr std::size_t G = kBatchInterleaveWays;
+  WalkMetrics& wm = walk_metrics();
   if (stats != nullptr && n > 0) {
     stats->lookups += n;
     ++stats->batches;
     stats->group_size =
         std::max(stats->group_size, static_cast<u32>(std::min(n, G)));
   }
+  wm.lookups.add(n);
   // G in-flight lookups advance in lock-step rounds of two phases,
   // mirroring FlatImage::lookup_batch; the two dependent loads per level
   // here are the node struct, then its heap-allocated children array.
@@ -198,9 +224,14 @@ void HiCutsClassifier::classify_batch(const PacketHeader* h, RuleId* out,
   std::size_t pkt[G];
   const Node* node[G];   ///< Phase 1 input.
   const u32* slot[G];    ///< Child-pointer entry; phase 2 input.
+  // Depth observations accumulate here (one L1 increment per retired
+  // lookup) and flush into the sharded histogram once per batch.
+  u32 depth_hist[kMaxDepth + 2] = {};
   std::size_t active = 0;
   std::size_t next = 0;
   u64 levels = 0;
+  u64 rounds = 0;
+  u64 leaf_compares = 0;
   const Node* const root = &nodes_[0];
   while (next < n && active < G) {
     pkt[active] = next++;
@@ -210,18 +241,21 @@ void HiCutsClassifier::classify_batch(const PacketHeader* h, RuleId* out,
   prefetch_ro(root);
 
   while (active > 0) {
+    ++rounds;
     std::size_t k = 0;
     while (k < active) {
       const Node* nd = node[k];
       if (nd->is_leaf()) {
         RuleId matched = kNoMatch;
         for (RuleId id : nd->rules) {
+          ++leaf_compares;
           if (rules_[id].matches(h[pkt[k]])) {
             matched = id;
             break;
           }
         }
         out[pkt[k]] = matched;
+        ++depth_hist[nd->depth <= kMaxDepth + 1 ? nd->depth : kMaxDepth + 1];
         if (next < n) {
           pkt[k] = next++;
           node[k] = root;  // root line is hot; decoded on this same pass
@@ -245,6 +279,10 @@ void HiCutsClassifier::classify_batch(const PacketHeader* h, RuleId* out,
       prefetch_ro(child);
     }
   }
+  wm.rounds.add(rounds);
+  wm.levels.add(levels);
+  wm.leaf_compares.add(leaf_compares);
+  for (u32 d = 0; d < kMaxDepth + 2; ++d) wm.depth.record_n(d, depth_hist[d]);
   if (stats != nullptr) stats->levels_walked += levels;
 }
 

@@ -1,0 +1,220 @@
+// Unit tests for the pclass::metrics subsystem (src/common/metrics.*):
+// histogram bucketing and merge, registry snapshots under concurrent
+// increments, and the PCLASS_METRICS=OFF no-op contract.
+//
+// Tests that assert recorded values are gated on PCLASS_METRICS_ENABLED;
+// the bucket-math and API-shape tests run in both build modes, so the
+// whole binary compiles and passes under -DPCLASS_METRICS=OFF too.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+
+namespace pclass::metrics {
+namespace {
+
+// Each test uses its own Registry so the process-global metrics (touched
+// by other tests via the instrumented library paths) can't interfere.
+
+TEST(Counter, SameNameReturnsSameCounter) {
+  Registry reg;
+  Counter& a = reg.counter("dup");
+  Counter& b = reg.counter("dup");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &reg.counter("other"));
+}
+
+TEST(HistogramSnapshotMath, LinearBucketBounds) {
+  HistogramSnapshot s;
+  s.scale = Scale::kLinear;
+  s.width = 10;
+  s.buckets = {2, 1, 1, 2};
+  s.total = 6;
+  EXPECT_EQ(s.bucket_lo(0), 0u);
+  EXPECT_EQ(s.bucket_lo(1), 10u);
+  EXPECT_EQ(s.bucket_lo(3), 30u);
+}
+
+TEST(HistogramSnapshotMath, Log2BucketBounds) {
+  HistogramSnapshot s;
+  s.scale = Scale::kLog2;
+  s.buckets = {1, 1, 2, 1, 0, 2};
+  s.total = 7;
+  EXPECT_EQ(s.bucket_lo(0), 0u);  // {0}
+  EXPECT_EQ(s.bucket_lo(1), 1u);  // [1, 2)
+  EXPECT_EQ(s.bucket_lo(2), 2u);  // [2, 4)
+  EXPECT_EQ(s.bucket_lo(5), 16u);
+}
+
+TEST(HistogramSnapshotMath, PercentileReturnsBucketLowerBound) {
+  HistogramSnapshot s;
+  s.scale = Scale::kLinear;
+  s.width = 1;
+  s.buckets = std::vector<u64>(16, 0);
+  s.buckets[3] = 90;
+  s.buckets[12] = 10;
+  s.total = 100;
+  EXPECT_EQ(s.percentile(0.50), 3u);
+  EXPECT_EQ(s.percentile(0.89), 3u);
+  EXPECT_EQ(s.percentile(0.99), 12u);
+  EXPECT_EQ(s.percentile(1.0), 12u);
+}
+
+TEST(HistogramSnapshotMath, EmptyPercentileIsZero) {
+  Registry reg;
+  Histogram& h = reg.histogram("empty", Scale::kLinear, 4, 1);
+  EXPECT_EQ(h.snapshot().percentile(0.5), 0u);
+  EXPECT_EQ(h.snapshot().total, 0u);
+}
+
+TEST(Registry, SnapshotIsSortedAndComplete) {
+  Registry reg;
+  reg.counter("zeta");
+  reg.counter("alpha");
+  reg.histogram("mid", Scale::kLinear, 2, 1);
+  const Snapshot s = reg.snapshot();
+  ASSERT_EQ(s.counters.size(), 2u);
+  EXPECT_EQ(s.counters[0].first, "alpha");
+  EXPECT_EQ(s.counters[1].first, "zeta");
+  EXPECT_EQ(s.counter("missing"), 0u);
+  ASSERT_NE(s.histogram("mid"), nullptr);
+  EXPECT_EQ(s.histogram("mid")->buckets.size(), 2u);
+  EXPECT_EQ(s.histogram("missing"), nullptr);
+}
+
+TEST(Registry, HistogramShapeFixedAtFirstRegistration) {
+  Registry reg;
+  Histogram& a = reg.histogram("h", Scale::kLog2, 8);
+  Histogram& b = reg.histogram("h", Scale::kLinear, 32, 5);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.scale(), Scale::kLog2);
+  EXPECT_EQ(b.bucket_count(), 8u);
+}
+
+TEST(Registry, ResetZeroesEverything) {
+  Registry reg;
+  reg.counter("c").add(7);
+  reg.histogram("h", Scale::kLinear, 4, 1).record(2);
+  reg.reset();
+  EXPECT_EQ(reg.snapshot().counter("c"), 0u);
+  EXPECT_EQ(reg.snapshot().histogram("h")->total, 0u);
+}
+
+TEST(Registry, GlobalIsSingleton) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+#if PCLASS_METRICS_ENABLED
+// ON build: updates actually record, and threaded totals are exact.
+
+TEST(Counter, AddAndMerge) {
+  Registry reg;
+  Counter& c = reg.counter("c");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, LinearBucketing) {
+  Registry reg;
+  Histogram& h = reg.histogram("lin", Scale::kLinear, 4, 10);
+  h.record(0);    // bucket 0: [0, 10)
+  h.record(9);    // bucket 0
+  h.record(10);   // bucket 1: [10, 20)
+  h.record(25);   // bucket 2: [20, 30)
+  h.record(30);   // bucket 3: [30, ...) (last bucket)
+  h.record(999);  // clamps into bucket 3
+  const HistogramSnapshot s = h.snapshot();
+  ASSERT_EQ(s.buckets.size(), 4u);
+  EXPECT_EQ(s.buckets[0], 2u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 1u);
+  EXPECT_EQ(s.buckets[3], 2u);
+  EXPECT_EQ(s.total, 6u);
+}
+
+TEST(Histogram, Log2Bucketing) {
+  Registry reg;
+  Histogram& h = reg.histogram("log", Scale::kLog2, 6);
+  h.record(0);         // bucket 0: {0}
+  h.record(1);         // bucket 1: [1, 2)
+  h.record(2);         // bucket 2: [2, 4)
+  h.record(3);         // bucket 2
+  h.record(4);         // bucket 3: [4, 8)
+  h.record(16);        // bucket 5: [16, 32)
+  h.record(1u << 20);  // clamps into the last bucket (5)
+  const HistogramSnapshot s = h.snapshot();
+  ASSERT_EQ(s.buckets.size(), 6u);
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 2u);
+  EXPECT_EQ(s.buckets[3], 1u);
+  EXPECT_EQ(s.buckets[4], 0u);
+  EXPECT_EQ(s.buckets[5], 2u);
+  EXPECT_EQ(s.total, 7u);
+}
+
+TEST(Registry, ConcurrentIncrementsAreNotLost) {
+  Registry reg;
+  Counter& c = reg.counter("mt");
+  Histogram& h = reg.histogram("mt_h", Scale::kLinear, 8, 1);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.record(static_cast<u64>(t) % 8);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<u64>(kThreads) * kPerThread);
+  EXPECT_EQ(h.snapshot().total, static_cast<u64>(kThreads) * kPerThread);
+}
+
+TEST(Registry, SnapshotDuringConcurrentUpdatesIsSane) {
+  Registry reg;
+  Counter& c = reg.counter("live");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) c.inc();
+  });
+  u64 prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    const u64 now = reg.snapshot().counter("live");
+    EXPECT_GE(now, prev);  // monotone: snapshots never go backwards
+    prev = now;
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(reg.snapshot().counter("live"), c.value());
+}
+#else
+// OFF build: the whole API must compile and behave as a no-op.
+
+TEST(MetricsOff, UpdatesCompileToNoops) {
+  Registry reg;
+  Counter& c = reg.counter("off");
+  Histogram& h = reg.histogram("off_h", Scale::kLog2, 8);
+  c.inc();
+  c.add(100);
+  h.record(3);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.snapshot().total, 0u);
+  const Snapshot s = reg.snapshot();
+  EXPECT_EQ(s.counter("off"), 0u);
+  ASSERT_NE(s.histogram("off_h"), nullptr);
+  EXPECT_EQ(s.histogram("off_h")->total, 0u);
+}
+#endif
+
+}  // namespace
+}  // namespace pclass::metrics

@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Validate and diff the standardized bench JSON documents.
+
+Every bench_* binary emits one JSON document via bench/bench_json.hpp
+(schema below). This tool has two modes:
+
+  validate FILE...
+      Check each document against the schema. Exit 1 on the first
+      malformed file.
+
+  compare BASELINE CURRENT [--max-regress 0.20] [--metric KEY]
+      Join the two documents' result rows on their shared string-valued
+      identity keys and compare numeric metrics row by row. A metric
+      regresses when it moves in the bad direction by more than
+      --max-regress (relative). Direction is inferred from the key name:
+      keys ending in ns/_ns/ns_per_lookup/_ms/_cycles/_bytes are
+      lower-is-better; *_mpps / *throughput* / *mlookups* / *hit_rate* /
+      *speedup* are higher-is-better; everything else is informational.
+      With --metric only that key gates; others are still printed.
+
+Exit codes: 0 OK, 1 regression or malformed input, 2 usage error.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+LOWER_IS_BETTER_SUFFIXES = ("_ns", "ns_per_lookup", "_ms", "_cycles", "_bytes")
+HIGHER_IS_BETTER_MARKERS = (
+    "mpps",
+    "throughput",
+    "mlookups",
+    "hit_rate",
+    "speedup",
+    "efficiency",
+)
+
+
+def fail(msg):
+    print(f"check_bench: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+
+def validate_doc(doc, path):
+    """Checks one document against the bench_json.hpp schema."""
+    errors = []
+
+    def need(key, types):
+        if key not in doc:
+            errors.append(f"missing top-level key '{key}'")
+            return None
+        if not isinstance(doc[key], types):
+            errors.append(f"'{key}' has wrong type {type(doc[key]).__name__}")
+            return None
+        return doc[key]
+
+    ver = need("schema_version", int)
+    if ver is not None and ver != SCHEMA_VERSION:
+        errors.append(f"schema_version {ver} != {SCHEMA_VERSION}")
+    need("bench", str)
+    need("quick", bool)
+    need("machine", dict)
+    need("config", dict)
+    results = need("results", list)
+    if results is not None:
+        for i, row in enumerate(results):
+            if not isinstance(row, dict):
+                errors.append(f"results[{i}] is not an object")
+    latency = need("latency_ns", dict)
+    if latency is not None:
+        for series, s in latency.items():
+            for k in ("samples", "mean", "p50", "p90", "p99", "min", "max"):
+                if k not in s:
+                    errors.append(f"latency_ns['{series}'] missing '{k}'")
+    metrics = need("metrics", dict)
+    if metrics is not None:
+        if not isinstance(metrics.get("counters"), dict):
+            errors.append("metrics.counters missing or not an object")
+        hists = metrics.get("histograms")
+        if not isinstance(hists, dict):
+            errors.append("metrics.histograms missing or not an object")
+        else:
+            for name, h in hists.items():
+                for k in ("scale", "width", "total", "p50", "p90", "p99", "buckets"):
+                    if k not in h:
+                        errors.append(f"histogram '{name}' missing '{k}'")
+                if h.get("scale") not in ("linear", "log2"):
+                    errors.append(f"histogram '{name}' bad scale {h.get('scale')!r}")
+                if isinstance(h.get("buckets"), list) and isinstance(h.get("total"), int):
+                    if sum(h["buckets"]) != h["total"]:
+                        errors.append(f"histogram '{name}' bucket sum != total")
+
+    for e in errors:
+        print(f"{path}: {e}", file=sys.stderr)
+    return not errors
+
+
+def direction(key):
+    """-1 = lower is better, +1 = higher is better, 0 = informational."""
+    k = key.lower()
+    if k.endswith(LOWER_IS_BETTER_SUFFIXES):
+        return -1
+    if any(m in k for m in HIGHER_IS_BETTER_MARKERS):
+        return +1
+    return 0
+
+
+def identity(row, id_keys):
+    return tuple(row.get(k) for k in id_keys)
+
+
+def compare_docs(base, cur, max_regress, only_metric):
+    if base.get("bench") != cur.get("bench"):
+        fail(f"bench mismatch: {base.get('bench')!r} vs {cur.get('bench')!r}")
+
+    # Identity keys: string/bool valued keys present in both documents'
+    # rows. Numeric keys are the measurements being compared.
+    def key_kinds(rows):
+        ids, nums = set(), set()
+        for row in rows:
+            for k, v in row.items():
+                (ids if isinstance(v, (str, bool)) else nums).add(k)
+        return ids - nums, nums
+
+    base_ids, base_nums = key_kinds(base["results"])
+    cur_ids, cur_nums = key_kinds(cur["results"])
+    id_keys = sorted(base_ids & cur_ids)
+    num_keys = sorted(base_nums & cur_nums)
+    if not id_keys and (len(base["results"]) != len(cur["results"])):
+        fail("rows have no shared identity keys and counts differ")
+
+    base_rows = {identity(r, id_keys): r for r in base["results"]}
+    regressions = []
+    compared = 0
+    for row in cur["results"]:
+        key = identity(row, id_keys)
+        b = base_rows.get(key)
+        if b is None:
+            print(f"  NEW      {dict(zip(id_keys, key))}")
+            continue
+        for metric in num_keys:
+            if metric not in row or metric not in b:
+                continue
+            d = direction(metric)
+            if only_metric is not None and metric != only_metric:
+                d_gate = 0
+            else:
+                d_gate = d
+            old, new = float(b[metric]), float(row[metric])
+            if old == 0:
+                continue
+            rel = (new - old) / abs(old)
+            bad = d_gate == -1 and rel > max_regress or d_gate == +1 and rel < -max_regress
+            tag = "REGRESS" if bad else ("ok" if d else "info")
+            arrow = "+" if rel >= 0 else ""
+            print(
+                f"  {tag:7s} {'/'.join(str(x) for x in key) or '(row)'}"
+                f" {metric}: {old:.4g} -> {new:.4g} ({arrow}{rel * 100:.1f}%)"
+            )
+            compared += 1
+            if bad:
+                regressions.append((key, metric, old, new, rel))
+
+    if compared == 0:
+        fail("no comparable metrics found between the two documents")
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond {max_regress * 100:.0f}%:")
+        for key, metric, old, new, rel in regressions:
+            print(f"  {'/'.join(str(x) for x in key)} {metric}: {old:.4g} -> {new:.4g} ({rel * 100:+.1f}%)")
+        return False
+    print(f"\nOK: {compared} metric comparisons within {max_regress * 100:.0f}%")
+    return True
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    sub = ap.add_subparsers(dest="mode", required=True)
+
+    v = sub.add_parser("validate", help="schema-check bench JSON files")
+    v.add_argument("files", nargs="+")
+
+    c = sub.add_parser("compare", help="diff CURRENT against BASELINE")
+    c.add_argument("baseline")
+    c.add_argument("current")
+    c.add_argument("--max-regress", type=float, default=0.20)
+    c.add_argument("--metric", default=None, help="gate only on this metric key")
+    args = ap.parse_args()
+
+    if args.mode == "validate":
+        ok = True
+        for path in args.files:
+            doc = load(path)
+            if validate_doc(doc, path):
+                print(f"{path}: OK ({doc['bench']}, {len(doc['results'])} rows)")
+            else:
+                ok = False
+        sys.exit(0 if ok else 1)
+
+    base, cur = load(args.baseline), load(args.current)
+    for doc, path in ((base, args.baseline), (cur, args.current)):
+        if not validate_doc(doc, path):
+            sys.exit(1)
+    print(f"comparing {args.current} against {args.baseline} ({base['bench']})")
+    sys.exit(0 if compare_docs(base, cur, args.max_regress, args.metric) else 1)
+
+
+if __name__ == "__main__":
+    main()
