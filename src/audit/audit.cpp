@@ -1,0 +1,69 @@
+#include "audit/audit.hpp"
+
+#include <ostream>
+
+namespace pclass {
+namespace audit {
+namespace {
+
+void json_escape(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        os << c;
+    }
+  }
+}
+
+}  // namespace
+
+AuditReport audit_classifier(const expcuts::ExpCutsClassifier& cls) {
+  AuditOptions opts;
+  opts.rule_count = static_cast<u32>(cls.rules().size());
+  return audit_flat_image(cls.flat(), cls.schedule().depth(), opts);
+}
+
+AuditReport audit_image(const expcuts::LoadedImage& li, u32 rule_count) {
+  AuditOptions opts;
+  opts.rule_count = rule_count;
+  return audit_flat_image(li.image, li.schedule.depth(), opts);
+}
+
+void write_json(std::ostream& os, const AuditReport& report,
+                std::string_view subject) {
+  os << "{\n  \"schema\": \"pclass-audit-v1\",\n  \"subject\": \"";
+  json_escape(os, subject);
+  os << "\",\n  \"ok\": " << (report.ok() ? "true" : "false")
+     << ",\n  \"truncated\": " << (report.truncated ? "true" : "false")
+     << ",\n  \"stats\": {"
+     << "\"nodes_visited\": " << report.stats.nodes_visited
+     << ", \"leaf_ptrs\": " << report.stats.leaf_ptrs
+     << ", \"words_total\": " << report.stats.words_total
+     << ", \"words_reachable\": " << report.stats.words_reachable
+     << ", \"max_depth\": " << report.stats.max_depth
+     << "},\n  \"violations\": [";
+  for (std::size_t i = 0; i < report.violations.size(); ++i) {
+    const Violation& v = report.violations[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"kind\": \"" << to_string(v.kind)
+       << "\", \"offset\": " << v.offset << ", \"path\": [";
+    for (std::size_t k = 0; k < v.path.size(); ++k) {
+      os << (k == 0 ? "" : ", ") << v.path[k];
+    }
+    os << "], \"detail\": \"";
+    json_escape(os, v.detail);
+    os << "\"}";
+  }
+  os << (report.violations.empty() ? "]\n}\n" : "\n  ]\n}\n");
+}
+
+}  // namespace audit
+}  // namespace pclass

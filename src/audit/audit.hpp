@@ -1,0 +1,51 @@
+// Umbrella entry points of the structural audit subsystem.
+//
+// audit_flat_image (image_audit.hpp) proves the ExpCuts SRAM image
+// well-formed word by word; the wrappers here bind it to the places the
+// artifacts come from (a freshly built classifier, a deserialized image)
+// and extend shallower audits to the HiCuts and HSM structures, whose
+// lookup structures are node/table arrays rather than a single flat word
+// image. tools/pclass_audit exposes all of this on the command line;
+// load_image(..., strict=true) runs the ExpCuts audit on every load.
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+#include "audit/image_audit.hpp"
+#include "expcuts/image_io.hpp"
+#include "hicuts/hicuts.hpp"
+#include "hsm/hsm.hpp"
+
+namespace pclass {
+namespace audit {
+
+/// Audits the flat image of a built ExpCuts classifier (rule count and
+/// depth bound taken from the classifier itself).
+AuditReport audit_classifier(const expcuts::ExpCutsClassifier& cls);
+
+/// Audits a deserialized image. `rule_count` is optional context (the
+/// image file does not carry the rule set); 0 skips rule-id range proofs.
+AuditReport audit_image(const expcuts::LoadedImage& li, u32 rule_count = 0);
+
+/// Audits the HiCuts decision tree: child arrays sized to the cut count,
+/// children in bounds and acyclic, stored depths consistent, leaf lists
+/// within binth (except where the rules are provably inseparable or the
+/// kMaxDepth guard fired — re-derived from `rules`, which must be the set
+/// the tree was built over), rule ids in range, no unreachable nodes.
+AuditReport audit_hicuts(const hicuts::HiCutsClassifier& cls,
+                         const RuleSet& rules);
+
+/// Audits the HSM tables: segmentations sorted and covering their domain,
+/// every stage's class ids within the next stage's input space, table
+/// sizes consistent, final entries valid rule ids or no-match.
+AuditReport audit_hsm(const hsm::HsmClassifier& cls, u32 rule_count);
+
+/// Writes `report` as a pclass-audit-v1 JSON document (the shape
+/// tools/check_bench.py-style tooling expects: one object, "schema" key,
+/// machine-readable violation kinds).
+void write_json(std::ostream& os, const AuditReport& report,
+                std::string_view subject);
+
+}  // namespace audit
+}  // namespace pclass

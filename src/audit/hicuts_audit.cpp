@@ -1,0 +1,177 @@
+// Structural audit of the HiCuts decision tree (shallower than the
+// ExpCuts image audit: HiCuts stays an in-memory node array, so layout
+// tiling does not apply — the provable invariants are the tree shape,
+// the cut arithmetic and the binth bound).
+//
+// The walk reconstructs each node's box from the root exactly as the
+// builder carved it (aggregating runs of identical children into one
+// merged sub-space, paper Fig. 2), so the binth proof can honor the
+// builder's legitimate escape hatch: a leaf may exceed binth only when
+// its rules project identically along every cuttable dimension of its box
+// (cutting cannot separate them) or the kMaxDepth recursion guard fired.
+// Separability is re-derived from the rule set here, independently of the
+// builder's own heuristics, so a broken builder cannot vouch for itself.
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "audit/audit.hpp"
+#include "common/bitops.hpp"
+#include "geom/box.hpp"
+
+namespace pclass {
+namespace audit {
+namespace {
+
+/// True when some cuttable dimension of `box` tells at least two of the
+/// rules apart — i.e. the builder had a productive cut available.
+bool separable(const RuleSet& rules, const std::vector<RuleId>& ids,
+               const Box& box) {
+  for (std::size_t d = 0; d < kNumDims; ++d) {
+    const Dim dim = static_cast<Dim>(d);
+    const Interval& extent = box[dim];
+    if (extent.width() < 2) continue;  // cannot cut a point
+    std::vector<std::pair<u64, u64>> proj;
+    proj.reserve(ids.size());
+    for (const RuleId id : ids) {
+      if (id >= rules.size()) continue;  // reported separately
+      const Interval clipped = rules[id].field(dim).intersect(extent);
+      proj.emplace_back(clipped.lo, clipped.hi);
+    }
+    std::sort(proj.begin(), proj.end());
+    proj.erase(std::unique(proj.begin(), proj.end()), proj.end());
+    if (proj.size() >= 2) return true;
+  }
+  return false;
+}
+
+struct HicutsWalker {
+  const hicuts::HiCutsClassifier* cls;
+  const RuleSet* rules;
+  const AuditOptions* opts;
+  AuditReport report;
+  std::vector<u32> path;
+  std::vector<u8> on_path;   // by node index
+  std::vector<u8> visited;   // by node index
+
+  void add(ViolationKind kind, u64 offset, std::string detail) {
+    if (report.violations.size() >= opts->max_violations) {
+      report.truncated = true;
+      return;
+    }
+    report.violations.push_back(
+        Violation{kind, offset, path, std::move(detail)});
+  }
+
+  void visit(u32 index, u16 depth, const Box& box);
+};
+
+void HicutsWalker::visit(u32 index, u16 depth, const Box& box) {
+  visited[index] = 1;
+  on_path[index] = 1;
+  ++report.stats.nodes_visited;
+  report.stats.max_depth = std::max<u32>(report.stats.max_depth, depth + 1u);
+  const hicuts::Node& n = cls->node(index);
+  if (n.depth != depth) {
+    add(ViolationKind::kDepthFieldWrong, index,
+        "stored depth " + std::to_string(n.depth) + ", path depth " +
+            std::to_string(depth));
+  }
+  if (n.is_leaf()) {
+    on_path[index] = 0;
+    ++report.stats.leaf_ptrs;
+    if (n.rules.size() > cls->config().binth && depth < hicuts::kMaxDepth &&
+        separable(*rules, n.rules, box)) {
+      add(ViolationKind::kLeafOverflow, index,
+          "leaf holds " + std::to_string(n.rules.size()) +
+              " separable rules, binth = " +
+              std::to_string(cls->config().binth));
+    }
+    if (opts->rule_count != 0) {
+      for (const RuleId r : n.rules) {
+        if (r >= opts->rule_count) {
+          add(ViolationKind::kLeafRuleOutOfRange, index,
+              "leaf rule id " + std::to_string(r) + " >= rule count " +
+                  std::to_string(opts->rule_count));
+        }
+      }
+    }
+    return;
+  }
+  // Internal node: the child array must have exactly one slot per cut of
+  // the node's extent, or the lookup index arithmetic walks off its end.
+  const u64 width = n.cut_range.width();
+  const u64 expected = ceil_div(width, n.cut_step);
+  if (n.children.size() != expected) {
+    add(ViolationKind::kChildCountMismatch, index,
+        "extent width " + std::to_string(width) + " / step " +
+            std::to_string(n.cut_step) + " needs " +
+            std::to_string(expected) + " children, node has " +
+            std::to_string(n.children.size()));
+  }
+  // Walk runs of identical children as the builder carved them: one child
+  // node over the union of its consecutive slots' sub-spaces.
+  u32 run_begin = 0;
+  while (run_begin < n.children.size()) {
+    const u32 child = n.children[run_begin];
+    u32 run_end = run_begin + 1;
+    while (run_end < n.children.size() && n.children[run_end] == child) {
+      ++run_end;
+    }
+    const u32 c = run_begin;
+    run_begin = run_end;
+    if (child >= cls->node_count()) {
+      path.push_back(c);
+      add(ViolationKind::kChildOutOfBounds, index,
+          "child index " + std::to_string(child) + " >= node count " +
+              std::to_string(cls->node_count()));
+      path.pop_back();
+      continue;
+    }
+    if (on_path[child] != 0) {
+      path.push_back(c);
+      add(ViolationKind::kPointerCycle, index,
+          "child index " + std::to_string(child) +
+              " re-enters the current root path");
+      path.pop_back();
+      continue;
+    }
+    if (visited[child] != 0) continue;  // shared child (corrupt trees only)
+    Box child_box = box;
+    const u64 lo = n.cut_range.lo + u64{c} * n.cut_step;
+    const u64 hi = std::min(n.cut_range.hi,
+                            n.cut_range.lo + u64{run_end} * n.cut_step - 1);
+    child_box[n.cut_dim] = Interval{lo, hi};
+    path.push_back(c);
+    visit(child, static_cast<u16>(depth + 1), child_box);
+    path.pop_back();
+  }
+  on_path[index] = 0;
+}
+
+}  // namespace
+
+AuditReport audit_hicuts(const hicuts::HiCutsClassifier& cls,
+                         const RuleSet& rules) {
+  AuditOptions opts;
+  opts.rule_count = static_cast<u32>(rules.size());
+  HicutsWalker wk{&cls, &rules, &opts, {}, {}, {}, {}};
+  wk.on_path.assign(cls.node_count(), 0);
+  wk.visited.assign(cls.node_count(), 0);
+  wk.report.stats.words_total = cls.node_count();
+  if (cls.node_count() > 0) wk.visit(0, 0, Box::full());
+  u64 reachable = 0;
+  for (const u8 seen : wk.visited) reachable += seen;
+  wk.report.stats.words_reachable = reachable;
+  if (reachable < cls.node_count()) {
+    wk.path.clear();
+    wk.add(ViolationKind::kOrphanWords, reachable,
+           std::to_string(cls.node_count() - reachable) +
+               " nodes unreachable from the root");
+  }
+  return wk.report;
+}
+
+}  // namespace audit
+}  // namespace pclass

@@ -1,0 +1,157 @@
+// Structural audit of the HSM lookup tables.
+//
+// HSM has no pointers to chase; its failure mode is stage mismatch — a
+// class id flowing out of one stage that indexes past the next stage's
+// table. The audit proves, per stage, that the output space fits the
+// consumer's input space, that every table is exactly rows * cols, and
+// that the per-field segmentations are sorted and cover their domain, so
+// every possible header resolves through x1/x2/x3 to a final entry.
+#include <string>
+
+#include "audit/audit.hpp"
+
+namespace pclass {
+namespace audit {
+namespace {
+
+struct HsmAuditor {
+  const AuditOptions* opts;
+  AuditReport report;
+
+  void add(ViolationKind kind, u64 offset, std::string detail) {
+    if (report.violations.size() >= opts->max_violations) {
+      report.truncated = true;
+      return;
+    }
+    report.violations.push_back(Violation{kind, offset, {}, std::move(detail)});
+  }
+
+  /// Proves `table` is rows*cols with every entry < out_classes.
+  void check_table(const eqclass::CrossTable& t, std::size_t rows,
+                   std::size_t out_classes, const char* stage) {
+    if (t.table.size() != rows * t.cols) {
+      add(ViolationKind::kTableSizeMismatch, 0,
+          std::string(stage) + ": " + std::to_string(t.table.size()) +
+              " entries, expected " + std::to_string(rows) + " x " +
+              std::to_string(t.cols));
+      return;
+    }
+    for (std::size_t i = 0; i < t.table.size(); ++i) {
+      if (t.table[i] >= out_classes) {
+        add(ViolationKind::kClassIdOutOfRange, i,
+            std::string(stage) + ": entry " + std::to_string(t.table[i]) +
+                " >= class count " + std::to_string(out_classes));
+        return;  // one per stage keeps reports readable
+      }
+    }
+  }
+
+  void check_segmentation(const hsm::DimSegmentation& s) {
+    const u64 domain_max = dim_max(s.dim);
+    const char* dim = dim_name(s.dim);
+    if (s.right_edges.empty() || s.right_edges.back() != domain_max) {
+      add(ViolationKind::kSegmentationBroken, dim_index(s.dim),
+          std::string(dim) + ": last segment edge " +
+              (s.right_edges.empty()
+                   ? std::string("(none)")
+                   : std::to_string(s.right_edges.back())) +
+              " != domain max " + std::to_string(domain_max));
+      return;
+    }
+    for (std::size_t i = 1; i < s.right_edges.size(); ++i) {
+      if (s.right_edges[i] <= s.right_edges[i - 1]) {
+        add(ViolationKind::kSegmentationBroken, i,
+            std::string(dim) + ": segment edges not strictly ascending at " +
+                std::to_string(i));
+        return;
+      }
+    }
+    if (s.class_of_segment.size() != s.right_edges.size()) {
+      add(ViolationKind::kTableSizeMismatch, dim_index(s.dim),
+          std::string(dim) + ": " + std::to_string(s.class_of_segment.size()) +
+              " segment classes for " + std::to_string(s.right_edges.size()) +
+              " segments");
+      return;
+    }
+    for (std::size_t i = 0; i < s.class_of_segment.size(); ++i) {
+      if (s.class_of_segment[i] >= s.class_count()) {
+        add(ViolationKind::kClassIdOutOfRange, i,
+            std::string(dim) + ": segment class " +
+                std::to_string(s.class_of_segment[i]) + " >= class count " +
+                std::to_string(s.class_count()));
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+AuditReport audit_hsm(const hsm::HsmClassifier& cls, u32 rule_count) {
+  AuditOptions opts;
+  opts.rule_count = rule_count;
+  HsmAuditor a{&opts, {}};
+
+  for (const Dim d : {Dim::kSrcIp, Dim::kDstIp, Dim::kSrcPort, Dim::kDstPort,
+                      Dim::kProto}) {
+    a.check_segmentation(cls.segmentation(d));
+  }
+
+  // Stage wiring: per-field classes -> X1/X2 -> X3 -> final x proto.
+  const auto& x1 = cls.x1();
+  const auto& x2 = cls.x2();
+  const auto& x3 = cls.x3();
+  a.check_table(x1, cls.segmentation(Dim::kSrcIp).class_count(),
+                x1.class_count(), "x1(sip,dip)");
+  if (x1.cols != cls.segmentation(Dim::kDstIp).class_count()) {
+    a.add(ViolationKind::kTableSizeMismatch, 0,
+          "x1 cols " + std::to_string(x1.cols) + " != dip class count " +
+              std::to_string(cls.segmentation(Dim::kDstIp).class_count()));
+  }
+  a.check_table(x2, cls.segmentation(Dim::kSrcPort).class_count(),
+                x2.class_count(), "x2(sport,dport)");
+  a.check_table(x3, x1.class_count(), x3.class_count(), "x3(x1,x2)");
+  if (x3.cols != x2.class_count()) {
+    a.add(ViolationKind::kTableSizeMismatch, 0,
+          "x3 cols " + std::to_string(x3.cols) + " != x2 class count " +
+              std::to_string(x2.class_count()));
+  }
+
+  std::size_t proto_classes = 0;
+  for (const u32 c : cls.proto_table()) {
+    proto_classes = std::max<std::size_t>(proto_classes, c + 1u);
+  }
+  if (proto_classes > cls.final_cols()) {
+    a.add(ViolationKind::kClassIdOutOfRange, 0,
+          "proto table emits " + std::to_string(proto_classes) +
+              " classes, final table has " +
+              std::to_string(cls.final_cols()) + " columns");
+  }
+  const auto& fin = cls.final_table();
+  if (fin.size() != static_cast<std::size_t>(x3.class_count()) *
+                        cls.final_cols()) {
+    a.add(ViolationKind::kTableSizeMismatch, 0,
+          "final table " + std::to_string(fin.size()) + " entries, expected " +
+              std::to_string(x3.class_count()) + " x " +
+              std::to_string(cls.final_cols()));
+  }
+  for (std::size_t i = 0; i < fin.size(); ++i) {
+    if (fin[i] != kNoMatch && rule_count != 0 && fin[i] >= rule_count) {
+      a.add(ViolationKind::kLeafRuleOutOfRange, i,
+            "final entry " + std::to_string(fin[i]) + " >= rule count " +
+                std::to_string(rule_count));
+      break;
+    }
+  }
+
+  a.report.stats.words_total = x1.table.size() + x2.table.size() +
+                               x3.table.size() + fin.size();
+  a.report.stats.words_reachable = a.report.stats.words_total;
+  a.report.stats.nodes_visited = 4;  // stages audited
+  a.report.stats.leaf_ptrs = fin.size();
+  a.report.stats.max_depth = 4;
+  return a.report;
+}
+
+}  // namespace audit
+}  // namespace pclass

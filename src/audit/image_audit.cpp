@@ -1,0 +1,260 @@
+#include "audit/image_audit.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/bitops.hpp"
+
+namespace pclass {
+namespace audit {
+namespace {
+
+using expcuts::FlatImage;
+using expcuts::kEmptyLeaf;
+using expcuts::kLeafBit;
+using expcuts::Ptr;
+using expcuts::ptr_is_leaf;
+
+/// Walk state shared across the recursive descent.
+struct Walker {
+  const u32* words;
+  u64 word_count;
+  bool aggregated;
+  u32 u;           ///< log2 pointers per CPA sub-array.
+  u32 v;           ///< log2 sub-arrays per node (w - u).
+  u32 fanout;      ///< 2^w pointer slots per node.
+  u32 depth_limit;
+  const AuditOptions* opts;
+
+  AuditReport report;
+  std::vector<u32> path;                      ///< Chunk taken per level.
+  std::unordered_set<u32> on_path;            ///< Offsets of the DFS spine.
+  std::unordered_map<u32, u32> node_level;    ///< Visited node start -> level.
+  std::vector<std::pair<u32, u32>> spans;     ///< (start, word span) per node.
+
+  void add(ViolationKind kind, u64 offset, std::string detail) {
+    if (report.violations.size() >= opts->max_violations) {
+      report.truncated = true;
+      return;
+    }
+    report.violations.push_back(
+        Violation{kind, offset, path, std::move(detail)});
+  }
+
+  void check_leaf(Ptr p, u64 offset) {
+    ++report.stats.leaf_ptrs;
+    if (p == kEmptyLeaf) return;  // explicit no-match leaf
+    const RuleId rule = p & ~kLeafBit;
+    if (opts->rule_count != 0 && rule >= opts->rule_count) {
+      add(ViolationKind::kLeafRuleOutOfRange, offset,
+          "leaf rule id " + std::to_string(rule) + " >= rule count " +
+              std::to_string(opts->rule_count));
+    }
+  }
+
+  void visit(u32 off, u32 depth);
+};
+
+void Walker::visit(u32 off, u32 depth) {
+  ++report.stats.nodes_visited;
+  node_level.emplace(off, depth);
+  report.stats.max_depth = std::max(report.stats.max_depth, depth + 1);
+
+  const u32 header = words[off];
+  const u32 level = FlatImage::level_of_header(header);
+  if (level != depth) {
+    add(ViolationKind::kLevelNotMonotonic, off,
+        "header level tag " + std::to_string(level) + ", path depth " +
+            std::to_string(depth));
+  }
+  if (depth >= depth_limit) {
+    // An internal node here would consume a header chunk past the
+    // schedule; the explicit W/w bound is broken. Do not descend.
+    add(ViolationKind::kDepthExceeded, off,
+        "internal node at depth " + std::to_string(depth) +
+            " >= bound " + std::to_string(depth_limit));
+    return;
+  }
+  if (FlatImage::header_aggregated_flag(header) != aggregated) {
+    add(ViolationKind::kHeaderFlagMismatch, off,
+        std::string("header aggregation flag disagrees with the image (") +
+            (aggregated ? "aggregated" : "unaggregated") + " layout)");
+  }
+
+  // Node extent: 1 header word + the pointer words the header claims.
+  u32 habs = 0;
+  u32 nsub = fanout >> u;  // direct layout: full array
+  if (aggregated) {
+    habs = header & 0xffff;
+    if ((habs & 1u) == 0) {
+      add(ViolationKind::kHabsBit0Clear, off, "HABS bit 0 must be set");
+    }
+    const u32 used_mask =
+        v >= 5 ? ~u32{0} : ((u32{1} << (u32{1} << v)) - 1);
+    if ((habs & 0xffff & ~used_mask) != 0) {
+      add(ViolationKind::kHeaderFlagMismatch, off,
+          "HABS bits set above the 2^v = " +
+              std::to_string(u32{1} << v) + " encoded positions");
+    }
+    nsub = popcount32(habs);
+  }
+  const u64 span = 1 + (static_cast<u64>(nsub) << u);
+  if (off + span > word_count) {
+    add(ViolationKind::kCpaOutOfBounds, off,
+        "node claims " + std::to_string(span) + " words at offset " +
+            std::to_string(off) + ", image has " +
+            std::to_string(word_count));
+    return;  // cannot safely read the pointer words
+  }
+  spans.emplace_back(off, static_cast<u32>(span));
+
+  // Coverage proof: every 2^w chunk value must resolve to a pointer word
+  // inside this node. Also label each pointer word with the first chunk
+  // that selects it, so violation paths stay reconstructible.
+  std::vector<u32> first_chunk(static_cast<std::size_t>(span) - 1, ~u32{0});
+  bool rank_ok = true;
+  for (u32 chunk = 0; chunk < fanout && rank_ok; ++chunk) {
+    u64 slot;
+    if (aggregated) {
+      const u32 m = chunk >> u;
+      const u32 rank = rank_inclusive(habs, m);
+      if (rank == 0) {
+        add(ViolationKind::kRankOutOfCpa, off,
+            "chunk " + std::to_string(chunk) + ": HABS rank is 0 (no " +
+                "sub-array precedes position " + std::to_string(m) + ")");
+        rank_ok = false;  // every later chunk of this node is suspect
+        continue;
+      }
+      slot = (static_cast<u64>(rank - 1) << u) + (chunk & ((u32{1} << u) - 1));
+    } else {
+      slot = chunk;
+    }
+    if (slot >= span - 1) {
+      add(ViolationKind::kRankOutOfCpa, off,
+          "chunk " + std::to_string(chunk) + " resolves to CPA slot " +
+              std::to_string(slot) + " of " + std::to_string(span - 1));
+      rank_ok = false;
+      continue;
+    }
+    if (first_chunk[static_cast<std::size_t>(slot)] == ~u32{0}) {
+      first_chunk[static_cast<std::size_t>(slot)] = chunk;
+    }
+  }
+
+  // Pointer-word proof: leaves are final, children are in bounds, acyclic
+  // and exactly one level deeper.
+  on_path.insert(off);
+  for (u64 k = 0; k + 1 < span; ++k) {
+    const u64 word_off = off + 1 + k;
+    const Ptr p = words[word_off];
+    const u32 chunk =
+        first_chunk[static_cast<std::size_t>(k)] == ~u32{0}
+            ? static_cast<u32>(k)
+            : first_chunk[static_cast<std::size_t>(k)];
+    if (ptr_is_leaf(p)) {
+      check_leaf(p, word_off);
+      continue;
+    }
+    if (p >= word_count) {
+      path.push_back(chunk);
+      add(ViolationKind::kChildOutOfBounds, word_off,
+          "child offset " + std::to_string(p) + " >= image word count " +
+              std::to_string(word_count));
+      path.pop_back();
+      continue;
+    }
+    if (on_path.contains(p)) {
+      path.push_back(chunk);
+      add(ViolationKind::kPointerCycle, word_off,
+          "child offset " + std::to_string(p) +
+              " re-enters the current root path");
+      path.pop_back();
+      continue;
+    }
+    const auto seen = node_level.find(p);
+    if (seen != node_level.end()) {
+      // Shared subtree (Sec. 4.1): fine, but only at a consistent level.
+      if (seen->second != depth + 1) {
+        path.push_back(chunk);
+        add(ViolationKind::kLevelNotMonotonic, word_off,
+            "shared child at offset " + std::to_string(p) +
+                " first seen at depth " + std::to_string(seen->second) +
+                ", reached again at depth " + std::to_string(depth + 1));
+        path.pop_back();
+      }
+      continue;
+    }
+    path.push_back(chunk);
+    visit(p, depth + 1);
+    path.pop_back();
+  }
+  on_path.erase(off);
+}
+
+}  // namespace
+
+AuditReport audit_flat_image(const expcuts::FlatImage& img, u32 depth_limit,
+                             const AuditOptions& opts) {
+  const std::vector<u32>& words = img.words();
+  const u32 w = img.stride();
+  Walker wk{words.data(),
+            words.size(),
+            img.aggregated(),
+            img.cpa_sub_log2(),
+            w - img.cpa_sub_log2(),
+            u32{1} << w,
+            depth_limit,
+            &opts,
+            {},
+            {},
+            {},
+            {},
+            {}};
+  wk.report.stats.words_total = words.size();
+
+  const Ptr root = img.root_ptr();
+  if (ptr_is_leaf(root)) {
+    // Degenerate image: the root register itself decides every packet.
+    wk.check_leaf(root, 0);
+  } else if (root >= words.size()) {
+    wk.add(ViolationKind::kRootOutOfBounds, root,
+           "root offset >= image word count " +
+               std::to_string(words.size()));
+  } else {
+    wk.visit(root, 0);
+  }
+
+  // Layout proof: reachable node spans must tile the image — no two nodes
+  // share a word (a pointer into another node's CPA would decode garbage)
+  // and no word is outside every node (a buggy builder leaking words, or
+  // a truncated-then-padded image).
+  std::sort(wk.spans.begin(), wk.spans.end());
+  u64 covered = 0;
+  u64 watermark = 0;  // end of the highest span seen so far
+  for (const auto& [start, span] : wk.spans) {
+    const u64 end = static_cast<u64>(start) + span;
+    if (start < watermark) {
+      wk.path.clear();
+      wk.add(ViolationKind::kNodeOverlap, start,
+             "node at offset " + std::to_string(start) +
+                 " overlaps the previous node ending at " +
+                 std::to_string(watermark));
+      covered += end > watermark ? end - watermark : 0;
+    } else {
+      covered += span;
+    }
+    watermark = std::max(watermark, end);
+  }
+  wk.report.stats.words_reachable = covered;
+  if (wk.report.ok() && covered < words.size()) {
+    wk.path.clear();
+    wk.add(ViolationKind::kOrphanWords, watermark,
+           std::to_string(words.size() - covered) +
+               " words unreachable from the root");
+  }
+  return wk.report;
+}
+
+}  // namespace audit
+}  // namespace pclass

@@ -1,0 +1,42 @@
+// Static structural auditor for the ExpCuts SRAM word image.
+//
+// The control plane builds the tree once and ships the flat word image to
+// the lookup engines (paper Sec. 5; image_io.hpp), so a malformed image
+// silently corrupts every lookup with no rule set in sight to diff
+// against. The transport checksum catches bit rot, not a buggy builder or
+// a hand-edited image; this auditor closes that gap by *proving* the
+// paper's structural claims over the raw words, without executing a
+// single lookup:
+//
+//   1. HABS coherence — bit 0 set in every aggregated header, no bits set
+//      above the 2^v positions the encoding defines, and every rank
+//      computation for all 2^w chunk values lands inside the node's CPA;
+//   2. reachability & acyclicity — child offsets in bounds, levels
+//      strictly increasing root→leaf (which also proves no cycle), node
+//      word spans disjoint, and no orphan words outside any node;
+//   3. depth bound — every internal node sits strictly above the W/w
+//      level limit, so every lookup terminates within it;
+//   4. leaf finality — every leaf-tagged pointer carries a valid rule id
+//      (binth = 1: no linear-search escape hatch) or the no-match leaf;
+//   5. full coverage — every 2^w index at every internal node resolves to
+//      a pointer word inside the node.
+//
+// The decode here is an independent re-derivation of the Fig. 4 layout —
+// deliberately not shared with FlatImage::decode_step — so a walker bug
+// cannot vouch for itself.
+#pragma once
+
+#include "audit/report.hpp"
+#include "expcuts/flat.hpp"
+
+namespace pclass {
+namespace audit {
+
+/// Audits `img` (aggregated or unaggregated layout) against the invariant
+/// catalogue above. `depth_limit` is the schedule depth W/w (13 for the
+/// paper's w = 8); internal nodes at or past it violate the bound.
+AuditReport audit_flat_image(const expcuts::FlatImage& img, u32 depth_limit,
+                             const AuditOptions& opts = {});
+
+}  // namespace audit
+}  // namespace pclass

@@ -1,0 +1,66 @@
+#include "audit/report.hpp"
+
+namespace pclass {
+namespace audit {
+
+const char* to_string(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::kRootOutOfBounds:
+      return "root-out-of-bounds";
+    case ViolationKind::kHabsBit0Clear:
+      return "habs-bit0-clear";
+    case ViolationKind::kHeaderFlagMismatch:
+      return "header-flag-mismatch";
+    case ViolationKind::kCpaOutOfBounds:
+      return "cpa-out-of-bounds";
+    case ViolationKind::kRankOutOfCpa:
+      return "rank-out-of-cpa";
+    case ViolationKind::kChildOutOfBounds:
+      return "child-out-of-bounds";
+    case ViolationKind::kPointerCycle:
+      return "pointer-cycle";
+    case ViolationKind::kLevelNotMonotonic:
+      return "level-not-monotonic";
+    case ViolationKind::kDepthExceeded:
+      return "depth-exceeded";
+    case ViolationKind::kLeafRuleOutOfRange:
+      return "leaf-rule-out-of-range";
+    case ViolationKind::kNodeOverlap:
+      return "node-overlap";
+    case ViolationKind::kOrphanWords:
+      return "orphan-words";
+    case ViolationKind::kChildCountMismatch:
+      return "child-count-mismatch";
+    case ViolationKind::kLeafOverflow:
+      return "leaf-overflow";
+    case ViolationKind::kDepthFieldWrong:
+      return "depth-field-wrong";
+    case ViolationKind::kSegmentationBroken:
+      return "segmentation-broken";
+    case ViolationKind::kClassIdOutOfRange:
+      return "class-id-out-of-range";
+    case ViolationKind::kTableSizeMismatch:
+      return "table-size-mismatch";
+  }
+  return "unknown";
+}
+
+std::string AuditReport::summary() const {
+  if (ok()) {
+    return "audit ok: " + std::to_string(stats.nodes_visited) + " nodes, " +
+           std::to_string(stats.words_reachable) + "/" +
+           std::to_string(stats.words_total) + " words, max depth " +
+           std::to_string(stats.max_depth);
+  }
+  std::string s = "audit FAILED: " + std::to_string(violations.size()) +
+                  (truncated ? "+ violations" : " violations");
+  const std::size_t shown = violations.size() < 3 ? violations.size() : 3;
+  for (std::size_t i = 0; i < shown; ++i) {
+    s += "; [" + std::string(to_string(violations[i].kind)) + "] at " +
+         std::to_string(violations[i].offset) + ": " + violations[i].detail;
+  }
+  return s;
+}
+
+}  // namespace audit
+}  // namespace pclass

@@ -1,0 +1,95 @@
+// Structured results of a static classifier-structure audit.
+//
+// The auditors (image_audit.hpp for the ExpCuts SRAM image, audit.hpp for
+// the HiCuts/HSM structures) prove well-formedness invariants without
+// executing a single lookup; every failed proof becomes one Violation
+// carrying the invariant class, the offending word/node offset and the
+// root-to-node path that reaches it. A report with no violations is a
+// machine-checked certificate that the paper's structural claims (HABS
+// coherence, explicit W/w depth bound, binth = 1 leaf finality, full
+// 2^w coverage, acyclic reachability) hold for this artifact.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pclass {
+namespace audit {
+
+/// Invariant classes an auditor can prove violated. Stable names (see
+/// to_string) are part of the JSON report format, pclass-audit-v1.
+enum class ViolationKind : u8 {
+  // ExpCuts flat-image invariants.
+  kRootOutOfBounds = 0,   ///< Root offset past the word array.
+  kHabsBit0Clear,         ///< Aggregated header with HABS bit 0 unset.
+  kHeaderFlagMismatch,    ///< Aggregation flag disagrees with the image.
+  kCpaOutOfBounds,        ///< Node header + CPA extend past the image.
+  kRankOutOfCpa,          ///< HABS rank resolves outside the node's CPA.
+  kChildOutOfBounds,      ///< Child pointer past the word array.
+  kPointerCycle,          ///< Child pointer re-enters the current path.
+  kLevelNotMonotonic,     ///< Child level != parent level + 1 (or root != 0).
+  kDepthExceeded,         ///< Internal node at/past the W/w depth bound.
+  kLeafRuleOutOfRange,    ///< Leaf pointer's rule id >= rule count.
+  kNodeOverlap,           ///< Pointer lands inside another node's words.
+  kOrphanWords,           ///< Words not covered by any reachable node.
+  // HiCuts tree invariants.
+  kChildCountMismatch,    ///< Cut count disagrees with the child array.
+  kLeafOverflow,          ///< Leaf holds more than binth rules.
+  kDepthFieldWrong,       ///< Stored depth != path depth.
+  // HSM table invariants.
+  kSegmentationBroken,    ///< Segment edges unsorted / domain not covered.
+  kClassIdOutOfRange,     ///< Stage output exceeds next stage's input space.
+  kTableSizeMismatch,     ///< Table size != rows * cols.
+};
+
+/// Stable identifier for reports ("habs-bit0-clear", ...).
+const char* to_string(ViolationKind k);
+
+/// One failed invariant proof.
+struct Violation {
+  ViolationKind kind = ViolationKind::kRootOutOfBounds;
+  /// Word offset (ExpCuts image) or node/table index (HiCuts/HSM) the
+  /// violation anchors to.
+  u64 offset = 0;
+  /// Chunk values (ExpCuts) or child indices (HiCuts) taken from the root
+  /// to reach the offending node; empty for global violations.
+  std::vector<u32> path;
+  /// Human-readable specifics (expected vs found).
+  std::string detail;
+};
+
+/// Walk statistics, reported alongside the verdict.
+struct AuditStats {
+  u64 nodes_visited = 0;
+  u64 leaf_ptrs = 0;
+  u64 words_total = 0;
+  u64 words_reachable = 0;
+  u32 max_depth = 0;
+};
+
+struct AuditReport {
+  std::vector<Violation> violations;
+  AuditStats stats;
+  /// True when max_violations stopped the walk early; the image may hold
+  /// more violations than reported.
+  bool truncated = false;
+
+  bool ok() const { return violations.empty(); }
+  /// One-line verdict for logs and exception messages.
+  std::string summary() const;
+};
+
+/// Caps and context for an audit run.
+struct AuditOptions {
+  /// Rules the structure was built over; 0 = unknown, skip rule-id range
+  /// proofs (leaf finality degrades to "tagged as a leaf").
+  u32 rule_count = 0;
+  /// Stop collecting after this many violations (the walk still finishes
+  /// reachability so orphan detection stays sound).
+  std::size_t max_violations = 64;
+};
+
+}  // namespace audit
+}  // namespace pclass

@@ -36,6 +36,14 @@ class InternalError : public Error {
   using Error::Error;
 };
 
+/// A structural audit (src/audit/) proved an artifact malformed — e.g. a
+/// checksum-valid but builder-corrupted image rejected by
+/// load_image(strict). The message carries the leading violations.
+class AuditError : public Error {
+ public:
+  using Error::Error;
+};
+
 /// Throws InternalError when `cond` is false. Used for invariants that must
 /// hold regardless of user input; cheap enough to keep in release builds.
 inline void check(bool cond, const char* msg) {

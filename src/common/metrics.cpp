@@ -100,7 +100,7 @@ Registry& Registry::global() {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   for (const auto& c : counters_) {
     if (c->name() == name) return *c;
   }
@@ -110,7 +110,7 @@ Counter& Registry::counter(std::string_view name) {
 
 Histogram& Registry::histogram(std::string_view name, Scale scale,
                                std::size_t buckets, u64 width) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   for (const auto& h : histograms_) {
     if (h->name() == name) return *h;
   }
@@ -121,7 +121,7 @@ Histogram& Registry::histogram(std::string_view name, Scale scale,
 Snapshot Registry::snapshot() const {
   Snapshot out;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     out.counters.reserve(counters_.size());
     for (const auto& c : counters_) out.counters.emplace_back(c->name(), c->value());
     out.histograms.reserve(histograms_.size());
@@ -136,7 +136,7 @@ Snapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   for (const auto& c : counters_) c->reset();
   for (const auto& h : histograms_) h->reset();
 }

@@ -26,11 +26,11 @@
 #include <atomic>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/types.hpp"
 
 #ifndef PCLASS_METRICS_ENABLED
@@ -180,9 +180,12 @@ class Registry {
   void reset();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Counter>> counters_;
-  std::vector<std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  /// Registration order; pointers are stable for the process lifetime, so
+  /// returned Counter&/Histogram& references escape the lock safely — only
+  /// the vectors themselves are guarded.
+  std::vector<std::unique_ptr<Counter>> counters_ PCLASS_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Histogram>> histograms_ PCLASS_GUARDED_BY(mu_);
 };
 
 }  // namespace metrics

@@ -1,0 +1,109 @@
+// Annotated mutex wrappers for clang thread-safety analysis.
+//
+// libstdc++'s std::mutex / std::shared_mutex carry no capability
+// attributes, so locking them is invisible to -Wthread-safety. These thin
+// wrappers (zero overhead: every method is a forwarded inline call) give
+// the analysis the acquire/release facts it needs. Use Mutex + MutexLock
+// for plain critical sections, SharedMutex + ReaderLock/WriterLock for
+// read-mostly state, and CondVar (condition_variable_any over a Mutex)
+// for producer/consumer waits.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace pclass {
+
+/// std::mutex with capability annotations.
+class PCLASS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PCLASS_ACQUIRE() { m_.lock(); }
+  void unlock() PCLASS_RELEASE() { m_.unlock(); }
+  bool try_lock() PCLASS_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// std::shared_mutex with capability annotations.
+class PCLASS_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() PCLASS_ACQUIRE() { m_.lock(); }
+  void unlock() PCLASS_RELEASE() { m_.unlock(); }
+  void lock_shared() PCLASS_ACQUIRE_SHARED() { m_.lock_shared(); }
+  void unlock_shared() PCLASS_RELEASE_SHARED() { m_.unlock_shared(); }
+
+ private:
+  std::shared_mutex m_;
+};
+
+/// Scoped exclusive lock over a Mutex.
+class PCLASS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PCLASS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() PCLASS_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped exclusive lock over a SharedMutex.
+class PCLASS_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) PCLASS_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterLock() PCLASS_RELEASE() { mu_.unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped shared lock over a SharedMutex.
+class PCLASS_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) PCLASS_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderLock() PCLASS_RELEASE_GENERIC() { mu_.unlock_shared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable usable with Mutex (BasicLockable), so waits stay
+/// inside annotated critical sections.
+class CondVar {
+ public:
+  /// Atomically releases `mu`, waits for a notification satisfying `pred`,
+  /// and reacquires `mu` before returning.
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) PCLASS_REQUIRES(mu) {
+    cv_.wait(mu, pred);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace pclass

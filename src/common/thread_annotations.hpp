@@ -1,0 +1,60 @@
+// Clang thread-safety-analysis attribute macros (no-ops elsewhere).
+//
+// The engine confines shared mutable state behind mutexes (thread_pool,
+// flow_cache, metrics, expcuts/dynamic); these macros let clang prove at
+// compile time that every access happens under the right lock
+// (-Wthread-safety, promoted to an error in the clang CI job). libstdc++'s
+// std::mutex is not annotated, so lockable wrappers live in
+// common/mutex.hpp; annotate data members with PCLASS_GUARDED_BY and
+// private member functions that expect the lock held with PCLASS_REQUIRES.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define PCLASS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PCLASS_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a lockable capability (mutex-like types).
+#define PCLASS_CAPABILITY(x) PCLASS_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose lifetime equals a critical section.
+#define PCLASS_SCOPED_CAPABILITY PCLASS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the capability held.
+#define PCLASS_GUARDED_BY(x) PCLASS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose pointee is guarded by the capability.
+#define PCLASS_PT_GUARDED_BY(x) PCLASS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability held exclusively (resp. shared).
+#define PCLASS_REQUIRES(...) \
+  PCLASS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define PCLASS_REQUIRES_SHARED(...) \
+  PCLASS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires/releases the capability (exclusive or shared).
+#define PCLASS_ACQUIRE(...) \
+  PCLASS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define PCLASS_ACQUIRE_SHARED(...) \
+  PCLASS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define PCLASS_RELEASE(...) \
+  PCLASS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define PCLASS_RELEASE_SHARED(...) \
+  PCLASS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define PCLASS_RELEASE_GENERIC(...) \
+  PCLASS_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define PCLASS_TRY_ACQUIRE(b, ...) \
+  PCLASS_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function must NOT be called with the capability held (non-reentrancy).
+#define PCLASS_EXCLUDES(...) PCLASS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Return value is a reference to the named capability.
+#define PCLASS_RETURN_CAPABILITY(x) PCLASS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch; justify every use in a comment.
+#define PCLASS_NO_THREAD_SAFETY_ANALYSIS \
+  PCLASS_THREAD_ANNOTATION(no_thread_safety_analysis)

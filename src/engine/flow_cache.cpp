@@ -47,6 +47,7 @@ FlowCache::FlowCache(std::size_t capacity) : capacity_(capacity) {
 }
 
 std::optional<RuleId> FlowCache::get(const PacketHeader& h) {
+  const MutexLock lock(mu_);
   const auto it = map_.find(h);
   if (it == map_.end()) {
     ++stats_.misses;
@@ -60,6 +61,7 @@ std::optional<RuleId> FlowCache::get(const PacketHeader& h) {
 }
 
 void FlowCache::put(const PacketHeader& h, RuleId verdict) {
+  const MutexLock lock(mu_);
   const auto it = map_.find(h);
   if (it != map_.end()) {
     it->second->verdict = verdict;

@@ -7,8 +7,12 @@
 // entirely. This module provides an LRU flow cache and a Classifier
 // decorator, plus the cost model the NP simulator uses for hits/misses.
 //
-// Thread-safety: a cache is mutable per-lookup state; wrap one per worker
-// thread (the examples do), not one shared instance.
+// Thread-safety: the cache is internally synchronized (a single mutex
+// guards the LRU list, the map and the stats; clang thread-safety
+// annotations make the confinement compiler-checked), so one instance may
+// be shared across workers. For scale, still prefer one cache per worker
+// thread (the examples do) — per-worker instances make the lock
+// uncontended and keep the LRU list core-local.
 #pragma once
 
 #include <list>
@@ -16,6 +20,7 @@
 #include <unordered_map>
 
 #include "classify/classifier.hpp"
+#include "common/mutex.hpp"
 
 namespace pclass {
 
@@ -36,15 +41,25 @@ class FlowCache {
   explicit FlowCache(std::size_t capacity);
 
   /// Returns the cached verdict and refreshes recency, or nullopt.
-  std::optional<RuleId> get(const PacketHeader& h);
+  std::optional<RuleId> get(const PacketHeader& h) PCLASS_EXCLUDES(mu_);
 
   /// Inserts (or refreshes) a verdict, evicting the LRU entry when full.
-  void put(const PacketHeader& h, RuleId verdict);
+  void put(const PacketHeader& h, RuleId verdict) PCLASS_EXCLUDES(mu_);
 
-  std::size_t size() const { return map_.size(); }
+  std::size_t size() const PCLASS_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
+    return map_.size();
+  }
   std::size_t capacity() const { return capacity_; }
-  const FlowCacheStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = FlowCacheStats{}; }
+  /// Point-in-time copy (the counters keep moving under concurrent use).
+  FlowCacheStats stats() const PCLASS_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
+    return stats_;
+  }
+  void reset_stats() PCLASS_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
+    stats_ = FlowCacheStats{};
+  }
 
  private:
   struct KeyHash {
@@ -57,9 +72,11 @@ class FlowCache {
   using Lru = std::list<Entry>;
 
   std::size_t capacity_;
-  Lru lru_;  ///< Front = most recent.
-  std::unordered_map<PacketHeader, Lru::iterator, KeyHash> map_;
-  FlowCacheStats stats_;
+  mutable Mutex mu_;
+  Lru lru_ PCLASS_GUARDED_BY(mu_);  ///< Front = most recent.
+  std::unordered_map<PacketHeader, Lru::iterator, KeyHash> map_
+      PCLASS_GUARDED_BY(mu_);
+  FlowCacheStats stats_ PCLASS_GUARDED_BY(mu_);
 };
 
 /// Classifier decorator: consult the cache, fall back to the inner
@@ -82,7 +99,7 @@ class CachedClassifier final : public Classifier {
                       BatchLookupStats* stats = nullptr) const override;
   MemoryFootprint footprint() const override;
 
-  const FlowCacheStats& cache_stats() const { return cache_.stats(); }
+  FlowCacheStats cache_stats() const { return cache_.stats(); }
   void reset_stats() { cache_.reset_stats(); }
 
  private:

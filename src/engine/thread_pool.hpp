@@ -3,14 +3,16 @@
 // Mirrors the NP's multiprocessing task-partitioning scheme (paper
 // Sec. 5.1): identical workers pull work items from a shared queue; shared
 // mutable state is confined to the queue itself (Core Guidelines CP.3).
+// The confinement is compiler-checked: every queue access is annotated
+// against `mu_` and the clang CI job builds with -Werror=thread-safety.
 #pragma once
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace pclass {
 
@@ -35,12 +37,12 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  std::queue<std::function<void()>> queue_ PCLASS_GUARDED_BY(mu_);
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  std::size_t in_flight_ PCLASS_GUARDED_BY(mu_) = 0;
+  bool stop_ PCLASS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace pclass

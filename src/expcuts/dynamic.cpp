@@ -44,6 +44,11 @@ DynamicExpCutsClassifier::DynamicExpCutsClassifier(RuleSet initial,
 }
 
 void DynamicExpCutsClassifier::rebuild() {
+  const WriterLock lock(mu_);
+  rebuild_locked();
+}
+
+void DynamicExpCutsClassifier::rebuild_locked() {
   // Compact: the snapshot becomes the current view.
   snapshot_ = current_;
   tree_ = std::make_unique<ExpCutsClassifier>(snapshot_, cfg_);
@@ -56,10 +61,12 @@ void DynamicExpCutsClassifier::rebuild() {
 }
 
 void DynamicExpCutsClassifier::maybe_rebuild() {
-  if (pending_updates() >= rebuild_threshold_) rebuild();
+  const u32 pending = static_cast<u32>(delta_.size()) + tombstones_;
+  if (pending >= rebuild_threshold_) rebuild_locked();
 }
 
 void DynamicExpCutsClassifier::insert(const Rule& r, std::size_t pos) {
+  const WriterLock lock(mu_);
   check(pos <= current_.size(), "DynamicExpCuts::insert: position out of range");
   // Shift every current index at or past pos.
   for (RuleId& m : snap_to_cur_) {
@@ -79,6 +86,7 @@ void DynamicExpCutsClassifier::insert(const Rule& r, std::size_t pos) {
 }
 
 void DynamicExpCutsClassifier::erase(std::size_t pos) {
+  const WriterLock lock(mu_);
   check(pos < current_.size(), "DynamicExpCuts::erase: position out of range");
   const RuleId target = static_cast<RuleId>(pos);
   // Either a delta rule or a live snapshot rule.
@@ -112,11 +120,13 @@ void DynamicExpCutsClassifier::erase(std::size_t pos) {
 }
 
 RuleId DynamicExpCutsClassifier::classify(const PacketHeader& h) const {
+  const ReaderLock lock(mu_);
   return classify_impl(h, nullptr);
 }
 
 RuleId DynamicExpCutsClassifier::classify_traced(const PacketHeader& h,
                                                  LookupTrace& trace) const {
+  const ReaderLock lock(mu_);
   return classify_impl(h, &trace);
 }
 
@@ -160,6 +170,7 @@ RuleId DynamicExpCutsClassifier::classify_impl(const PacketHeader& h,
 }
 
 MemoryFootprint DynamicExpCutsClassifier::footprint() const {
+  const ReaderLock lock(mu_);
   MemoryFootprint f = tree_->footprint();
   f.bytes += delta_.size() * kRuleWords * 4 + snap_to_cur_.size() * 4;
   f.detail += " delta=" + std::to_string(delta_.size()) +

@@ -15,8 +15,15 @@
 //
 // Classification answers are always exact with respect to the *current*
 // rule view (verified differentially in tests after every update).
+//
+// Thread-safety: the paper's deployment splits control plane (updates)
+// from data plane (lookups); here a reader/writer lock encodes exactly
+// that split — classify takes the lock shared, insert/erase/rebuild take
+// it exclusive — and clang thread-safety annotations prove every access
+// to the snapshot/delta state happens under the right mode.
 #pragma once
 
+#include "common/mutex.hpp"
 #include "expcuts/expcuts.hpp"
 
 namespace pclass {
@@ -37,42 +44,56 @@ class DynamicExpCutsClassifier final : public Classifier {
                          LookupTrace& trace) const override;
   MemoryFootprint footprint() const override;
 
-  /// The live rule view; returned RuleIds index into it.
-  const RuleSet& rules() const { return current_; }
+  /// The live rule view; returned RuleIds index into it. The reference is
+  /// only stable while no concurrent insert/erase/rebuild runs — callers
+  /// that share the classifier across threads must copy under their own
+  /// synchronization.
+  const RuleSet& rules() const PCLASS_NO_THREAD_SAFETY_ANALYSIS {
+    return current_;
+  }
 
   /// Inserts `r` at priority position `pos` (0 = highest priority,
   /// rules().size() = lowest). Triggers a rebuild past the threshold.
-  void insert(const Rule& r, std::size_t pos);
+  void insert(const Rule& r, std::size_t pos) PCLASS_EXCLUDES(mu_);
 
   /// Removes the rule at priority position `pos`.
-  void erase(std::size_t pos);
+  void erase(std::size_t pos) PCLASS_EXCLUDES(mu_);
 
   /// Pending delta inserts + tombstones since the last rebuild.
-  u32 pending_updates() const {
+  u32 pending_updates() const PCLASS_EXCLUDES(mu_) {
+    const ReaderLock lock(mu_);
     return static_cast<u32>(delta_.size()) + tombstones_;
   }
 
   /// Compacts the snapshot and rebuilds the tree now.
-  void rebuild();
+  void rebuild() PCLASS_EXCLUDES(mu_);
 
   /// Rebuilds performed so far (including the initial build).
-  u32 rebuild_count() const { return rebuilds_; }
+  u32 rebuild_count() const PCLASS_EXCLUDES(mu_) {
+    const ReaderLock lock(mu_);
+    return rebuilds_;
+  }
 
  private:
-  RuleId classify_impl(const PacketHeader& h, LookupTrace* trace) const;
-  void maybe_rebuild();
+  RuleId classify_impl(const PacketHeader& h, LookupTrace* trace) const
+      PCLASS_REQUIRES_SHARED(mu_);
+  void rebuild_locked() PCLASS_REQUIRES(mu_);
+  void maybe_rebuild() PCLASS_REQUIRES(mu_);
 
   Config cfg_;
   u32 rebuild_threshold_;
-  RuleSet current_;               ///< Live view.
-  RuleSet snapshot_;              ///< What the tree was built over.
-  std::unique_ptr<ExpCutsClassifier> tree_;
+  /// Control plane (insert/erase/rebuild) writes under the exclusive lock;
+  /// data plane (classify) reads under the shared lock.
+  mutable SharedMutex mu_;
+  RuleSet current_ PCLASS_GUARDED_BY(mu_);   ///< Live view.
+  RuleSet snapshot_ PCLASS_GUARDED_BY(mu_);  ///< What the tree was built over.
+  std::unique_ptr<ExpCutsClassifier> tree_ PCLASS_GUARDED_BY(mu_);
   /// snapshot id -> current index, or kNoMatch when deleted.
-  std::vector<RuleId> snap_to_cur_;
+  std::vector<RuleId> snap_to_cur_ PCLASS_GUARDED_BY(mu_);
   /// Current indices of rules inserted since the snapshot, ascending.
-  std::vector<RuleId> delta_;
-  u32 tombstones_ = 0;
-  u32 rebuilds_ = 0;
+  std::vector<RuleId> delta_ PCLASS_GUARDED_BY(mu_);
+  u32 tombstones_ PCLASS_GUARDED_BY(mu_) = 0;
+  u32 rebuilds_ PCLASS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace expcuts

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "audit/image_audit.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "expcuts/flat.hpp"
@@ -16,6 +17,18 @@ ExpCutsClassifier::ExpCutsClassifier(const RuleSet& rules, const Config& cfg)
   for (RuleId i = 0; i < rules_.size(); ++i) all[i] = i;
   root_ = build(Box::full(), std::move(all), 0);
   finalize_stats();
+#if !defined(NDEBUG) || defined(PCLASS_AUDIT_BUILDS)
+  // Debug builds prove every freshly built image well-formed (HABS
+  // coherence, depth bound, leaf finality, coverage) before it is used;
+  // release builds rely on tests + tools/pclass_audit instead.
+  {
+    audit::AuditOptions aopts;
+    aopts.rule_count = static_cast<u32>(rules_.size());
+    const audit::AuditReport report =
+        audit::audit_flat_image(*flat_, sched_.depth(), aopts);
+    check(report.ok(), "ExpCuts build produced a malformed image");
+  }
+#endif
 }
 
 std::size_t ExpCutsClassifier::MemoKeyHash::operator()(

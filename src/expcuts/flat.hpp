@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "classify/classifier.hpp"
+#include "common/bitops.hpp"
 #include "expcuts/expcuts.hpp"
 
 namespace pclass {
@@ -56,11 +57,20 @@ class FlatImage {
   bool aggregated() const { return aggregated_; }
   Ptr root_ptr() const { return root_; }
 
-  /// Raw image access for serialization tests.
+  /// Raw image access for serialization tests and the structural auditor.
   const std::vector<u32>& words() const { return words_; }
+
+  /// log2 pointers per CPA sub-array (the paper's u = w - v).
+  u32 cpa_sub_log2() const { return u_; }
+  /// Header bits consumed per level (the paper's stride w).
+  u32 stride() const { return popcount32(chunk_mask_); }
 
   /// Decodes the level tag of the node at `word_offset`.
   static u32 level_of_header(u32 header) { return (header >> 16) & 0x7f; }
+  /// The aggregated-layout flag bit of a node header word.
+  static bool header_aggregated_flag(u32 header) {
+    return (header & (1u << 23)) != 0;
+  }
 
  private:
   /// One tree level of a lookup, shared by the scalar, traced, and batched

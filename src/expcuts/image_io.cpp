@@ -6,6 +6,7 @@
 #include <istream>
 #include <ostream>
 
+#include "audit/image_audit.hpp"
 #include "common/error.hpp"
 
 namespace pclass {
@@ -13,6 +14,10 @@ namespace expcuts {
 namespace {
 
 constexpr char kMagic[4] = {'X', 'P', 'C', '1'};
+
+/// Words read per chunk on non-seekable streams, so a forged word count
+/// cannot force a huge allocation before truncation is detected.
+constexpr std::size_t kReadChunkWords = 1u << 18;  // 1 MiB
 
 u64 fnv1a64(const void* data, std::size_t len, u64 h = 0xcbf29ce484222325ULL) {
   const unsigned char* p = static_cast<const unsigned char*>(data);
@@ -50,14 +55,17 @@ void save_image(std::ostream& os, const ExpCutsClassifier& cls) {
   write_pod<u64>(os, img.words().size());
   os.write(reinterpret_cast<const char*>(img.words().data()),
            static_cast<std::streamsize>(img.words().size() * sizeof(u32)));
-  u64 checksum = fnv1a64(&cfg.stride_w, sizeof cfg.stride_w);
-  checksum = fnv1a64(img.words().data(), img.words().size() * sizeof(u32),
-                     checksum);
-  write_pod<u64>(os, checksum);
+  write_pod<u64>(os, image_checksum(cfg.stride_w, img.words().data(),
+                                    img.words().size()));
   if (!os) throw Error("failed to write ExpCuts image");
 }
 
-LoadedImage load_image(std::istream& is) {
+u64 image_checksum(u32 stride_w, const u32* words, std::size_t count) {
+  u64 checksum = fnv1a64(&stride_w, sizeof stride_w);
+  return fnv1a64(words, count * sizeof(u32), checksum);
+}
+
+LoadedImage load_image(std::istream& is, bool strict) {
   char magic[4];
   is.read(magic, sizeof magic);
   if (!is || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
@@ -74,21 +82,60 @@ LoadedImage load_image(std::istream& is) {
       count > (u64{1} << 31)) {
     throw ParseError("implausible ExpCuts image header", 0);
   }
-  std::vector<u32> words(static_cast<std::size_t>(count));
-  is.read(reinterpret_cast<char*>(words.data()),
-          static_cast<std::streamsize>(count * sizeof(u32)));
-  if (!is) throw ParseError("truncated ExpCuts image body", 0);
+  // Reject a declared word count the stream provably cannot satisfy
+  // *before* allocating for it: on seekable streams the remaining bytes
+  // must be exactly payload + trailing checksum.
+  const std::streampos body = is.tellg();
+  if (body != std::streampos(-1)) {
+    is.seekg(0, std::ios::end);
+    const std::streampos end = is.tellg();
+    is.seekg(body);
+    if (end != std::streampos(-1)) {
+      const u64 remaining = static_cast<u64>(end - body);
+      if (remaining != count * sizeof(u32) + sizeof(u64)) {
+        throw ParseError("ExpCuts image word_count disagrees with payload (" +
+                             std::to_string(count * sizeof(u32) + sizeof(u64)) +
+                             " bytes declared, " + std::to_string(remaining) +
+                             " present)",
+                         0);
+      }
+    }
+  }
+  // Chunked read: on non-seekable streams this bounds the allocation a
+  // forged count can cause before truncation surfaces.
+  std::vector<u32> words;
+  words.reserve(static_cast<std::size_t>(
+      std::min<u64>(count, kReadChunkWords)));
+  while (words.size() < count) {
+    const std::size_t batch = static_cast<std::size_t>(
+        std::min<u64>(count - words.size(), kReadChunkWords));
+    const std::size_t old = words.size();
+    words.resize(old + batch);
+    is.read(reinterpret_cast<char*>(words.data() + old),
+            static_cast<std::streamsize>(batch * sizeof(u32)));
+    if (!is) throw ParseError("truncated ExpCuts image body", 0);
+  }
   const u64 stored = read_pod<u64>(is);
-  u64 checksum = fnv1a64(&cfg.stride_w, sizeof cfg.stride_w);
-  checksum = fnv1a64(words.data(), words.size() * sizeof(u32), checksum);
-  if (stored != checksum) {
+  if (stored != image_checksum(cfg.stride_w, words.data(), words.size())) {
     throw ParseError("ExpCuts image checksum mismatch", 0);
   }
   const u32 v = std::min({cfg.habs_v, cfg.stride_w, 4u});
-  return LoadedImage{
+  LoadedImage li{
       FlatImage(std::move(words), root, cfg.stride_w - v, cfg.stride_w,
                 aggregated),
       Schedule::make(cfg.stride_w, cfg.order), cfg};
+  if (strict) {
+    // The checksum above only proves transport integrity; the structural
+    // audit proves the builder's output is actually a well-formed tree
+    // before it can reach the data plane.
+    const audit::AuditReport report =
+        audit::audit_flat_image(li.image, li.schedule.depth());
+    if (!report.ok()) {
+      throw AuditError("ExpCuts image failed structural audit: " +
+                       report.summary());
+    }
+  }
+  return li;
 }
 
 void save_image_file(const std::string& path, const ExpCutsClassifier& cls) {
@@ -97,10 +144,10 @@ void save_image_file(const std::string& path, const ExpCutsClassifier& cls) {
   save_image(os, cls);
 }
 
-LoadedImage load_image_file(const std::string& path) {
+LoadedImage load_image_file(const std::string& path, bool strict) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw Error("cannot open image file: " + path);
-  return load_image(is);
+  return load_image(is, strict);
 }
 
 }  // namespace expcuts

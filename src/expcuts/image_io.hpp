@@ -35,11 +35,26 @@ struct LoadedImage {
 void save_image(std::ostream& os, const ExpCutsClassifier& cls);
 
 /// Reads an image; throws ParseError on malformed or corrupted input.
-LoadedImage load_image(std::istream& is);
+/// The declared word count is validated against the stream's remaining
+/// payload *before* any allocation (a forged header cannot force a
+/// multi-GB allocation), and non-seekable streams are read in bounded
+/// chunks so truncation is detected early.
+///
+/// With `strict`, the structural auditor (src/audit/) additionally proves
+/// the image well-formed — HABS coherence, reachability, depth bound,
+/// leaf finality, coverage — and a violation throws AuditError. The
+/// checksum only catches transport corruption; strict mode also catches a
+/// buggy builder or a hand-edited image, so prefer it wherever the image
+/// crosses a trust boundary on its way to the data plane.
+LoadedImage load_image(std::istream& is, bool strict = false);
 
 /// File-path convenience wrappers.
 void save_image_file(const std::string& path, const ExpCutsClassifier& cls);
-LoadedImage load_image_file(const std::string& path);
+LoadedImage load_image_file(const std::string& path, bool strict = false);
+
+/// The payload checksum `save_image` stores and `load_image` verifies
+/// (exposed for tests and tools that patch serialized images).
+u64 image_checksum(u32 stride_w, const u32* words, std::size_t count);
 
 }  // namespace expcuts
 }  // namespace pclass

@@ -15,9 +15,6 @@ namespace pclass {
 namespace hicuts {
 namespace {
 
-/// Hard recursion guard; real trees stay far below this.
-constexpr u16 kMaxDepth = 64;
-
 /// Cycle costs charged by traced lookups (see npsim/config.hpp for the
 /// machine model these are calibrated against).
 constexpr u32 kNodeHeaderCycles = 6;   // decode dim/step/base, div/shift

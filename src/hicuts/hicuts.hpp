@@ -22,6 +22,11 @@
 namespace pclass {
 namespace hicuts {
 
+/// Hard recursion guard; real trees stay far below this. A node at this
+/// depth becomes a leaf regardless of binth (the structural auditor
+/// accepts oversized leaves only here or when the rules are inseparable).
+inline constexpr u16 kMaxDepth = 64;
+
 struct Config {
   /// Maximum rules in a leaf (paper uses binth = 8 in Sec. 6.6).
   u32 binth = 8;

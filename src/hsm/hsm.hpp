@@ -59,6 +59,14 @@ class HsmClassifier final : public Classifier {
     return segs_[dim_index(d)];
   }
 
+  /// Audit hooks (src/audit/): read-only views of the lookup tables.
+  const CrossTable& x1() const { return x1_; }
+  const CrossTable& x2() const { return x2_; }
+  const CrossTable& x3() const { return x3_; }
+  const std::vector<RuleId>& final_table() const { return final_; }
+  u32 final_cols() const { return final_cols_; }
+  const std::array<u32, 256>& proto_table() const { return proto_table_; }
+
  private:
   u32 proto_class(u8 proto) const { return proto_table_[proto]; }
   void finalize_stats();

@@ -1,0 +1,136 @@
+// pclass_audit — command-line front end of the structural auditor.
+//
+// Proves classifier images well-formed without executing a lookup (see
+// src/audit/ and DESIGN.md §10). Reports are pclass-audit-v1 JSON on
+// stdout so CI can archive and diff them.
+//
+//   pclass_audit audit <image.bin> [rule_count]
+//       Audit a serialized ExpCuts SRAM image (as written by `build` or
+//       expcuts::save_image). rule_count, when given, additionally proves
+//       every leaf's rule id in range.
+//   pclass_audit build <ruleset> <out.bin>
+//       Compile one of the seed rule sets (FW01..CR04) and write its
+//       aggregated image — the golden-image producer for CI.
+//   pclass_audit selftest
+//       Build every seed rule set across ExpCuts (aggregated and
+//       unaggregated), HiCuts and HSM, audit each structure, and strict-
+//       load a serialization round trip. The ctest suite runs this.
+//
+// Exit codes: 0 = every audit clean, 1 = violations found, 2 = usage or
+// I/O error.
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "audit/audit.hpp"
+#include "common/error.hpp"
+#include "expcuts/image_io.hpp"
+#include "hicuts/hicuts.hpp"
+#include "hsm/hsm.hpp"
+#include "rules/generator.hpp"
+
+namespace {
+
+using namespace pclass;
+
+int usage() {
+  std::cerr
+      << "usage: pclass_audit audit <image.bin> [rule_count]\n"
+      << "       pclass_audit build <ruleset> <out.bin>\n"
+      << "       pclass_audit selftest\n"
+      << "rulesets: ";
+  for (const PaperRuleSetSpec& spec : paper_rulesets()) {
+    std::cerr << spec.name << " ";
+  }
+  std::cerr << "\n";
+  return 2;
+}
+
+int cmd_audit(const std::string& path, u32 rule_count) {
+  const expcuts::LoadedImage li = expcuts::load_image_file(path);
+  const audit::AuditReport report = audit::audit_image(li, rule_count);
+  audit::write_json(std::cout, report, path);
+  std::cout << "\n";
+  return report.ok() ? 0 : 1;
+}
+
+int cmd_build(const std::string& name, const std::string& out) {
+  const RuleSet rules = generate_paper_ruleset(name);
+  const expcuts::ExpCutsClassifier cls(rules);
+  expcuts::save_image_file(out, cls);
+  std::cerr << "pclass_audit: wrote " << out << " (" << rules.size()
+            << " rules, " << cls.flat().word_count() << " words)\n";
+  return 0;
+}
+
+/// Runs one named audit; prints a PASS/FAIL line on stderr and emits the
+/// JSON report on stdout only on failure (so a clean selftest stays quiet
+/// enough to read).
+bool run_check(const std::string& subject, const audit::AuditReport& report) {
+  std::cerr << (report.ok() ? "PASS " : "FAIL ") << subject << " ("
+            << report.summary() << ")\n";
+  if (!report.ok()) {
+    audit::write_json(std::cout, report, subject);
+    std::cout << "\n";
+  }
+  return report.ok();
+}
+
+int cmd_selftest() {
+  bool all_ok = true;
+  for (const PaperRuleSetSpec& spec : paper_rulesets()) {
+    const std::string name = spec.name;
+    const RuleSet rules = generate_paper_ruleset(name);
+    const u32 n = static_cast<u32>(rules.size());
+
+    const expcuts::ExpCutsClassifier cls(rules);
+    all_ok &= run_check(name + "/expcuts", audit::audit_classifier(cls));
+
+    // The Fig. 6 "without aggregation" baseline shares the tree but lays
+    // pointers out directly; it must satisfy the same invariants.
+    const expcuts::FlatImage flat_direct(cls.nodes(), cls.root(),
+                                         cls.config(), /*aggregated=*/false);
+    audit::AuditOptions opts;
+    opts.rule_count = n;
+    all_ok &= run_check(
+        name + "/expcuts-unaggregated",
+        audit::audit_flat_image(flat_direct, cls.schedule().depth(), opts));
+
+    // Serialization round trip under strict load: a clean image must pass
+    // the on-load audit, and the reloaded words must audit clean again.
+    std::stringstream wire;
+    expcuts::save_image(wire, cls);
+    const expcuts::LoadedImage li = expcuts::load_image(wire, /*strict=*/true);
+    all_ok &= run_check(name + "/expcuts-roundtrip",
+                        audit::audit_image(li, n));
+
+    const hicuts::HiCutsClassifier hc(rules);
+    all_ok &= run_check(name + "/hicuts", audit::audit_hicuts(hc, rules));
+
+    const hsm::HsmClassifier hs(rules);
+    all_ok &= run_check(name + "/hsm", audit::audit_hsm(hs, n));
+  }
+  std::cerr << (all_ok ? "selftest: all audits clean\n"
+                       : "selftest: violations found\n");
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::string cmd = argc > 1 ? argv[1] : "";
+    if (cmd == "audit" && (argc == 3 || argc == 4)) {
+      const u32 rule_count =
+          argc == 4 ? static_cast<u32>(std::strtoul(argv[3], nullptr, 10)) : 0;
+      return cmd_audit(argv[2], rule_count);
+    }
+    if (cmd == "build" && argc == 4) return cmd_build(argv[2], argv[3]);
+    if (cmd == "selftest" && argc == 2) return cmd_selftest();
+    return usage();
+  } catch (const Error& e) {
+    std::cerr << "pclass_audit: " << e.what() << "\n";
+    return 2;
+  }
+}
