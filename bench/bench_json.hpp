@@ -26,6 +26,10 @@
 //
 // Every bench accepts:  --quick   reduced workload for CI smoke jobs
 //                       --json=PATH (default BENCH_<name>.json in $CWD)
+//                       --trace=PATH  record the run with the execution
+//                                     tracer and write a Chrome trace-event
+//                                     file (load in Perfetto; no-op when
+//                                     built with PCLASS_TRACE=OFF)
 #pragma once
 
 #include <algorithm>
@@ -39,8 +43,11 @@
 #include <utility>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/types.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 
 namespace pclass {
 namespace bench {
@@ -143,11 +150,23 @@ class BenchReport {
         json_path_ = a + 7;
       } else if (std::strcmp(a, "--json") == 0 && i + 1 < argc) {
         json_path_ = argv[++i];
+      } else if (std::strncmp(a, "--trace=", 8) == 0) {
+        trace_path_ = a + 8;
       } else {
         std::fprintf(stderr,
                      "%s: unknown argument '%s' (supported: --quick "
-                     "--json=PATH)\n",
+                     "--json=PATH --trace=PATH)\n",
                      name_.c_str(), a);
+      }
+    }
+    if (!trace_path_.empty()) {
+      trace::Registry::global().reset();
+      trace::Registry::global().set_enabled(true);
+      if (!trace::Registry::global().enabled()) {
+        std::fprintf(stderr,
+                     "%s: --trace requested but the tracer is compiled out "
+                     "(PCLASS_TRACE=OFF); %s will be empty\n",
+                     name_.c_str(), trace_path_.c_str());
       }
     }
   }
@@ -170,9 +189,21 @@ class BenchReport {
     latency_.emplace_back(series, LatencySummary::of(std::move(samples)));
   }
 
-  /// Captures the metrics snapshot and writes the document. Returns an
-  /// exit code for main(): 0 on success.
+  /// Captures the metrics snapshot and writes the document (plus the
+  /// Chrome trace-event file under --trace=PATH). Returns an exit code
+  /// for main(): 0 on success.
   int write() const {
+    if (!trace_path_.empty()) {
+      trace::Registry::global().set_enabled(false);
+      try {
+        trace::write_chrome_trace_file(
+            trace_path_, trace::Registry::global().snapshot(), name_);
+        std::printf("wrote %s\n", trace_path_.c_str());
+      } catch (const Error& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+      }
+    }
     std::FILE* f = std::fopen(json_path_.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot open %s for writing\n", json_path_.c_str());
@@ -289,6 +320,7 @@ class BenchReport {
 
   std::string name_;
   std::string json_path_;
+  std::string trace_path_;  ///< Empty = no trace capture.
   bool quick_ = false;
   Pairs config_;
   std::vector<Row> rows_;

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace pclass {
 namespace {
@@ -52,10 +53,12 @@ std::optional<RuleId> FlowCache::get(const PacketHeader& h) {
   if (it == map_.end()) {
     ++stats_.misses;
     cache_metrics().misses.inc();
+    PCLASS_TRACE_INSTANT(kFlowCacheMiss, KeyHash{}(h), 0);
     return std::nullopt;
   }
   ++stats_.hits;
   cache_metrics().hits.inc();
+  PCLASS_TRACE_INSTANT(kFlowCacheHit, KeyHash{}(h), it->second->verdict);
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
   return it->second->verdict;
 }

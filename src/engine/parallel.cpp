@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "engine/thread_pool.hpp"
+#include "trace/trace.hpp"
 
 namespace pclass {
 namespace {
@@ -50,6 +51,7 @@ ParallelRunResult classify_parallel(const Classifier& cls, const Trace& trace,
   const PacketHeader* headers = trace.packets().data();
   const auto t0 = std::chrono::steady_clock::now();
   if (threads <= 1) {
+    PCLASS_TRACE_SPAN(kShard, trace.size());
     cls.classify_batch(headers, out.results.data(), trace.size(),
                        &out.batch_stats);
     em.batches.inc();
@@ -76,6 +78,12 @@ ParallelRunResult classify_parallel(const Classifier& cls, const Trace& trace,
           cls.classify_batch(headers + begin, out.results.data() + begin,
                              end - begin, &local);
           em.batch_ns.record(now_ns() - b0);
+          // One shard span per claimed batch: a0 = start index into the
+          // packet trace, a1 = packets in the shard.
+          if (::pclass::trace::active()) {
+            ::pclass::trace::span_end(::pclass::trace::EventKind::kShard, b0,
+                                      begin, end - begin);
+          }
           ++claimed;
         }
         worker_stats[t] = local;

@@ -1,6 +1,7 @@
 #include "engine/thread_pool.hpp"
 
 #include "common/error.hpp"
+#include "trace/trace.hpp"
 
 namespace pclass {
 
@@ -47,7 +48,10 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    {
+      PCLASS_TRACE_SPAN(kTask, 0);
+      task();
+    }
     {
       MutexLock lock(mu_);
       if (--in_flight_ == 0) cv_idle_.notify_all();

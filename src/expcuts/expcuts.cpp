@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "expcuts/flat.hpp"
+#include "trace/trace.hpp"
 
 namespace pclass {
 namespace expcuts {
@@ -13,6 +14,9 @@ namespace expcuts {
 ExpCutsClassifier::ExpCutsClassifier(const RuleSet& rules, const Config& cfg)
     : rules_(rules), cfg_(cfg), sched_(Schedule::make(cfg.stride_w, cfg.order)) {
   cfg_.habs_v = std::min({cfg_.habs_v, cfg_.stride_w, 4u});
+  // Covers cutting + stats; the HABS compression and word-image emission
+  // inside finalize_stats get their own child spans (FlatImage ctor).
+  PCLASS_TRACE_SPAN(kExpCutsBuild, rules_.size());
   std::vector<RuleId> all(rules_.size());
   for (RuleId i = 0; i < rules_.size(); ++i) all[i] = i;
   root_ = build(Box::full(), std::move(all), 0);

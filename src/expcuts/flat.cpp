@@ -1,9 +1,11 @@
 #include "expcuts/flat.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace pclass {
 namespace expcuts {
@@ -61,6 +63,8 @@ FlatImage::FlatImage(const std::vector<Node>& nodes, Ptr root,
   const std::size_t fanout = std::size_t{1} << cfg.stride_w;
 
   // Pass 1: encode every node and assign word offsets.
+  const bool tracing = trace::active();
+  const u64 t_pass1 = tracing ? trace::now_ns() : 0;
   std::vector<HabsEncoding> encodings;
   std::vector<u64> offsets(nodes.size());
   u64 next = 0;
@@ -79,9 +83,14 @@ FlatImage::FlatImage(const std::vector<Node>& nodes, Ptr root,
   }
   check(next < kLeafBit, "FlatImage: image exceeds 2^31 words");
   words_.resize(static_cast<std::size_t>(next));
+  if (tracing) {
+    trace::span_end(trace::EventKind::kHabsCompress, t_pass1, nodes.size(),
+                    next);
+  }
 
   // Pass 2: emit headers and pointer words, translating node indices to
   // word offsets.
+  const u64 t_pass2 = tracing ? trace::now_ns() : 0;
   auto translate = [&](Ptr p) -> u32 {
     return ptr_is_leaf(p) ? p : static_cast<u32>(offsets[p]);
   };
@@ -102,13 +111,21 @@ FlatImage::FlatImage(const std::vector<Node>& nodes, Ptr root,
     }
   }
   root_ = translate(root);
+  if (tracing) {
+    trace::span_end(trace::EventKind::kImageEmit, t_pass2, next);
+  }
 }
 
 RuleId FlatImage::lookup(const PacketHeader& h, const Schedule& sched,
                          LookupTrace* trace, bool popcount_hw) const {
+  // Hoisted once per lookup: when tracing is compiled in but idle, the
+  // per-level cost is one predictable branch (CI gates this at 3%).
+  const bool tracing = pclass::trace::active();
   Ptr p = root_;
   while (!ptr_is_leaf(p)) {
-    const LevelStep s = decode_step(words_[p], p, h, sched);
+    const u64 t0 = tracing ? pclass::trace::now_ns() : 0;
+    const u32 header = words_[p];
+    const LevelStep s = decode_step(header, p, h, sched);
     if (trace != nullptr) {
       if (aggregated_) {
         // Header long-word, then the CPA entry.
@@ -125,10 +142,65 @@ RuleId FlatImage::lookup(const PacketHeader& h, const Schedule& sched,
             kChunkExtractCycles + kDirectIndexCycles});
       }
     }
-    p = words_[s.ptr_off];
+    const Ptr child = words_[s.ptr_off];
+    if (tracing) {
+      pclass::trace::span_end(
+          pclass::trace::EventKind::kExpCutsLevel, t0,
+          pclass::trace::pack_expcuts_a0(
+              p, s.level, sched.chunk_value(h, s.level), header & 0xffff),
+          pclass::trace::pack_expcuts_a1(s.ptr_off, child));
+    }
+    p = child;
   }
   if (trace != nullptr) trace->tail_compute_cycles = 2;
   return leaf_rule(p);
+}
+
+RuleId FlatImage::lookup_explained(const PacketHeader& h,
+                                   const Schedule& sched,
+                                   std::vector<ExplainStep>& steps) const {
+  steps.clear();
+  const bool tracing = trace::active();
+  const u64 t_lookup = tracing ? trace::now_ns() : 0;
+  Ptr p = root_;
+  while (!ptr_is_leaf(p)) {
+    const u64 t0 = tracing ? trace::now_ns() : 0;
+    const u32 header = words_[p];
+    // The walk advances through the production decode (shared with
+    // lookup/lookup_batch); only the display arithmetic below is local.
+    const LevelStep s = decode_step(header, p, h, sched);
+    ExplainStep e;
+    e.level = s.level;
+    e.node_off = p;
+    e.header = header;
+    e.chunk = sched.chunk_value(h, s.level);
+    if (aggregated_) {
+      e.habs = header & 0xffff;
+      e.m = e.chunk >> u_;
+      e.j = e.chunk & ((u32{1} << u_) - 1);
+      e.masked = s.masked;
+      e.rank_i = popcount32(s.masked) - 1;
+      e.cpa_index = (e.rank_i << u_) + e.j;
+    } else {
+      e.cpa_index = e.chunk;
+    }
+    e.ptr_off = s.ptr_off;
+    // Differential check (debug builds): the re-derived Sec. 4.2.2
+    // arithmetic must land on the exact word decode_step selected.
+    assert(p + 1 + e.cpa_index == s.ptr_off &&
+           "lookup_explained diverged from decode_step");
+    e.child = words_[s.ptr_off];
+    if (tracing) {
+      trace::span_end(trace::EventKind::kExpCutsLevel, t0,
+                      trace::pack_expcuts_a0(p, e.level, e.chunk, e.habs),
+                      trace::pack_expcuts_a1(e.ptr_off, e.child));
+    }
+    steps.push_back(e);
+    p = e.child;
+  }
+  const RuleId r = leaf_rule(p);
+  if (tracing) trace::span_end(trace::EventKind::kLookup, t_lookup, r);
+  return r;
 }
 
 void FlatImage::lookup_batch(const PacketHeader* h, RuleId* out,
@@ -136,6 +208,8 @@ void FlatImage::lookup_batch(const PacketHeader* h, RuleId* out,
                              BatchLookupStats* stats) const {
   constexpr std::size_t G = kBatchInterleaveWays;
   WalkMetrics& wm = walk_metrics();
+  const bool tracing = trace::active();
+  trace::Span batch_span(trace::EventKind::kBatchLookup, n);
   if (stats != nullptr && n > 0) {
     stats->lookups += n;
     ++stats->batches;
@@ -177,16 +251,33 @@ void FlatImage::lookup_batch(const PacketHeader* h, RuleId* out,
   }
   prefetch_ro(words + root_);
 
+  // Per-level event payloads staged in phase 1 when tracing; the events
+  // are emitted between the phases as complete events sharing the round's
+  // wall-clock span, so Perfetto shows where batch time goes per level.
+  u64 ev_a0[G] = {};
   while (active > 0) {
     ++rounds;
+    const u64 t0 = tracing ? trace::now_ns() : 0;
     for (std::size_t k = 0; k < active; ++k) {
-      const LevelStep s =
-          decode_step(words[node[k]], node[k], h[pkt[k]], sched);
+      const u32 header = words[node[k]];
+      const LevelStep s = decode_step(header, node[k], h[pkt[k]], sched);
       poff[k] = s.ptr_off;
       ++depth[k];
       prefetch_ro(words + s.ptr_off);
+      if (tracing) {
+        ev_a0[k] = trace::pack_expcuts_a0(
+            node[k], s.level, sched.chunk_value(h[pkt[k]], s.level),
+            header & 0xffff);
+      }
     }
     levels += active;
+    if (tracing) {
+      const u64 t1 = trace::now_ns();
+      for (std::size_t k = 0; k < active; ++k) {
+        trace::complete(trace::EventKind::kExpCutsLevel, t0, t1, ev_a0[k],
+                        trace::pack_expcuts_a1(poff[k], words[poff[k]]));
+      }
+    }
     for (std::size_t k = active; k-- > 0;) {
       const Ptr child = words[poff[k]];
       if (!ptr_is_leaf(child)) {

@@ -26,6 +26,28 @@
 namespace pclass {
 namespace expcuts {
 
+/// One level of a lookup, fully decoded for human consumption: the HABS
+/// rank arithmetic of paper Sec. 4.2.2 (m, j, rank i, CPA index) alongside
+/// the raw words. Produced by FlatImage::lookup_explained, rendered by
+/// tools/pclass_explain. The walk itself runs through the same
+/// decode_step as classify(), so the explanation cannot diverge from the
+/// production path; the display arithmetic is re-derived and checked
+/// against decode_step by assert in debug builds.
+struct ExplainStep {
+  u32 level = 0;      ///< Schedule level (tree depth, root = 0).
+  u32 node_off = 0;   ///< Word offset of the node header.
+  u32 header = 0;     ///< The raw header long-word.
+  u32 chunk = 0;      ///< w-bit header chunk consumed at this level.
+  u32 habs = 0;       ///< 16-bit HABS field (0 in unaggregated images).
+  u32 m = 0;          ///< Sub-array index: chunk >> u.
+  u32 j = 0;          ///< Offset within sub-array: chunk & (2^u - 1).
+  u32 masked = 0;     ///< HABS & rank mask (aggregated only).
+  u32 rank_i = 0;     ///< popcount(masked) - 1: compressed sub-array index.
+  u32 cpa_index = 0;  ///< (rank_i << u) + j, or the chunk when direct.
+  u32 ptr_off = 0;    ///< Word offset of the child pointer read.
+  Ptr child = kEmptyLeaf;  ///< The pointer read (leaf-tagged or offset).
+};
+
 class FlatImage {
  public:
   FlatImage(const std::vector<Node>& nodes, Ptr root, const Config& cfg,
@@ -51,6 +73,14 @@ class FlatImage {
   void lookup_batch(const PacketHeader* h, RuleId* out, std::size_t n,
                     const Schedule& sched,
                     BatchLookupStats* stats = nullptr) const;
+
+  /// lookup() that additionally appends one ExplainStep per level —
+  /// the full HABS decode arithmetic of the walk. Shares decode_step with
+  /// the production walkers (satellite invariant: the explanation can
+  /// never diverge from what classify() does). When tracing is active,
+  /// also emits a kLookup span and per-level kExpCutsLevel span events.
+  RuleId lookup_explained(const PacketHeader& h, const Schedule& sched,
+                          std::vector<ExplainStep>& steps) const;
 
   u64 word_count() const { return words_.size(); }
   u64 bytes() const { return words_.size() * 4 + 4; }

@@ -10,6 +10,7 @@
 #include "common/stats.hpp"
 #include "common/texttable.hpp"
 #include "rules/analysis.hpp"
+#include "trace/trace.hpp"
 
 namespace pclass {
 namespace hicuts {
@@ -63,6 +64,7 @@ HiCutsClassifier::HiCutsClassifier(const RuleSet& rules, const Config& cfg)
   if (cfg_.max_cuts < 2 || !is_pow2(cfg_.max_cuts)) {
     throw ConfigError("HiCuts: max_cuts must be a power of two >= 2");
   }
+  PCLASS_TRACE_SPAN(kHiCutsBuild, rules_.size());
   std::vector<RuleId> all(rules_.size());
   for (RuleId i = 0; i < rules_.size(); ++i) all[i] = i;
   build(Box::full(), std::move(all), 0);
@@ -95,6 +97,11 @@ u32 HiCutsClassifier::build(const Box& box, std::vector<RuleId> ids,
 
   if (ids.size() <= cfg_.binth || depth >= kMaxDepth) return make_leaf();
 
+  // Cut selection (dimension + cut count) is the builder's hot heuristic;
+  // explicit timestamps keep the span clear of the recursive child builds.
+  const bool tracing = trace::active();
+  const u64 t_sel = tracing ? trace::now_ns() : 0;
+
   // --- Dimension selection: maximize distinct rule projections within the
   // box (a standard HiCuts heuristic), tie-broken by wider extent.
   Dim best_dim = Dim::kSrcIp;
@@ -116,6 +123,9 @@ u32 HiCutsClassifier::build(const Box& box, std::vector<RuleId> ids,
   if (best_distinct <= 1) {
     // Every rule looks identical along every cuttable dimension inside this
     // box; cutting cannot separate them.
+    if (tracing) {
+      trace::span_end(trace::EventKind::kCutSelect, t_sel, depth, ids.size());
+    }
     return make_leaf();
   }
 
@@ -144,6 +154,9 @@ u32 HiCutsClassifier::build(const Box& box, std::vector<RuleId> ids,
 
   const u64 step = step_for(extent, chosen_nc);
   const u32 slots = slots_for(extent, step);
+  if (tracing) {
+    trace::span_end(trace::EventKind::kCutSelect, t_sel, depth, ids.size());
+  }
 
   // --- Partition rules into child slots.
   std::vector<std::vector<RuleId>> child_ids(slots);
@@ -187,16 +200,40 @@ u32 HiCutsClassifier::build(const Box& box, std::vector<RuleId> ids,
 }
 
 RuleId HiCutsClassifier::classify(const PacketHeader& h) const {
+  const bool tracing = trace::active();
   const Node* n = &nodes_[0];
   while (!n->is_leaf()) {
+    const u64 t0 = tracing ? trace::now_ns() : 0;
     const u64 v = h.field(n->cut_dim);
     const u64 idx = (v - n->cut_range.lo) / n->cut_step;
-    n = &nodes_[n->children[static_cast<std::size_t>(idx)]];
+    const u32 child = n->children[static_cast<std::size_t>(idx)];
+    if (tracing) {
+      trace::span_end(
+          trace::EventKind::kHiCutsLevel, t0,
+          trace::pack_hicuts_a0(static_cast<u32>(n - nodes_.data()), n->depth,
+                                static_cast<u32>(n->cut_dim)),
+          u64{static_cast<u32>(idx)} | (u64{child} << 32));
+    }
+    n = &nodes_[child];
   }
+  const u64 t_leaf = tracing ? trace::now_ns() : 0;
+  RuleId matched = kNoMatch;
+  u32 scanned = 0;
   for (RuleId id : n->rules) {
-    if (rules_[id].matches(h)) return id;
+    ++scanned;
+    if (rules_[id].matches(h)) {
+      matched = id;
+      break;
+    }
   }
-  return kNoMatch;
+  if (tracing) {
+    trace::span_end(
+        trace::EventKind::kHiCutsLeaf, t_leaf,
+        trace::pack_hicuts_a0(static_cast<u32>(n - nodes_.data()), n->depth,
+                              scanned),
+        matched);
+  }
+  return matched;
 }
 
 void HiCutsClassifier::classify_batch(const PacketHeader* h, RuleId* out,
@@ -204,6 +241,8 @@ void HiCutsClassifier::classify_batch(const PacketHeader* h, RuleId* out,
                                       BatchLookupStats* stats) const {
   constexpr std::size_t G = kBatchInterleaveWays;
   WalkMetrics& wm = walk_metrics();
+  const bool tracing = trace::active();
+  trace::Span batch_span(trace::EventKind::kBatchLookup, n);
   if (stats != nullptr && n > 0) {
     stats->lookups += n;
     ++stats->batches;
@@ -237,21 +276,35 @@ void HiCutsClassifier::classify_batch(const PacketHeader* h, RuleId* out,
   }
   prefetch_ro(root);
 
+  // Per-level event payloads staged in phase 1 when tracing, emitted in
+  // phase 2 once the child index is known (mirrors FlatImage's walker).
+  u64 ev_a0[G] = {};
+  u32 ev_slot[G] = {};
   while (active > 0) {
     ++rounds;
+    const u64 t0 = tracing ? trace::now_ns() : 0;
     std::size_t k = 0;
     while (k < active) {
       const Node* nd = node[k];
       if (nd->is_leaf()) {
         RuleId matched = kNoMatch;
+        u32 scanned = 0;
         for (RuleId id : nd->rules) {
           ++leaf_compares;
+          ++scanned;
           if (rules_[id].matches(h[pkt[k]])) {
             matched = id;
             break;
           }
         }
         out[pkt[k]] = matched;
+        if (tracing) {
+          trace::span_end(
+              trace::EventKind::kHiCutsLeaf, t0,
+              trace::pack_hicuts_a0(static_cast<u32>(nd - nodes_.data()),
+                                    nd->depth, scanned),
+              matched);
+        }
         ++depth_hist[nd->depth <= kMaxDepth + 1 ? nd->depth : kMaxDepth + 1];
         if (next < n) {
           pkt[k] = next++;
@@ -267,8 +320,21 @@ void HiCutsClassifier::classify_batch(const PacketHeader* h, RuleId* out,
       const u64 idx = (v - nd->cut_range.lo) / nd->cut_step;
       slot[k] = nd->children.data() + static_cast<std::size_t>(idx);
       prefetch_ro(slot[k]);
+      if (tracing) {
+        ev_a0[k] = trace::pack_hicuts_a0(
+            static_cast<u32>(nd - nodes_.data()), nd->depth,
+            static_cast<u32>(nd->cut_dim));
+        ev_slot[k] = static_cast<u32>(idx);
+      }
       ++levels;
       ++k;
+    }
+    if (tracing) {
+      const u64 t1 = trace::now_ns();
+      for (k = 0; k < active; ++k) {
+        trace::complete(trace::EventKind::kHiCutsLevel, t0, t1, ev_a0[k],
+                        u64{ev_slot[k]} | (u64{*slot[k]} << 32));
+      }
     }
     for (k = 0; k < active; ++k) {
       const Node* child = &nodes_[*slot[k]];

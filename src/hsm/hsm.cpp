@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "trace/trace.hpp"
 
 namespace pclass {
 namespace hsm {
@@ -17,6 +18,7 @@ using eqclass::cross;
 
 HsmClassifier::HsmClassifier(const RuleSet& rules, const Config& cfg)
     : rules_(rules), cfg_(cfg) {
+  PCLASS_TRACE_SPAN(kHsmBuild, rules_.size());
   for (std::size_t d = 0; d < kNumDims; ++d) {
     segs_[d] = segment_dimension(rules_, static_cast<Dim>(d));
   }
@@ -50,7 +52,25 @@ RuleId HsmClassifier::classify(const PacketHeader& h) const {
   const u32 x1 = x1_.lookup(a, b);
   const u32 x2 = x2_.lookup(c, d);
   const u32 x3 = x3_.lookup(x1, x2);
-  return final_[static_cast<std::size_t>(x3) * final_cols_ + e];
+  const RuleId r = final_[static_cast<std::size_t>(x3) * final_cols_ + e];
+  if (trace::active()) {
+    // One instant per stage, after the fact: the field searches and table
+    // probes above stay branch-free on the fast path. Field-stage inputs
+    // are the header values (IPs truncated to the 28-bit arg field).
+    using trace::EventKind;
+    using trace::instant;
+    using trace::pack_hsm_a0;
+    instant(EventKind::kHsmStage, pack_hsm_a0(0, h.sip, 0), a);
+    instant(EventKind::kHsmStage, pack_hsm_a0(1, h.dip, 0), b);
+    instant(EventKind::kHsmStage, pack_hsm_a0(2, h.sport, 0), c);
+    instant(EventKind::kHsmStage, pack_hsm_a0(3, h.dport, 0), d);
+    instant(EventKind::kHsmStage, pack_hsm_a0(4, h.proto, 0), e);
+    instant(EventKind::kHsmStage, pack_hsm_a0(5, a, b), x1);
+    instant(EventKind::kHsmStage, pack_hsm_a0(6, c, d), x2);
+    instant(EventKind::kHsmStage, pack_hsm_a0(7, x1, x2), x3);
+    instant(EventKind::kHsmStage, pack_hsm_a0(8, x3, e), r);
+  }
+  return r;
 }
 
 RuleId HsmClassifier::classify_traced(const PacketHeader& h,

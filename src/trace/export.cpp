@@ -1,0 +1,279 @@
+#include "trace/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace pclass {
+namespace trace {
+namespace {
+
+constexpr KindInfo kKindInfo[] = {
+    {"none", "misc"},
+    {"expcuts.level", "lookup"},
+    {"hicuts.level", "lookup"},
+    {"hicuts.leaf", "lookup"},
+    {"hsm.stage", "lookup"},
+    {"flowcache.hit", "cache"},
+    {"flowcache.miss", "cache"},
+    {"lookup", "lookup"},
+    {"classify_batch", "lookup"},
+    {"shard", "engine"},
+    {"task", "engine"},
+    {"expcuts.build", "build"},
+    {"expcuts.habs_compress", "build"},
+    {"expcuts.image_emit", "build"},
+    {"hicuts.build", "build"},
+    {"hicuts.cut_select", "build"},
+    {"hsm.build", "build"},
+};
+static_assert(sizeof(kKindInfo) / sizeof(kKindInfo[0]) ==
+                  static_cast<std::size_t>(EventKind::kKindCount),
+              "kKindInfo out of sync with EventKind");
+
+const char* hsm_stage_name(u32 stage) {
+  static const char* const names[] = {"sip",   "dip", "sport", "dport",
+                                      "proto", "x1",  "x2",    "x3",
+                                      "final"};
+  return stage < sizeof(names) / sizeof(names[0]) ? names[stage] : "?";
+}
+
+/// Appends `"key": <u64>` pairs; tiny local builder keeping the two
+/// exporters in one style.
+class ArgsBuilder {
+ public:
+  ArgsBuilder& add(const char* key, u64 value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s\"%s\": %llu", first_ ? "" : ", ", key,
+                  static_cast<unsigned long long>(value));
+    out_ += buf;
+    first_ = false;
+    return *this;
+  }
+  ArgsBuilder& add_hex(const char* key, u64 value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s\"%s\": \"0x%llx\"", first_ ? "" : ", ",
+                  key, static_cast<unsigned long long>(value));
+    out_ += buf;
+    first_ = false;
+    return *this;
+  }
+  ArgsBuilder& add_str(const char* key, const std::string& value) {
+    out_ += (first_ ? "" : ", ");
+    out_ += "\"";
+    out_ += key;
+    out_ += "\": \"";
+    out_ += json_escape(value);
+    out_ += "\"";
+    first_ = false;
+    return *this;
+  }
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+const KindInfo& kind_info(EventKind kind) {
+  auto i = static_cast<std::size_t>(kind);
+  if (i >= static_cast<std::size_t>(EventKind::kKindCount)) i = 0;
+  return kKindInfo[i];
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string event_args_json(const Event& e) {
+  ArgsBuilder b;
+  switch (e.kind) {
+    case EventKind::kExpCutsLevel:
+      b.add("node", unpack_lo32(e.a0))
+          .add("level", unpack_expcuts_level(e.a0))
+          .add_hex("chunk", unpack_expcuts_chunk(e.a0))
+          .add_hex("habs", unpack_expcuts_habs(e.a0))
+          .add("cpa_slot", unpack_lo32(e.a1))
+          .add_hex("child", unpack_hi32(e.a1));
+      break;
+    case EventKind::kHiCutsLevel:
+      b.add("node", unpack_lo32(e.a0))
+          .add("depth", unpack_hicuts_depth(e.a0))
+          .add("cut_dim", unpack_hicuts_aux(e.a0))
+          .add("slot", unpack_lo32(e.a1))
+          .add("child", unpack_hi32(e.a1));
+      break;
+    case EventKind::kHiCutsLeaf:
+      b.add("node", unpack_lo32(e.a0))
+          .add("depth", unpack_hicuts_depth(e.a0))
+          .add("rules_scanned", unpack_hicuts_aux(e.a0))
+          .add("matched", unpack_lo32(e.a1));
+      break;
+    case EventKind::kHsmStage:
+      b.add_str("stage", hsm_stage_name(unpack_hsm_stage(e.a0)))
+          .add("in_a", unpack_hsm_in_a(e.a0))
+          .add("in_b", unpack_hsm_in_b(e.a0))
+          .add("out", unpack_lo32(e.a1));
+      break;
+    case EventKind::kFlowCacheHit:
+    case EventKind::kFlowCacheMiss:
+    case EventKind::kLookup:
+      b.add("verdict", unpack_lo32(e.a0));
+      break;
+    case EventKind::kBatchLookup:
+      b.add("n", e.a0);
+      break;
+    case EventKind::kShard:
+      b.add("begin", e.a0).add("n", e.a1);
+      break;
+    case EventKind::kExpCutsBuild:
+    case EventKind::kHiCutsBuild:
+      b.add("rules", e.a0);
+      break;
+    case EventKind::kHabsCompress:
+      b.add("nodes", e.a0);
+      break;
+    case EventKind::kImageEmit:
+      b.add("words", e.a0);
+      break;
+    case EventKind::kCutSelect:
+      b.add("depth", e.a0).add("rules", e.a1);
+      break;
+    default:
+      break;
+  }
+  return b.take();
+}
+
+std::string event_args_text(const Event& e) {
+  // The JSON body doubles as readable text once unquoted.
+  std::string s = event_args_json(e);
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"') continue;
+    out += (c == ':') ? '=' : c;
+  }
+  // "key= value" -> "key=value"
+  std::string packed;
+  packed.reserve(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i] == ' ' && i > 0 && out[i - 1] == '=') continue;
+    packed += out[i];
+  }
+  return packed;
+}
+
+void write_chrome_trace(std::ostream& os, const TraceSnapshot& snap,
+                        const std::string& label) {
+  const u64 base = snap.base_ts();
+  char buf[256];
+  os << "[\n";
+  os << "{\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", "
+        "\"args\": {\"name\": \""
+     << json_escape("pclass: " + label) << "\"}}";
+  for (const ThreadTrace& t : snap.threads) {
+    std::snprintf(buf, sizeof buf,
+                  ",\n{\"ph\": \"M\", \"pid\": 1, \"tid\": %llu, \"name\": "
+                  "\"thread_name\", \"args\": {\"name\": \"%s\"}}",
+                  static_cast<unsigned long long>(t.tid),
+                  json_escape(t.name).c_str());
+    os << buf;
+    for (const Event& e : t.events) {
+      const KindInfo& ki = kind_info(e.kind);
+      // Trace-event timestamps are microseconds; keep ns precision with
+      // three decimals.
+      const double ts_us = static_cast<double>(e.ts_ns - base) / 1000.0;
+      if (e.dur_ns > 0) {
+        std::snprintf(buf, sizeof buf,
+                      ",\n{\"ph\": \"X\", \"pid\": 1, \"tid\": %llu, "
+                      "\"ts\": %.3f, \"dur\": %.3f, \"name\": \"%s\", "
+                      "\"cat\": \"%s\"",
+                      static_cast<unsigned long long>(t.tid), ts_us,
+                      static_cast<double>(e.dur_ns) / 1000.0, ki.name,
+                      ki.category);
+      } else {
+        std::snprintf(buf, sizeof buf,
+                      ",\n{\"ph\": \"i\", \"s\": \"t\", \"pid\": 1, "
+                      "\"tid\": %llu, \"ts\": %.3f, \"name\": \"%s\", "
+                      "\"cat\": \"%s\"",
+                      static_cast<unsigned long long>(t.tid), ts_us, ki.name,
+                      ki.category);
+      }
+      os << buf;
+      const std::string args = event_args_json(e);
+      if (!args.empty()) os << ", \"args\": {" << args << "}";
+      os << "}";
+    }
+    if (t.dropped > 0) {
+      std::snprintf(buf, sizeof buf,
+                    ",\n{\"ph\": \"i\", \"s\": \"t\", \"pid\": 1, \"tid\": "
+                    "%llu, \"ts\": 0, \"name\": \"ring_dropped\", \"cat\": "
+                    "\"misc\", \"args\": {\"events\": %llu}}",
+                    static_cast<unsigned long long>(t.tid),
+                    static_cast<unsigned long long>(t.dropped));
+      os << buf;
+    }
+  }
+  os << "\n]\n";
+}
+
+void write_text_timeline(std::ostream& os, const TraceSnapshot& snap) {
+  const u64 base = snap.base_ts();
+  char buf[96];
+  for (const ThreadTrace& t : snap.threads) {
+    os << "thread " << t.tid << " (" << t.name << "): " << t.events.size()
+       << " events";
+    if (t.dropped > 0) os << ", " << t.dropped << " dropped";
+    os << "\n";
+    for (const Event& e : t.events) {
+      const KindInfo& ki = kind_info(e.kind);
+      std::snprintf(buf, sizeof buf, "  +%10.3fus %-9s %-22s ",
+                    static_cast<double>(e.ts_ns - base) / 1000.0, ki.category,
+                    ki.name);
+      os << buf;
+      if (e.dur_ns > 0) {
+        std::snprintf(buf, sizeof buf, "dur=%.3fus ",
+                      static_cast<double>(e.dur_ns) / 1000.0);
+        os << buf;
+      }
+      os << event_args_text(e) << "\n";
+    }
+  }
+}
+
+void write_chrome_trace_file(const std::string& path,
+                             const TraceSnapshot& snap,
+                             const std::string& label) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw Error("cannot open trace output file: " + path);
+  write_chrome_trace(f, snap, label);
+  if (!f) throw Error("failed writing trace output file: " + path);
+}
+
+}  // namespace trace
+}  // namespace pclass

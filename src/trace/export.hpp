@@ -1,0 +1,56 @@
+// Trace exporters: Chrome trace-event JSON and a compact text timeline.
+//
+// The JSON output is the Trace Event Format's JSON-array form ("X"
+// complete events for spans, "i" instants, "M" metadata for process and
+// thread names), loadable in chrome://tracing and Perfetto
+// (ui.perfetto.dev -> Open trace file). Timestamps are rebased to the
+// snapshot's earliest event and expressed in microseconds as the format
+// requires; per-kind payload words are decoded into named args so the
+// viewer shows `level`, `habs`, `cpa_slot`, ... instead of raw u64s.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace pclass {
+namespace trace {
+
+/// Display name and category of one event kind.
+struct KindInfo {
+  const char* name;
+  const char* category;
+};
+const KindInfo& kind_info(EventKind kind);
+
+/// Escapes a string for embedding in a JSON string literal. Handles
+/// quotes, backslashes and all control characters (hostile rule-set
+/// names must not be able to break the document).
+std::string json_escape(const std::string& s);
+
+/// Kind-specific `"key": value` args of an event, as a JSON object body
+/// (no braces). Empty for kinds without payload.
+std::string event_args_json(const Event& e);
+
+/// One-line human-readable rendering of an event's payload.
+std::string event_args_text(const Event& e);
+
+/// Writes the snapshot as a Chrome trace-event JSON array. `label` names
+/// the process in the viewer (typically the rule set or bench name); it
+/// is escaped, not trusted.
+void write_chrome_trace(std::ostream& os, const TraceSnapshot& snap,
+                        const std::string& label);
+
+/// Writes a compact text timeline, one event per line, ordered by
+/// timestamp within each thread.
+void write_text_timeline(std::ostream& os, const TraceSnapshot& snap);
+
+/// File convenience wrapper around write_chrome_trace. Throws
+/// pclass::Error when the file cannot be written.
+void write_chrome_trace_file(const std::string& path,
+                             const TraceSnapshot& snap,
+                             const std::string& label);
+
+}  // namespace trace
+}  // namespace pclass

@@ -1,0 +1,97 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+namespace pclass {
+namespace trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+std::vector<Event> Recorder::drain_copy() const {
+  const u64 h0 = head_.load(std::memory_order_acquire);
+  const u64 begin = h0 > kRingCapacity ? h0 - kRingCapacity : 0;
+  std::vector<Event> out;
+  out.reserve(static_cast<std::size_t>(h0 - begin));
+  for (u64 i = begin; i < h0; ++i) {
+    const Slot& s = slots_[i & (kRingCapacity - 1)];
+    Event e;
+    e.ts_ns = s.w[0].load(std::memory_order_relaxed);
+    e.a0 = s.w[1].load(std::memory_order_relaxed);
+    e.a1 = s.w[2].load(std::memory_order_relaxed);
+    const u64 kd = s.w[3].load(std::memory_order_relaxed);
+    e.dur_ns = static_cast<u32>(kd);
+    e.kind = static_cast<EventKind>(static_cast<u16>(kd >> 32));
+    out.push_back(e);
+  }
+  // A writer racing this copy may have overwritten the oldest entries
+  // (its head moved past begin + capacity); discard them — they could be
+  // half old event, half new. Everything else was fully published before
+  // h0 (release store on head) and is safe to keep.
+  const u64 h1 = head_.load(std::memory_order_acquire);
+  if (h1 > kRingCapacity && h1 - kRingCapacity > begin) {
+    const u64 stale = std::min<u64>(h1 - kRingCapacity - begin, out.size());
+    out.erase(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(stale));
+  }
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // leaked: process lifetime
+  return *instance;
+}
+
+Recorder& Registry::local() {
+  thread_local Recorder* rec = &global().register_thread();
+  return *rec;
+}
+
+Recorder& Registry::register_thread() {
+  const MutexLock lock(mu_);
+  recorders_.push_back(
+      std::unique_ptr<Recorder>(new Recorder(next_tid_++)));
+  Recorder& r = *recorders_.back();
+  r.set_name("thread-" + std::to_string(r.tid()));
+  return r;
+}
+
+TraceSnapshot Registry::snapshot() const {
+  TraceSnapshot snap;
+  const MutexLock lock(mu_);
+  snap.threads.reserve(recorders_.size());
+  for (const auto& rec : recorders_) {
+    ThreadTrace t;
+    t.tid = rec->tid();
+    t.name = rec->name();
+    t.events = rec->drain_copy();
+    t.dropped = rec->dropped();
+    snap.threads.push_back(std::move(t));
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  const MutexLock lock(mu_);
+  for (auto& rec : recorders_) {
+    rec->head_.store(0, std::memory_order_release);
+  }
+}
+
+std::size_t Registry::recorder_count() const {
+  const MutexLock lock(mu_);
+  return recorders_.size();
+}
+
+u64 TraceSnapshot::base_ts() const {
+  u64 base = 0;
+  for (const ThreadTrace& t : threads) {
+    for (const Event& e : t.events) {
+      if (base == 0 || e.ts_ns < base) base = e.ts_ns;
+    }
+  }
+  return base;
+}
+
+}  // namespace trace
+}  // namespace pclass

@@ -1,0 +1,351 @@
+// Per-lookup execution tracing: thread-local ring-buffer recorders.
+//
+// The metrics layer (common/metrics.hpp) shows the lookup path in
+// aggregate; this layer shows what *one packet actually did* — node by
+// node, HABS word by HABS word — and where wall-clock time goes inside a
+// batch walk or a build. Hot paths emit fixed-size binary events into a
+// thread-local ring; exporters (trace/export.hpp) turn a snapshot of all
+// rings into Chrome trace-event JSON (chrome://tracing / Perfetto) or a
+// compact text timeline, and tools/pclass_explain renders one lookup's
+// decision path from the same decode the production walker uses.
+//
+// Design, mirroring the metrics layer:
+//   * Recording is thread-local and lock-free: each thread owns a
+//     fixed-capacity ring of 32-byte events and overwrites the oldest
+//     entry when full (dropped() counts the overwritten events). Event
+//     words are relaxed atomics, so a concurrent snapshot never tears and
+//     stays TSan-clean; the head counter is published with release order.
+//   * Tracing is OFF at runtime until Registry::set_enabled(true); the
+//     hot-path macros cost one relaxed load + predictable branch when
+//     idle (the CI trace-overhead job gates this at 3% of ns/lookup).
+//   * Building with -DPCLASS_TRACE=OFF (cmake) defines
+//     PCLASS_TRACE_ENABLED=0 and compiles every macro to nothing; the
+//     registry API stays available so call sites need no #ifdefs.
+//   * Registry::snapshot() copies every thread's ring under the registry
+//     mutex; entries that may have been overwritten mid-copy are
+//     discarded (bounded staleness, never garbage).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "common/types.hpp"
+
+#ifndef PCLASS_TRACE_ENABLED
+#define PCLASS_TRACE_ENABLED 1
+#endif
+
+namespace pclass {
+namespace trace {
+
+/// Events per thread ring. Power of two; 16 Ki events x 32 B = 512 KiB per
+/// recording thread, about 1.3k full ExpCuts lookups of history.
+inline constexpr std::size_t kRingCapacity = 16384;
+
+/// What one event records. Payload words a0/a1 are packed per kind (the
+/// pack_*/unpack_* helpers below); exporters decode them into named args.
+enum class EventKind : u16 {
+  kNone = 0,
+  // --- Lookup-path events (one per structure level / stage) ---
+  kExpCutsLevel,    ///< a0: node_off|level|chunk|habs, a1: ptr_off|child.
+  kHiCutsLevel,     ///< a0: node_idx|depth|dim, a1: slot|child_idx.
+  kHiCutsLeaf,      ///< a0: node_idx|depth|rules_scanned, a1: matched rule.
+  kHsmStage,        ///< a0: stage|input_a|input_b, a1: result class/rule.
+  kFlowCacheHit,    ///< a0: cached verdict.
+  kFlowCacheMiss,   ///< a0: verdict after inner classification.
+  // --- Spans (dur_ns > 0 unless the span closed within the tick) ---
+  kLookup,          ///< One scalar/explained lookup. a0: matched rule.
+  kBatchLookup,     ///< One classify_batch call. a0: n.
+  kShard,           ///< classify_parallel batch claim. a0: begin, a1: n.
+  kTask,            ///< ThreadPool task execution.
+  kExpCutsBuild,    ///< ExpCuts tree build. a0: rule count.
+  kHabsCompress,    ///< FlatImage pass 1 (HABS encode). a0: node count.
+  kImageEmit,       ///< FlatImage pass 2 (word emit). a0: word count.
+  kHiCutsBuild,     ///< HiCuts tree build. a0: rule count.
+  kCutSelect,       ///< HiCuts per-node cut selection. a0: depth, a1: ids.
+  kHsmBuild,        ///< HSM segmentation + crossproduct build.
+  kKindCount,
+};
+
+/// One fixed-size binary trace event.
+struct Event {
+  u64 ts_ns = 0;   ///< Monotonic (steady_clock) nanoseconds.
+  u64 a0 = 0;      ///< Kind-specific payload.
+  u64 a1 = 0;      ///< Kind-specific payload.
+  u32 dur_ns = 0;  ///< Span duration; 0 = instant event.
+  EventKind kind = EventKind::kNone;
+  u16 pad = 0;
+
+  bool is_span() const { return kind >= EventKind::kLookup; }
+};
+static_assert(sizeof(Event) == 32, "Event must stay one half cache line");
+
+/// Monotonic timestamp used by every recorder.
+inline u64 now_ns() {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// --- Payload packing -------------------------------------------------------
+// Exporters and tests decode with the matching unpack_* helpers; keeping
+// both sides here means one place defines each kind's wire format.
+
+/// kExpCutsLevel a0: node word offset, schedule level, 8-bit header chunk,
+/// 16-bit HABS word.
+constexpr u64 pack_expcuts_a0(u32 node_off, u32 level, u32 chunk, u32 habs) {
+  return u64{node_off} | (u64{level & 0xffu} << 32) |
+         (u64{chunk & 0xffu} << 40) | (u64{habs & 0xffffu} << 48);
+}
+/// kExpCutsLevel a1: child-pointer word offset (CPA slot) and the child
+/// pointer read from it (leaf-tagged rule id or node word offset).
+constexpr u64 pack_expcuts_a1(u32 ptr_off, u32 child) {
+  return u64{ptr_off} | (u64{child} << 32);
+}
+constexpr u32 unpack_lo32(u64 a) { return static_cast<u32>(a); }
+constexpr u32 unpack_hi32(u64 a) { return static_cast<u32>(a >> 32); }
+constexpr u32 unpack_expcuts_level(u64 a0) {
+  return static_cast<u32>((a0 >> 32) & 0xff);
+}
+constexpr u32 unpack_expcuts_chunk(u64 a0) {
+  return static_cast<u32>((a0 >> 40) & 0xff);
+}
+constexpr u32 unpack_expcuts_habs(u64 a0) {
+  return static_cast<u32>((a0 >> 48) & 0xffff);
+}
+
+/// kHiCutsLevel / kHiCutsLeaf a0: node index, tree depth, cut dimension
+/// (or rules scanned for leaves).
+constexpr u64 pack_hicuts_a0(u32 node_idx, u32 depth, u32 dim_or_rules) {
+  return u64{node_idx} | (u64{depth & 0xffffu} << 32) |
+         (u64{dim_or_rules & 0xffffu} << 48);
+}
+constexpr u32 unpack_hicuts_depth(u64 a0) {
+  return static_cast<u32>((a0 >> 32) & 0xffff);
+}
+constexpr u32 unpack_hicuts_aux(u64 a0) {
+  return static_cast<u32>((a0 >> 48) & 0xffff);
+}
+
+/// kHsmStage a0: stage id (0..3 = field searches, 4 = proto, 5..7 =
+/// X1/X2/X3, 8 = final) and the stage's two input class ids.
+constexpr u64 pack_hsm_a0(u32 stage, u32 in_a, u32 in_b) {
+  return u64{stage & 0xffu} | (u64{in_a & 0xfffffffu} << 8) |
+         (u64{in_b & 0xfffffffu} << 36);
+}
+constexpr u32 unpack_hsm_stage(u64 a0) { return static_cast<u32>(a0 & 0xff); }
+constexpr u32 unpack_hsm_in_a(u64 a0) {
+  return static_cast<u32>((a0 >> 8) & 0xfffffff);
+}
+constexpr u32 unpack_hsm_in_b(u64 a0) {
+  return static_cast<u32>((a0 >> 36) & 0xfffffff);
+}
+
+// --- Recorder --------------------------------------------------------------
+
+/// A thread's ring buffer. Created by Registry::local() on a thread's
+/// first event and owned by the registry for the process lifetime (a
+/// thread may exit while its ring is being snapshotted).
+class Recorder {
+ public:
+  void record(EventKind kind, u64 a0, u64 a1, u64 ts, u32 dur) noexcept {
+#if PCLASS_TRACE_ENABLED
+    const u64 h = head_.load(std::memory_order_relaxed);
+    Slot& s = slots_[h & (kRingCapacity - 1)];
+    s.w[0].store(ts, std::memory_order_relaxed);
+    s.w[1].store(a0, std::memory_order_relaxed);
+    s.w[2].store(a1, std::memory_order_relaxed);
+    s.w[3].store(u64{dur} | (u64{static_cast<u16>(kind)} << 32),
+                 std::memory_order_relaxed);
+    head_.store(h + 1, std::memory_order_release);
+#else
+    (void)kind, (void)a0, (void)a1, (void)ts, (void)dur;
+#endif
+  }
+
+  /// Events ever recorded (monotonic; ring keeps the newest kRingCapacity).
+  u64 head() const { return head_.load(std::memory_order_acquire); }
+  /// Oldest events overwritten by ring wraparound.
+  u64 dropped() const {
+    const u64 h = head();
+    return h > kRingCapacity ? h - kRingCapacity : 0;
+  }
+
+  u64 tid() const { return tid_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  /// Copies the stable suffix of the ring, oldest first. Entries
+  /// overwritten while the copy ran are discarded, never returned torn.
+  std::vector<Event> drain_copy() const;
+
+ private:
+  friend class Registry;
+  explicit Recorder(u64 tid) : tid_(tid) {}
+
+  struct Slot {
+    std::array<std::atomic<u64>, 4> w{};
+  };
+  std::atomic<u64> head_{0};
+  u64 tid_ = 0;
+  std::string name_;
+  std::array<Slot, kRingCapacity> slots_{};
+};
+
+/// One thread's events in a registry snapshot.
+struct ThreadTrace {
+  u64 tid = 0;
+  std::string name;
+  u64 dropped = 0;
+  std::vector<Event> events;  ///< Oldest first.
+};
+
+/// Point-in-time copy of every thread's ring.
+struct TraceSnapshot {
+  std::vector<ThreadTrace> threads;
+
+  std::size_t total_events() const {
+    std::size_t n = 0;
+    for (const ThreadTrace& t : threads) n += t.events.size();
+    return n;
+  }
+  u64 total_dropped() const {
+    u64 n = 0;
+    for (const ThreadTrace& t : threads) n += t.dropped;
+    return n;
+  }
+  /// Earliest timestamp across threads (0 when empty); exporters rebase
+  /// on it so traces start near t=0.
+  u64 base_ts() const;
+};
+
+// --- Registry --------------------------------------------------------------
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True when events should be recorded: compiled in AND runtime-enabled.
+/// One relaxed load; hot loops may hoist it once per batch.
+inline bool active() noexcept {
+#if PCLASS_TRACE_ENABLED
+  return detail::g_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+/// Process-wide owner of every thread's recorder.
+class Registry {
+ public:
+  static Registry& global();
+
+  /// The calling thread's recorder (created and registered on first use;
+  /// lives for the process lifetime).
+  static Recorder& local();
+
+  /// Master switch. Rings are not cleared on enable, so a session can be
+  /// stopped and resumed; call reset() for a fresh capture.
+  void set_enabled(bool on) {
+    detail::g_enabled.store(on && PCLASS_TRACE_ENABLED,
+                            std::memory_order_relaxed);
+  }
+  bool enabled() const { return active(); }
+
+  /// Copies every ring (safe against concurrent recording).
+  TraceSnapshot snapshot() const;
+
+  /// Empties every ring and zeroes drop counts. Not atomic with respect
+  /// to concurrent recording.
+  void reset();
+
+  /// Recorders ever registered (threads seen recording).
+  std::size_t recorder_count() const;
+
+ private:
+  Recorder& register_thread();
+
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Recorder>> recorders_ PCLASS_GUARDED_BY(mu_);
+  u64 next_tid_ PCLASS_GUARDED_BY(mu_) = 1;
+};
+
+/// Records an instant event now.
+inline void instant(EventKind kind, u64 a0, u64 a1 = 0) {
+  Registry::local().record(kind, a0, a1, now_ns(), 0);
+}
+
+/// Records a complete (span) event covering [t0_ns, t1_ns]. Zero-length
+/// spans record dur 1 so viewers keep them visible; durations clamp to
+/// 32 bits (~4.3 s — far beyond any single lookup or build pass).
+inline void complete(EventKind kind, u64 t0_ns, u64 t1_ns, u64 a0,
+                     u64 a1 = 0) {
+  const u64 dur = t1_ns > t0_ns ? t1_ns - t0_ns : 1;
+  Registry::local().record(
+      kind, a0, a1, t0_ns,
+      dur > 0xffffffffull ? 0xffffffffu : static_cast<u32>(dur));
+}
+
+/// Records a span that began at `t0_ns` and ends now.
+inline void span_end(EventKind kind, u64 t0_ns, u64 a0, u64 a1 = 0) {
+  complete(kind, t0_ns, now_ns(), a0, a1);
+}
+
+/// RAII span: stamps the start time if tracing is active at construction
+/// and records a complete event at scope exit. Arguments may be updated
+/// mid-span (e.g. the result only known at the end).
+class Span {
+ public:
+  explicit Span(EventKind kind, u64 a0 = 0, u64 a1 = 0) noexcept
+      : kind_(kind), a0_(a0), a1_(a1), t0_(active() ? now_ns() : 0) {}
+  ~Span() {
+    if (t0_ != 0 && active()) span_end(kind_, t0_, a0_, a1_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void set_args(u64 a0, u64 a1) noexcept {
+    a0_ = a0;
+    a1_ = a1;
+  }
+
+ private:
+  EventKind kind_;
+  u64 a0_, a1_;
+  u64 t0_;
+};
+
+}  // namespace trace
+}  // namespace pclass
+
+// --- Zero-cost call-site macros --------------------------------------------
+// Fully qualified so they work in any scope (including functions with a
+// local named `trace`); compiled to nothing under PCLASS_TRACE=OFF.
+
+#if PCLASS_TRACE_ENABLED
+#define PCLASS_TRACE_INSTANT(kind, a0, a1)                                \
+  do {                                                                    \
+    if (::pclass::trace::active())                                        \
+      ::pclass::trace::instant(::pclass::trace::EventKind::kind, (a0),    \
+                               (a1));                                     \
+  } while (0)
+#define PCLASS_TRACE_SPAN_NAME2(line) pclass_trace_span_##line
+#define PCLASS_TRACE_SPAN_NAME(line) PCLASS_TRACE_SPAN_NAME2(line)
+#define PCLASS_TRACE_SPAN(kind, a0)                       \
+  ::pclass::trace::Span PCLASS_TRACE_SPAN_NAME(__LINE__)( \
+      ::pclass::trace::EventKind::kind, (a0))
+#else
+#define PCLASS_TRACE_INSTANT(kind, a0, a1) \
+  do {                                     \
+  } while (0)
+#define PCLASS_TRACE_SPAN(kind, a0) \
+  do {                              \
+  } while (0)
+#endif

@@ -1,0 +1,346 @@
+// Tests for the execution-trace recorder (src/trace/): ring semantics,
+// concurrent snapshot safety (the TSan CI job runs this binary), exporter
+// escaping, and the end-to-end explained-lookup contract.
+//
+// The suite passes under both -DPCLASS_TRACE=ON and OFF: when the tracer
+// is compiled out, recording is a no-op and the expectations collapse to
+// "nothing was captured".
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "classify/linear.hpp"
+#include "common/bitops.hpp"
+#include "expcuts/expcuts.hpp"
+#include "expcuts/flat.hpp"
+#include "packet/tracegen.hpp"
+#include "rules/generator.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
+
+namespace pclass {
+namespace trace {
+namespace {
+
+/// Every trace test starts from an empty, enabled registry and always
+/// leaves tracing disabled (other suites in this binary must not record).
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::global().reset();
+    Registry::global().set_enabled(true);
+  }
+  void TearDown() override {
+    Registry::global().set_enabled(false);
+    Registry::global().reset();
+  }
+};
+
+/// The calling thread's slice of a fresh snapshot.
+ThreadTrace my_thread_trace() {
+  const u64 tid = Registry::local().tid();
+  for (const ThreadTrace& t : Registry::global().snapshot().threads) {
+    if (t.tid == tid) return t;
+  }
+  return ThreadTrace{};
+}
+
+TEST_F(TraceTest, CompiledStateMatchesBuildFlag) {
+#if PCLASS_TRACE_ENABLED
+  EXPECT_TRUE(Registry::global().enabled());
+#else
+  // set_enabled(true) must stay off when the tracer is compiled out.
+  EXPECT_FALSE(Registry::global().enabled());
+#endif
+}
+
+TEST_F(TraceTest, RecordsInstantAndSpanEvents) {
+  instant(EventKind::kFlowCacheHit, 7, 9);
+  const u64 t0 = now_ns();
+  span_end(EventKind::kLookup, t0, 42);
+  const ThreadTrace t = my_thread_trace();
+#if PCLASS_TRACE_ENABLED
+  ASSERT_EQ(t.events.size(), 2u);
+  EXPECT_EQ(t.events[0].kind, EventKind::kFlowCacheHit);
+  EXPECT_EQ(t.events[0].a0, 7u);
+  EXPECT_EQ(t.events[0].a1, 9u);
+  EXPECT_EQ(t.events[0].dur_ns, 0u);
+  EXPECT_FALSE(t.events[0].is_span());
+  EXPECT_EQ(t.events[1].kind, EventKind::kLookup);
+  EXPECT_EQ(t.events[1].a0, 42u);
+  EXPECT_GE(t.events[1].dur_ns, 1u);  // zero-length spans keep dur 1
+  EXPECT_TRUE(t.events[1].is_span());
+  EXPECT_EQ(t.dropped, 0u);
+#else
+  EXPECT_TRUE(t.events.empty());
+  EXPECT_EQ(t.dropped, 0u);
+#endif
+}
+
+TEST_F(TraceTest, MacrosRespectRuntimeSwitch) {
+  Registry::global().set_enabled(false);
+  PCLASS_TRACE_INSTANT(kFlowCacheMiss, 1, 2);
+  { PCLASS_TRACE_SPAN(kTask, 3); }
+  EXPECT_TRUE(my_thread_trace().events.empty());
+
+  Registry::global().set_enabled(true);
+  PCLASS_TRACE_INSTANT(kFlowCacheMiss, 1, 2);
+  { PCLASS_TRACE_SPAN(kTask, 3); }
+  const ThreadTrace t = my_thread_trace();
+#if PCLASS_TRACE_ENABLED
+  ASSERT_EQ(t.events.size(), 2u);
+  EXPECT_EQ(t.events[0].kind, EventKind::kFlowCacheMiss);
+  EXPECT_EQ(t.events[1].kind, EventKind::kTask);
+#else
+  EXPECT_TRUE(t.events.empty());
+#endif
+}
+
+TEST_F(TraceTest, RingWrapsAndCountsDrops) {
+  constexpr u64 kOverflow = 100;
+  for (u64 i = 0; i < kRingCapacity + kOverflow; ++i) {
+    instant(EventKind::kLookup, i);
+  }
+  const ThreadTrace t = my_thread_trace();
+#if PCLASS_TRACE_ENABLED
+  // The ring keeps the newest kRingCapacity events; the overwritten
+  // prefix is counted, not silently lost.
+  ASSERT_EQ(t.events.size(), kRingCapacity);
+  EXPECT_EQ(t.dropped, kOverflow);
+  for (std::size_t i = 0; i < t.events.size(); ++i) {
+    EXPECT_EQ(t.events[i].a0, kOverflow + i);  // oldest first
+  }
+#else
+  EXPECT_TRUE(t.events.empty());
+  EXPECT_EQ(t.dropped, 0u);
+#endif
+}
+
+TEST_F(TraceTest, PayloadPackingRoundTrips) {
+  const u64 a0 = pack_expcuts_a0(0x1234567u, 12, 0xab, 0xbeef);
+  EXPECT_EQ(unpack_lo32(a0), 0x1234567u);
+  EXPECT_EQ(unpack_expcuts_level(a0), 12u);
+  EXPECT_EQ(unpack_expcuts_chunk(a0), 0xabu);
+  EXPECT_EQ(unpack_expcuts_habs(a0), 0xbeefu);
+  const u64 a1 = pack_expcuts_a1(77, expcuts::kLeafBit | 5u);
+  EXPECT_EQ(unpack_lo32(a1), 77u);
+  EXPECT_EQ(unpack_hi32(a1), expcuts::kLeafBit | 5u);
+
+  const u64 h = pack_hicuts_a0(901, 7, 3);
+  EXPECT_EQ(unpack_lo32(h), 901u);
+  EXPECT_EQ(unpack_hicuts_depth(h), 7u);
+  EXPECT_EQ(unpack_hicuts_aux(h), 3u);
+
+  const u64 s = pack_hsm_a0(8, 0xfffffffu, 0xabcdefu);
+  EXPECT_EQ(unpack_hsm_stage(s), 8u);
+  EXPECT_EQ(unpack_hsm_in_a(s), 0xfffffffu);
+  EXPECT_EQ(unpack_hsm_in_b(s), 0xabcdefu);
+}
+
+// Writers hammer their thread-local rings while the main thread keeps
+// snapshotting mid-write. Every event a snapshot returns must be intact
+// (never torn): our writers tag a0's high half with a lane id and keep a
+// strictly increasing sequence in the low half, and a torn read would
+// break the monotone-sequence invariant. The TSan CI job runs this.
+TEST_F(TraceTest, ConcurrentRecordersSnapshotCleanly) {
+  constexpr int kWriters = 4;
+  constexpr u64 kPerWriter = 3 * kRingCapacity;
+  std::atomic<bool> go{false};
+  std::atomic<int> done{0};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (u64 i = 0; i < kPerWriter; ++i) {
+        instant(EventKind::kShard, (u64{0xabcu + static_cast<u64>(w)} << 32) | i,
+                i);
+      }
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  go.store(true, std::memory_order_release);
+  std::size_t snapshots = 0;
+  while (done.load(std::memory_order_acquire) < kWriters) {
+    const TraceSnapshot snap = Registry::global().snapshot();
+    ++snapshots;
+    for (const ThreadTrace& t : snap.threads) {
+      u64 last_seq = 0;
+      bool have_last = false;
+      for (const Event& e : t.events) {
+        if (e.kind != EventKind::kShard) continue;
+        const u64 lane = e.a0 >> 32;
+        if (lane < 0xabc || lane >= 0xabc + kWriters) continue;
+        const u64 seq = e.a0 & 0xffffffffull;
+        EXPECT_EQ(seq, e.a1) << "torn event";
+        if (have_last) {
+          EXPECT_GT(seq, last_seq) << "ring order violated";
+        }
+        last_seq = seq;
+        have_last = true;
+      }
+    }
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_GE(snapshots, 1u);
+#if PCLASS_TRACE_ENABLED
+  const TraceSnapshot final_snap = Registry::global().snapshot();
+  EXPECT_GE(final_snap.total_events(), kRingCapacity);
+  EXPECT_GT(final_snap.total_dropped(), 0u);  // each writer overflowed
+#endif
+}
+
+TEST_F(TraceTest, JsonEscapeHandlesHostileStrings) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(json_escape(std::string("x\x01y", 3)), "x\\u0001y");
+}
+
+TEST_F(TraceTest, ChromeExportEscapesHostileLabel) {
+  instant(EventKind::kFlowCacheHit, 1, 2);
+  const TraceSnapshot snap = Registry::global().snapshot();
+  // A rule-set name is attacker-ish input to the exporter: quotes,
+  // backslashes, newlines and control bytes must not escape the JSON
+  // string context.
+  const std::string hostile = "FW\"01\\ two\nlines\x02";
+  std::ostringstream os;
+  write_chrome_trace(os, snap, hostile);
+  const std::string doc = os.str();
+  // Inside JSON string literals no raw control byte may appear and every
+  // quote must be escaped (formatting newlines between tokens are fine).
+  bool in_string = false;
+  for (std::size_t i = 0; i < doc.size(); ++i) {
+    const char c = doc[i];
+    if (in_string) {
+      EXPECT_GE(static_cast<unsigned char>(c), 0x20)
+          << "raw control byte inside a JSON string at offset " << i;
+      if (c == '\\') {
+        ++i;  // escaped character, including \"
+      } else if (c == '"') {
+        in_string = false;
+      }
+    } else if (c == '"') {
+      in_string = true;
+    }
+  }
+  EXPECT_FALSE(in_string) << "unterminated JSON string";
+  EXPECT_NE(doc.find("FW\\\"01\\\\ two\\nlines\\u0002"), std::string::npos);
+  // Structurally an array of objects.
+  EXPECT_EQ(doc.front(), '[');
+  EXPECT_EQ(doc[doc.size() - 2], ']');
+}
+
+TEST_F(TraceTest, ChromeExportEmitsSpansAndDropMarker) {
+  for (u64 i = 0; i < kRingCapacity + 5; ++i) {
+    const u64 t0 = now_ns();
+    complete(EventKind::kExpCutsLevel, t0, t0 + 100,
+             pack_expcuts_a0(10, 2, 0x30, 0x8001), pack_expcuts_a1(12, 99));
+  }
+  std::ostringstream os;
+  write_chrome_trace(os, Registry::global().snapshot(), "wrap");
+  const std::string doc = os.str();
+#if PCLASS_TRACE_ENABLED
+  EXPECT_NE(doc.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(doc.find("expcuts.level"), std::string::npos);
+  EXPECT_NE(doc.find("ring_dropped"), std::string::npos);
+  EXPECT_NE(doc.find("\"habs\": \"0x8001\""), std::string::npos);
+#endif
+  std::ostringstream text;
+  write_text_timeline(text, Registry::global().snapshot());
+#if PCLASS_TRACE_ENABLED
+  EXPECT_NE(text.str().find("expcuts.level"), std::string::npos);
+#endif
+}
+
+// End-to-end golden test for the explained-lookup contract: on a seed
+// firewall set, every explained path must stay within the W/w = 13 depth
+// bound, agree with the linear-search reference on 10k generated packets,
+// and reproduce the Sec. 4.2.2 rank arithmetic step by step.
+TEST_F(TraceTest, ExplainedLookupMatchesLinearWithinDepthBound) {
+  Registry::global().set_enabled(false);  // pure classification check
+  const RuleSet rules = generate_paper_ruleset("FW01");
+  const expcuts::ExpCutsClassifier cls(rules);
+  const LinearSearchClassifier lin(rules);
+  const u32 depth_bound = cls.schedule().depth();
+  EXPECT_LE(depth_bound, 13u);
+
+  TraceGenConfig tg;
+  tg.count = 10000;
+  tg.rule_directed_fraction = 0.8;
+  tg.seed = 2026;
+  const Trace packets = generate_trace(rules, tg);
+
+  const u32 u = cls.flat().cpa_sub_log2();
+  std::vector<expcuts::ExplainStep> steps;
+  for (const PacketHeader& h : packets.packets()) {
+    const RuleId got = cls.flat().lookup_explained(h, cls.schedule(), steps);
+    ASSERT_EQ(got, lin.classify(h)) << "packet " << h.str();
+    ASSERT_LE(steps.size(), depth_bound);
+    ASSERT_FALSE(steps.empty());
+    for (const expcuts::ExplainStep& e : steps) {
+      // The displayed arithmetic is the paper's: m = chunk >> u,
+      // j = chunk & (2^u - 1), i = popcount(HABS & mask) - 1,
+      // CPA index = (i << u) + j, read at node + 1 + index.
+      ASSERT_EQ(e.m, e.chunk >> u);
+      ASSERT_EQ(e.j, e.chunk & ((u32{1} << u) - 1));
+      ASSERT_EQ(e.masked, e.habs & ((u32{2} << e.m) - 1));
+      ASSERT_EQ(e.rank_i, popcount32(e.masked) - 1);
+      ASSERT_EQ(e.cpa_index, (e.rank_i << u) + e.j);
+      ASSERT_EQ(e.ptr_off, e.node_off + 1 + e.cpa_index);
+    }
+    ASSERT_TRUE(expcuts::ptr_is_leaf(steps.back().child));
+    ASSERT_EQ(expcuts::leaf_rule(steps.back().child), got);
+  }
+}
+
+// When tracing is live, an explained lookup also lands in the ring: one
+// kExpCutsLevel span per level plus the enclosing kLookup span, carrying
+// the same path the ExplainSteps describe.
+TEST_F(TraceTest, ExplainedLookupEmitsPerLevelSpans) {
+  const RuleSet rules = generate_paper_ruleset("FW01");
+  const expcuts::ExpCutsClassifier cls(rules);
+  Registry::global().reset();  // discard build spans
+
+  PacketHeader h;
+  h.sip = 0x0a010203;
+  h.dip = 0xc0a80001;
+  h.sport = 1234;
+  h.dport = 80;
+  h.proto = 6;
+  std::vector<expcuts::ExplainStep> steps;
+  const RuleId got = cls.flat().lookup_explained(h, cls.schedule(), steps);
+
+  const ThreadTrace t = my_thread_trace();
+#if PCLASS_TRACE_ENABLED
+  std::vector<Event> levels;
+  std::vector<Event> lookups;
+  for (const Event& e : t.events) {
+    if (e.kind == EventKind::kExpCutsLevel) levels.push_back(e);
+    if (e.kind == EventKind::kLookup) lookups.push_back(e);
+  }
+  ASSERT_EQ(levels.size(), steps.size());
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    EXPECT_EQ(unpack_lo32(levels[i].a0), steps[i].node_off);
+    EXPECT_EQ(unpack_expcuts_level(levels[i].a0), steps[i].level);
+    EXPECT_EQ(unpack_expcuts_chunk(levels[i].a0), steps[i].chunk);
+    EXPECT_EQ(unpack_expcuts_habs(levels[i].a0), steps[i].habs);
+    EXPECT_EQ(unpack_lo32(levels[i].a1), steps[i].ptr_off);
+    EXPECT_EQ(unpack_hi32(levels[i].a1), steps[i].child);
+  }
+  ASSERT_EQ(lookups.size(), 1u);
+  EXPECT_EQ(lookups[0].a0, u64{got});
+#else
+  EXPECT_TRUE(t.events.empty());
+  (void)got;
+#endif
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace pclass
