@@ -120,8 +120,11 @@ void run_one(bench::BenchReport& report, const std::string& set_name,
 
 int main(int argc, char** argv) {
   bench::BenchReport report("batch_lookup", argc, argv);
+  // Never exceed the machine: the old max(2, ...) clamp silently ran two
+  // threads on a 1-core box, so its "batch_threads" rows measured
+  // oversubscription, not parallel speedup.
   const unsigned threads =
-      std::max(2u, std::min(8u, std::thread::hardware_concurrency()));
+      std::min(8u, std::max(1u, std::thread::hardware_concurrency()));
   const std::size_t packets = report.quick() ? 40000 : 200000;
   const int reps = report.quick() ? 2 : 5;
 
@@ -139,6 +142,7 @@ int main(int argc, char** argv) {
 
   report.config("group_size", u64{kBatchInterleaveWays});
   report.config("threads", threads);
+  report.config("simd", simd::name(simd::active()));
   report.config("packets", u64{packets});
   report.config("reps", reps);
   report.config("batch_size", u64{4096});

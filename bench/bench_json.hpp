@@ -45,6 +45,7 @@
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
+#include "common/simd.hpp"
 #include "common/types.hpp"
 #include "trace/export.hpp"
 #include "trace/trace.hpp"
@@ -253,6 +254,12 @@ class BenchReport {
     m.emplace_back("assertions", json_value(true));
 #endif
     m.emplace_back("metrics_enabled", json_value(PCLASS_METRICS_ENABLED != 0));
+    // The SIMD tier the dispatched hot loops actually ran at, plus the
+    // binary's ceiling — a scalar-vs-avx512 diff is a machine/build
+    // difference, not a regression, and check_bench.py flags it as such.
+    m.emplace_back("simd", json_value(simd::name(simd::active())));
+    m.emplace_back("simd_compiled_max",
+                   json_value(simd::name(simd::compiled_max())));
     write_pairs(f, "machine", m);
   }
 

@@ -1,6 +1,7 @@
 #include "audit/image_audit.hpp"
 
 #include <algorithm>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -25,6 +26,7 @@ struct Walker {
   u32 v;           ///< log2 sub-arrays per node (w - u).
   u32 fanout;      ///< 2^w pointer slots per node.
   u32 depth_limit;
+  u32 layout;      ///< kLayoutLinear or kLayoutAligned (flat.hpp).
   const AuditOptions* opts;
 
   AuditReport report;
@@ -60,6 +62,13 @@ void Walker::visit(u32 off, u32 depth) {
   ++report.stats.nodes_visited;
   node_level.emplace(off, depth);
   report.stats.max_depth = std::max(report.stats.max_depth, depth + 1);
+
+  if (layout == expcuts::kLayoutAligned &&
+      off % expcuts::kNodeAlignWords != 0) {
+    add(ViolationKind::kNodeMisaligned, off,
+        "layout-v2 node starts at word " + std::to_string(off) +
+            ", not a multiple of " + std::to_string(expcuts::kNodeAlignWords));
+  }
 
   const u32 header = words[off];
   const u32 level = FlatImage::level_of_header(header);
@@ -196,7 +205,7 @@ void Walker::visit(u32 off, u32 depth) {
 
 AuditReport audit_flat_image(const expcuts::FlatImage& img, u32 depth_limit,
                              const AuditOptions& opts) {
-  const std::vector<u32>& words = img.words();
+  const std::span<const u32> words = img.words();
   const u32 w = img.stride();
   Walker wk{words.data(),
             words.size(),
@@ -205,6 +214,7 @@ AuditReport audit_flat_image(const expcuts::FlatImage& img, u32 depth_limit,
             w - img.cpa_sub_log2(),
             u32{1} << w,
             depth_limit,
+            img.layout_version(),
             &opts,
             {},
             {},
@@ -228,7 +238,12 @@ AuditReport audit_flat_image(const expcuts::FlatImage& img, u32 depth_limit,
   // Layout proof: reachable node spans must tile the image — no two nodes
   // share a word (a pointer into another node's CPA would decode garbage)
   // and no word is outside every node (a buggy builder leaking words, or
-  // a truncated-then-padded image).
+  // a truncated-then-padded image). Layout v2 relaxes tiling exactly as
+  // far as its alignment demands: gaps between consecutive nodes are legal
+  // iff shorter than one alignment quantum and filled with kPadWord; the
+  // builder never emits a trailing pad, so words past the last node stay
+  // orphans in both layouts.
+  const bool aligned_layout = img.layout_version() == expcuts::kLayoutAligned;
   std::sort(wk.spans.begin(), wk.spans.end());
   u64 covered = 0;
   u64 watermark = 0;  // end of the highest span seen so far
@@ -242,6 +257,28 @@ AuditReport audit_flat_image(const expcuts::FlatImage& img, u32 depth_limit,
                  std::to_string(watermark));
       covered += end > watermark ? end - watermark : 0;
     } else {
+      if (start > watermark && aligned_layout) {
+        const u64 gap = start - watermark;
+        if (gap >= expcuts::kNodeAlignWords) {
+          wk.path.clear();
+          wk.add(ViolationKind::kBadPadWord, watermark,
+                 "alignment gap of " + std::to_string(gap) +
+                     " words at offset " + std::to_string(watermark) +
+                     " >= quantum " +
+                     std::to_string(expcuts::kNodeAlignWords));
+        } else {
+          bool clean = true;
+          for (u64 o = watermark; o < start && clean; ++o) {
+            if (words[static_cast<std::size_t>(o)] != expcuts::kPadWord) {
+              wk.path.clear();
+              wk.add(ViolationKind::kBadPadWord, o,
+                     "alignment gap word is not the pad sentinel");
+              clean = false;
+            }
+          }
+          if (clean) covered += gap;  // inert padding is accounted for
+        }
+      }
       covered += span;
     }
     watermark = std::max(watermark, end);
@@ -252,6 +289,26 @@ AuditReport audit_flat_image(const expcuts::FlatImage& img, u32 depth_limit,
     wk.add(ViolationKind::kOrphanWords, watermark,
            std::to_string(words.size() - covered) +
                " words unreachable from the root");
+  }
+
+  // Hot-level clustering proof (layout v2): walking the image start to
+  // end, node levels never decrease — the builder emits each level as one
+  // contiguous run, keeping the always-walked upper levels packed.
+  if (aligned_layout) {
+    u32 prev_level = 0;
+    for (const auto& [start, span] : wk.spans) {
+      const auto it = wk.node_level.find(start);
+      if (it == wk.node_level.end()) continue;
+      if (it->second < prev_level) {
+        wk.path.clear();
+        wk.add(ViolationKind::kLevelClusteringBroken, start,
+               "level " + std::to_string(it->second) + " node at offset " +
+                   std::to_string(start) + " follows a level " +
+                   std::to_string(prev_level) + " node");
+        break;  // one witness suffices; later pairs add no information
+      }
+      prev_level = it->second;
+    }
   }
   return wk.report;
 }

@@ -29,6 +29,12 @@ const char* to_string(ViolationKind k) {
       return "node-overlap";
     case ViolationKind::kOrphanWords:
       return "orphan-words";
+    case ViolationKind::kNodeMisaligned:
+      return "node-misaligned";
+    case ViolationKind::kBadPadWord:
+      return "bad-pad-word";
+    case ViolationKind::kLevelClusteringBroken:
+      return "level-clustering-broken";
     case ViolationKind::kChildCountMismatch:
       return "child-count-mismatch";
     case ViolationKind::kLeafOverflow:

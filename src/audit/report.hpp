@@ -34,6 +34,10 @@ enum class ViolationKind : u8 {
   kLeafRuleOutOfRange,    ///< Leaf pointer's rule id >= rule count.
   kNodeOverlap,           ///< Pointer lands inside another node's words.
   kOrphanWords,           ///< Words not covered by any reachable node.
+  // Layout-v2 (cache-aligned) image invariants; see flat.hpp.
+  kNodeMisaligned,        ///< v2 node start not on a 64-byte boundary.
+  kBadPadWord,            ///< Inter-node gap oversized or not pad-filled.
+  kLevelClusteringBroken, ///< v2 node levels not sorted across the image.
   // HiCuts tree invariants.
   kChildCountMismatch,    ///< Cut count disagrees with the child array.
   kLeafOverflow,          ///< Leaf holds more than binth rules.

@@ -1,0 +1,52 @@
+#include "common/aligned.hpp"
+
+#include <cstring>
+#include <new>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace pclass {
+
+AlignedWords::AlignedWords(std::size_t count, u32 fill) : size_(count) {
+  if (count == 0) return;
+  const std::size_t bytes = count * sizeof(u32);
+#if defined(__linux__)
+  if (bytes >= kHugepageBytes) {
+    void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p != MAP_FAILED) {
+#if defined(MADV_HUGEPAGE)
+      // Advisory: the walk still works on 4 KB pages if THP is disabled.
+      (void)::madvise(p, bytes, MADV_HUGEPAGE);
+#endif
+      data_ = static_cast<u32*>(p);
+      mapped_ = true;
+    }
+  }
+#endif
+  if (data_ == nullptr) {
+    data_ = static_cast<u32*>(
+        ::operator new(bytes, std::align_val_t{kCacheLineBytes}));
+  }
+  if (fill == 0 && mapped_) return;  // fresh anonymous pages are zeroed
+  if (fill == 0) {
+    std::memset(data_, 0, bytes);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) data_[i] = fill;
+  }
+}
+
+AlignedWords::~AlignedWords() {
+  if (data_ == nullptr) return;
+#if defined(__linux__)
+  if (mapped_) {
+    ::munmap(data_, size_ * sizeof(u32));
+    return;
+  }
+#endif
+  ::operator delete(data_, std::align_val_t{kCacheLineBytes});
+}
+
+}  // namespace pclass

@@ -1,0 +1,71 @@
+// Cache-line-aligned word arenas for classifier images (layout v2).
+//
+// The flat ExpCuts image and the HiCuts leaf-rule SoA live in these
+// buffers so that (a) every 64-byte-aligned node emitted by the builder
+// is also 64-byte-aligned in memory — the layout-v2 invariant pclass_audit
+// proves is only worth proving if the allocation cooperates — and (b) the
+// SIMD walkers can rely on aligned vector loads for their lane state.
+//
+// Large arenas (>= kHugepageBytes) are mmap'd and advised MADV_HUGEPAGE:
+// a 13 MB FW-12k image walks ~9 random lines per lookup, and 2 MB pages
+// cut its TLB-miss rate by ~512x. Small arenas use aligned operator new.
+// Both paths are transparent to callers; failures fall back gracefully
+// (a plain mapping, or plain aligned heap memory).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace pclass {
+
+/// Cache line size the arenas align to; also the layout-v2 node alignment
+/// quantum (16 words).
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Arena size at or past which allocation switches to an mmap advised
+/// onto transparent hugepages.
+inline constexpr std::size_t kHugepageBytes = 2u << 20;
+
+/// A fixed-size, 64-byte-aligned array of u32 words. Move-only.
+class AlignedWords {
+ public:
+  AlignedWords() = default;
+  /// Allocates `count` words, all initialized to `fill`.
+  explicit AlignedWords(std::size_t count, u32 fill = 0);
+  ~AlignedWords();
+
+  AlignedWords(AlignedWords&& o) noexcept { swap(o); }
+  AlignedWords& operator=(AlignedWords&& o) noexcept {
+    AlignedWords tmp(std::move(o));
+    swap(tmp);
+    return *this;
+  }
+  AlignedWords(const AlignedWords&) = delete;
+  AlignedWords& operator=(const AlignedWords&) = delete;
+
+  u32* data() { return data_; }
+  const u32* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  u32& operator[](std::size_t i) { return data_[i]; }
+  u32 operator[](std::size_t i) const { return data_[i]; }
+
+  /// True when the buffer is mmap-backed (and THP-advised) rather than
+  /// heap-allocated; surfaced by footprint()/bench diagnostics.
+  bool hugepage_backed() const { return mapped_; }
+
+  void swap(AlignedWords& o) noexcept {
+    std::swap(data_, o.data_);
+    std::swap(size_, o.size_);
+    std::swap(mapped_, o.mapped_);
+  }
+
+ private:
+  u32* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+};
+
+}  // namespace pclass

@@ -1,0 +1,92 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace pclass {
+namespace simd {
+namespace {
+
+Level probe_detected() {
+#if PCLASS_SIMD_ENABLED && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+  // __builtin_cpu_supports reads CPUID once per feature and also checks
+  // the OS saves the wider register files (XGETBV), so a positive answer
+  // really means the kernels below are executable.
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw")) {
+    return Level::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+#endif
+  return Level::kScalar;
+}
+
+Level clamp(Level want, Level cap) {
+  return static_cast<u8>(want) > static_cast<u8>(cap) ? cap : want;
+}
+
+Level initial_active() {
+  Level l = detected();
+  if (const char* env = std::getenv("PCLASS_SIMD")) {
+    Level parsed;
+    if (parse(env, &parsed)) l = clamp(parsed, detected());
+  }
+  return l;
+}
+
+std::atomic<Level>& active_slot() {
+  static std::atomic<Level> slot{initial_active()};
+  return slot;
+}
+
+}  // namespace
+
+Level compiled_max() {
+#if PCLASS_SIMD_ENABLED && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return Level::kAvx512;
+#else
+  return Level::kScalar;
+#endif
+}
+
+Level detected() {
+  static const Level cached = probe_detected();
+  return cached;
+}
+
+Level active() { return active_slot().load(std::memory_order_relaxed); }
+
+Level set_active(Level want) {
+  const Level l = clamp(want, detected());
+  active_slot().store(l, std::memory_order_relaxed);
+  return l;
+}
+
+const char* name(Level l) {
+  switch (l) {
+    case Level::kScalar: return "scalar";
+    case Level::kAvx2: return "avx2";
+    case Level::kAvx512: return "avx512";
+  }
+  return "scalar";
+}
+
+bool parse(const char* s, Level* out) {
+  if (s == nullptr || out == nullptr) return false;
+  if (std::strcmp(s, "scalar") == 0) {
+    *out = Level::kScalar;
+  } else if (std::strcmp(s, "avx2") == 0) {
+    *out = Level::kAvx2;
+  } else if (std::strcmp(s, "avx512") == 0) {
+    *out = Level::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace simd
+}  // namespace pclass

@@ -1,0 +1,61 @@
+// Runtime SIMD instruction-set dispatch for the batch walkers.
+//
+// The hot loops (ExpCuts flat-image batch walk, HiCuts leaf rule scan)
+// ship in up to three implementations — scalar, AVX2, AVX-512 — compiled
+// into dedicated translation units with the matching -m flags. Which one
+// runs is decided once per process by CPUID (detected()), optionally
+// narrowed by the PCLASS_SIMD env var or set_active() (tests force each
+// tier and diff the answers; see tests/simd_test.cpp and the differential
+// fuzz suite). Building with -DPCLASS_SIMD=OFF compiles only the scalar
+// tier; dispatch then degenerates to a constant.
+//
+// The guarantee the differential fuzz enforces: every tier returns
+// bit-identical rule ids for every packet — SIMD is an implementation
+// detail, never a semantic.
+#pragma once
+
+#include "common/types.hpp"
+
+#ifndef PCLASS_SIMD_ENABLED
+#define PCLASS_SIMD_ENABLED 1
+#endif
+
+namespace pclass {
+namespace simd {
+
+/// Instruction-set tiers, ordered: a CPU supporting tier T supports every
+/// tier below it (AVX-512 here always means F+BW, which implies AVX2).
+enum class Level : u8 {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+/// Highest tier this binary contains code for (compile-time property:
+/// kScalar when PCLASS_SIMD=OFF or targeting non-x86_64).
+Level compiled_max();
+
+/// Highest tier the running CPU supports, capped at compiled_max().
+/// CPUID is probed once and cached.
+Level detected();
+
+/// The tier the dispatched hot loops will actually run. Defaults to
+/// detected(), narrowed by the PCLASS_SIMD environment variable
+/// ("scalar" | "avx2" | "avx512", evaluated once at first use) and by
+/// set_active(). Never exceeds detected().
+Level active();
+
+/// Forces the active tier (clamped to detected()). Returns the level that
+/// is now active. Not synchronized with concurrent lookups — call it from
+/// test/bench setup, not mid-traffic.
+Level set_active(Level want);
+
+/// Stable lowercase name: "scalar" / "avx2" / "avx512". Part of the bench
+/// JSON machine block.
+const char* name(Level l);
+
+/// Parses a name back into a Level; returns false on unknown input.
+bool parse(const char* s, Level* out);
+
+}  // namespace simd
+}  // namespace pclass

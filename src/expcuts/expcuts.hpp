@@ -49,6 +49,10 @@ struct Config {
   /// structure; without it the fixed stride duplicates identical subtrees
   /// and the memory burst returns. The layout ablation measures it off.
   bool share_subtrees = true;
+  /// Flat-image packing (flat.hpp): 2 = kLayoutAligned (64-byte-aligned
+  /// nodes, level clustering — the default), 1 = kLayoutLinear (the
+  /// historical back-to-back packing; the layout ablation measures it).
+  u32 layout = 2;
 };
 
 /// Tagged child pointer: bit 31 set = leaf (bits 0..30 = rule id, all-ones

@@ -2,13 +2,24 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
+#include <numeric>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
+#include "common/simd.hpp"
+#include "expcuts/flat_simd.hpp"
 #include "trace/trace.hpp"
 
 namespace pclass {
 namespace expcuts {
+
+// The ISA-flagged kernel TUs restate the Ptr tagging instead of including
+// expcuts.hpp (see flat_simd_avx2.cpp); pin the copies to the truth.
+static_assert(kLeafBit == 0x80000000u && kEmptyLeaf == 0xffffffffu &&
+              kNoMatch == 0xffffffffu);
+
 namespace {
 
 constexpr u32 kChunkExtractCycles = 2;  // shift + mask on the header field
@@ -43,46 +54,74 @@ WalkMetrics& walk_metrics() {
 }  // namespace
 
 FlatImage::FlatImage(std::vector<u32> words, Ptr root, u32 u, u32 stride_w,
-                     bool aggregated)
-    : words_(std::move(words)),
+                     bool aggregated, u32 layout)
+    : words_(words.size()),
       root_(root),
       u_(u),
       chunk_mask_((u32{1} << stride_w) - 1),
+      layout_(layout),
       aggregated_(aggregated) {
   check(u <= stride_w && stride_w <= 8, "FlatImage: bad stride/u");
+  check(layout == kLayoutLinear || layout == kLayoutAligned,
+        "FlatImage: unknown layout version");
   check(ptr_is_leaf(root_) || root_ < words_.size(),
         "FlatImage: root offset out of range");
+  if (!words.empty()) {
+    std::memcpy(words_.data(), words.data(), words.size() * sizeof(u32));
+  }
 }
 
 FlatImage::FlatImage(const std::vector<Node>& nodes, Ptr root,
                      const Config& cfg, bool aggregated)
     : u_(cfg.stride_w - std::min({cfg.habs_v, cfg.stride_w, 4u})),
       chunk_mask_((u32{1} << cfg.stride_w) - 1),
+      layout_(cfg.layout),
       aggregated_(aggregated) {
+  check(layout_ == kLayoutLinear || layout_ == kLayoutAligned,
+        "FlatImage: unknown layout version");
   const u32 v = std::min({cfg.habs_v, cfg.stride_w, 4u});
   const std::size_t fanout = std::size_t{1} << cfg.stride_w;
 
-  // Pass 1: encode every node and assign word offsets.
+  // Pass 1: encode every node and assign word offsets. Layout v2 packs
+  // nodes in level order (hot-level clustering: the levels every lookup
+  // walks first form a contiguous, cache-resident prefix) and starts each
+  // node on a 64-byte line; v1 keeps historical build order, back to back.
   const bool tracing = trace::active();
   const u64 t_pass1 = tracing ? trace::now_ns() : 0;
+  std::vector<u32> emit_order(nodes.size());
+  std::iota(emit_order.begin(), emit_order.end(), 0u);
+  if (layout_ == kLayoutAligned) {
+    std::stable_sort(emit_order.begin(), emit_order.end(),
+                     [&](u32 a, u32 b) { return nodes[a].level < nodes[b].level; });
+  }
   std::vector<HabsEncoding> encodings;
   std::vector<u64> offsets(nodes.size());
   u64 next = 0;
   if (aggregated_) {
-    encodings.reserve(nodes.size());
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-      encodings.push_back(habs_encode(nodes[i].ptrs, cfg.stride_w, v));
+    encodings.resize(nodes.size());
+    for (const u32 i : emit_order) {
+      encodings[i] = habs_encode(nodes[i].ptrs, cfg.stride_w, v);
+      if (layout_ == kLayoutAligned) {
+        next = (next + kNodeAlignWords - 1) & ~u64{kNodeAlignWords - 1};
+      }
       offsets[i] = next;
       next += 1 + encodings[i].cpa_words();
     }
   } else {
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (const u32 i : emit_order) {
+      if (layout_ == kLayoutAligned) {
+        next = (next + kNodeAlignWords - 1) & ~u64{kNodeAlignWords - 1};
+      }
       offsets[i] = next;
       next += 1 + fanout;
     }
   }
   check(next < kLeafBit, "FlatImage: image exceeds 2^31 words");
-  words_.resize(static_cast<std::size_t>(next));
+  // v2 arenas are pre-filled with the pad sentinel so the alignment gaps
+  // between nodes are provably inert (pclass_audit checks every one). No
+  // pad follows the last node: word_count stays the exact structural size.
+  words_ = AlignedWords(static_cast<std::size_t>(next),
+                        layout_ == kLayoutAligned ? kPadWord : 0);
   if (tracing) {
     trace::span_end(trace::EventKind::kHabsCompress, t_pass1, nodes.size(),
                     next);
@@ -206,6 +245,75 @@ RuleId FlatImage::lookup_explained(const PacketHeader& h,
 void FlatImage::lookup_batch(const PacketHeader* h, RuleId* out,
                              std::size_t n, const Schedule& sched,
                              BatchLookupStats* stats) const {
+#if PCLASS_SIMD_ENABLED && defined(__x86_64__)
+  // Tracing stays on the scalar walker: its per-level events reflect the
+  // interleaved reference stream the NP simulator models. Leaf roots and
+  // tiny batches are not worth a vector round either.
+  const simd::Level tier = simd::active();
+  if (tier != simd::Level::kScalar && n >= detail::kSimdMinBatch &&
+      !ptr_is_leaf(root_) && !trace::active()) {
+    lookup_batch_simd(h, out, n, sched, stats,
+                      tier == simd::Level::kAvx512);
+    return;
+  }
+#endif
+  lookup_batch_scalar(h, out, n, sched, stats);
+}
+
+#if PCLASS_SIMD_ENABLED && defined(__x86_64__)
+void FlatImage::lookup_batch_simd(const PacketHeader* h, RuleId* out,
+                                  std::size_t n, const Schedule& sched,
+                                  BatchLookupStats* stats,
+                                  bool avx512) const {
+  WalkMetrics& wm = walk_metrics();
+  trace::Span batch_span(trace::EventKind::kBatchLookup, n);
+  if (stats != nullptr && n > 0) {
+    stats->lookups += n;
+    ++stats->batches;
+    stats->group_size = std::max(
+        stats->group_size,
+        static_cast<u32>(std::min<std::size_t>(n, avx512 ? 16 : 8)));
+  }
+  wm.lookups.add(n);
+
+  const detail::FlatView view{words_.data(), root_, u_, aggregated_};
+  const detail::ChunkPlan plan = detail::make_chunk_plan(sched);
+  u32 depth_hist[kDepthBuckets] = {};
+  detail::KernelStats ks;
+  // Chunk-row staging, reused across batches (classify_batch is const and
+  // thread-safe, so the buffer is per-thread).
+  thread_local std::vector<u8> rows;
+  rows.resize(detail::kSuperblockPackets * plan.row_stride + 4);
+  for (std::size_t base = 0; base < n; base += detail::kSuperblockPackets) {
+    const std::size_t m = std::min(detail::kSuperblockPackets, n - base);
+    detail::fill_chunk_rows(plan, h + base, m, rows.data());
+    if (avx512) {
+      detail::lookup_batch_avx512(view, rows.data(), plan.row_stride,
+                                  out + base, m, depth_hist, kDepthBuckets,
+                                  &ks);
+    } else {
+      detail::lookup_batch_avx2(view, rows.data(), plan.row_stride,
+                                out + base, m, depth_hist, kDepthBuckets,
+                                &ks);
+    }
+  }
+  wm.rounds.add(ks.rounds);
+  wm.levels.add(ks.levels);
+  if (aggregated_) wm.rank_ops.add(ks.levels);  // one HABS rank per level
+  for (u32 d = 0; d < kDepthBuckets; ++d) wm.depth.record_n(d, depth_hist[d]);
+  if (stats != nullptr) stats->levels_walked += ks.levels;
+}
+#else
+void FlatImage::lookup_batch_simd(const PacketHeader*, RuleId*, std::size_t,
+                                  const Schedule&, BatchLookupStats*,
+                                  bool) const {
+  check(false, "SIMD walkers not compiled in this build");
+}
+#endif
+
+void FlatImage::lookup_batch_scalar(const PacketHeader* h, RuleId* out,
+                                    std::size_t n, const Schedule& sched,
+                                    BatchLookupStats* stats) const {
   constexpr std::size_t G = kBatchInterleaveWays;
   WalkMetrics& wm = walk_metrics();
   const bool tracing = trace::active();

@@ -13,18 +13,45 @@
 // (one word reference per level, no POP_COUNT) — faster, but at the memory
 // burst the paper rules out.
 //
+// Image layouts (DESIGN.md §12):
+//   v1 (kLayoutLinear)  — nodes packed back to back in build order; the
+//     historical format, still loadable.
+//   v2 (kLayoutAligned) — the default the builder emits: every node starts
+//     on a 64-byte boundary (so the header long-word and the first 15 CPA
+//     words share one cache line, and SIMD gathers never split lines
+//     gratuitously), nodes are clustered by level (all level-L nodes
+//     precede all level-L+1 nodes, keeping the hottest upper levels in a
+//     contiguous prefix), the words live in a 64-byte-aligned arena with
+//     transparent-hugepage backing for multi-MB images, and alignment gaps
+//     between nodes are filled with kPadWord so the structural auditor can
+//     prove no real word leaked. The lookup arithmetic is identical in
+//     both layouts — padding is invisible to the walk.
+//
 // Traced lookups execute against this image word-for-word, so the NP
 // simulator replays the exact reference stream real hardware would see.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "classify/classifier.hpp"
+#include "common/aligned.hpp"
 #include "common/bitops.hpp"
 #include "expcuts/expcuts.hpp"
 
 namespace pclass {
 namespace expcuts {
+
+/// Image layout versions (the on-disk format byte of XPC2 images).
+inline constexpr u32 kLayoutLinear = 1;
+inline constexpr u32 kLayoutAligned = 2;
+/// Node alignment quantum of layout v2, in words (64 bytes).
+inline constexpr u32 kNodeAlignWords =
+    static_cast<u32>(kCacheLineBytes / sizeof(u32));
+/// Filler for the alignment gaps between layout-v2 nodes. Bit 31 is clear
+/// on purpose: if a corrupted pointer ever lands on padding, the auditor's
+/// node decode fails loudly instead of reading a plausible leaf.
+inline constexpr u32 kPadWord = 0x70AD70ADu;
 
 /// One level of a lookup, fully decoded for human consumption: the HABS
 /// rank arithmetic of paper Sec. 4.2.2 (m, j, rank i, CPA index) alongside
@@ -54,9 +81,11 @@ class FlatImage {
             bool aggregated = true);
 
   /// Reconstructs an image from raw words (deserialization path;
-  /// see image_io.hpp). `u` is log2 pointers per CPA sub-array.
+  /// see image_io.hpp). `u` is log2 pointers per CPA sub-array; `layout`
+  /// is the packing the words follow (kLayoutAligned for builder output
+  /// and forged copies of it, kLayoutLinear for v1 images).
   FlatImage(std::vector<u32> words, Ptr root, u32 u, u32 stride_w,
-            bool aggregated);
+            bool aggregated, u32 layout = kLayoutAligned);
 
   /// Executes a lookup against the image; when `trace` is non-null the
   /// word references are appended to it. `popcount_hw` selects the 3-cycle
@@ -64,12 +93,16 @@ class FlatImage {
   RuleId lookup(const PacketHeader& h, const Schedule& sched,
                 LookupTrace* trace, bool popcount_hw = true) const;
 
-  /// Batched lookup: out[i] = lookup(h[i]) for i in [0, n), as a G-way
-  /// interleaved state machine (G = kBatchInterleaveWays). Each in-flight
-  /// lookup advances half a level per round — header decode, then child
-  /// pointer read — and prefetches its next word before rotating to the
-  /// next lane, so per-level memory stalls overlap across packets instead
-  /// of serializing (DESIGN.md §9).
+  /// Batched lookup: out[i] = lookup(h[i]) for i in [0, n). Runtime SIMD
+  /// dispatch (common/simd.hpp): on AVX2/AVX-512 hosts the walk runs
+  /// lane-parallel — per-level chunk plans precomputed per superblock,
+  /// gathered header/CPA loads, vectorized HABS mask/popcount rank, and
+  /// branch-free lane retirement that refills finished lanes without
+  /// leaving the vector loop (DESIGN.md §12). The scalar fallback is the
+  /// G-way interleaved, software-prefetching walker (G =
+  /// kBatchInterleaveWays, DESIGN.md §9), also used whenever the
+  /// execution tracer is recording. All tiers are bit-identical
+  /// (differential-fuzzed).
   void lookup_batch(const PacketHeader* h, RuleId* out, std::size_t n,
                     const Schedule& sched,
                     BatchLookupStats* stats = nullptr) const;
@@ -88,12 +121,17 @@ class FlatImage {
   Ptr root_ptr() const { return root_; }
 
   /// Raw image access for serialization tests and the structural auditor.
-  const std::vector<u32>& words() const { return words_; }
+  std::span<const u32> words() const { return {words_.data(), words_.size()}; }
 
   /// log2 pointers per CPA sub-array (the paper's u = w - v).
   u32 cpa_sub_log2() const { return u_; }
   /// Header bits consumed per level (the paper's stride w).
   u32 stride() const { return popcount32(chunk_mask_); }
+  /// kLayoutLinear (v1) or kLayoutAligned (v2).
+  u32 layout_version() const { return layout_; }
+  /// True when the word arena is mmap'd with hugepage advice (layout-v2
+  /// images past the kHugepageBytes threshold).
+  bool hugepage_backed() const { return words_.hugepage_backed(); }
 
   /// Decodes the level tag of the node at `word_offset`.
   static u32 level_of_header(u32 header) { return (header >> 16) & 0x7f; }
@@ -128,10 +166,21 @@ class FlatImage {
     return {level, p + 1 + chunk, 0};
   }
 
-  std::vector<u32> words_;
+  /// The scalar G-way interleaved batch walker (always compiled; the
+  /// fallback tier of the SIMD dispatch and the traced-batch path).
+  void lookup_batch_scalar(const PacketHeader* h, RuleId* out, std::size_t n,
+                           const Schedule& sched,
+                           BatchLookupStats* stats) const;
+  /// The vectorized batch walk at the given tier (caller checked support).
+  void lookup_batch_simd(const PacketHeader* h, RuleId* out, std::size_t n,
+                         const Schedule& sched, BatchLookupStats* stats,
+                         bool avx512) const;
+
+  AlignedWords words_;
   Ptr root_ = kEmptyLeaf;  ///< Leaf-tagged or word offset of the root node.
   u32 u_ = 4;              ///< log2 pointers per CPA sub-array.
   u32 chunk_mask_ = 0xff;
+  u32 layout_ = kLayoutAligned;
   bool aggregated_ = true;
 };
 

@@ -1,0 +1,50 @@
+// ISA-neutral half of the SIMD batch walkers: schedule flattening and the
+// per-superblock chunk-row decode. Compiled without vector flags so it is
+// part of every build, including -DPCLASS_SIMD=OFF (the scalar walker does
+// not use it, but the unit tests exercise the plan logic everywhere).
+#include "expcuts/flat_simd.hpp"
+
+#include "common/error.hpp"
+#include "expcuts/schedule.hpp"
+
+namespace pclass {
+namespace expcuts {
+namespace detail {
+
+ChunkPlan make_chunk_plan(const Schedule& sched) {
+  ChunkPlan plan;
+  plan.depth = sched.depth();
+  check(plan.depth <= 104, "chunk plan: schedule deeper than 104 levels");
+  plan.row_stride = (plan.depth + 15u) & ~15u;
+  plan.mask = static_cast<u8>((u32{1} << sched.stride()) - 1);
+  for (u32 l = 0; l < plan.depth; ++l) {
+    const Chunk& c = sched.level(l);
+    switch (c.dim) {
+      case Dim::kSrcIp: plan.dim[l] = 0; break;
+      case Dim::kDstIp: plan.dim[l] = 1; break;
+      case Dim::kSrcPort: plan.dim[l] = 2; break;
+      case Dim::kDstPort: plan.dim[l] = 3; break;
+      case Dim::kProto: plan.dim[l] = 4; break;
+    }
+    plan.shift[l] = static_cast<u8>(c.shift);
+  }
+  return plan;
+}
+
+void fill_chunk_rows(const ChunkPlan& plan, const PacketHeader* h,
+                     std::size_t n, u8* rows) {
+  for (std::size_t i = 0; i < n; ++i) {
+    // One field-switch per packet instead of one per (packet, level): the
+    // five fields land in registers and the level loop is pure shifts.
+    const u32 f[kNumDims] = {h[i].sip, h[i].dip, h[i].sport, h[i].dport,
+                             h[i].proto};
+    u8* row = rows + i * plan.row_stride;
+    for (u32 l = 0; l < plan.depth; ++l) {
+      row[l] = static_cast<u8>((f[plan.dim[l]] >> plan.shift[l]) & plan.mask);
+    }
+  }
+}
+
+}  // namespace detail
+}  // namespace expcuts
+}  // namespace pclass

@@ -1,0 +1,99 @@
+// Vectorized batch walkers for the flat ExpCuts image (DESIGN.md §12).
+//
+// The scalar interleaved walker (flat.cpp) hides memory latency but still
+// pays per-level scalar overhead for every lane: a Schedule::chunk_value
+// call (field switch, shift, mask), the HABS rank arithmetic, and the
+// leaf-tag branch. The SIMD tiers restructure the walk in three phases:
+//
+//   1. Chunk-plan precompute — the schedule is flattened once per batch
+//      into (field index, shift) pairs per level, then each superblock of
+//      packets is decoded into a row of per-level chunk bytes. After this,
+//      the walk never touches PacketHeader or Schedule again.
+//   2. Lane-parallel descent — 8 (AVX2) or 16 (AVX-512) lookups advance in
+//      lock step: gathered node-header loads, vectorized level extraction,
+//      a chunk-byte gather from the rows, the HABS mask/popcount rank in
+//      lanes (nibble-LUT popcount on AVX2, where vpopcntd does not exist),
+//      and a gathered CPA child-pointer load.
+//   3. Branch-free retirement — leaf lanes are detected as a sign-bit
+//      movemask (the leaf tag is bit 31). Only rounds that retire at least
+//      one lane leave the vector loop, to store results, bump the depth
+//      histogram and refill from the pending packets. Exhausted lanes park
+//      on a sentinel packet and are masked out of every gather.
+//
+// All tiers produce bit-identical results to the scalar walker; the
+// differential fuzz suite (tests/fuzz_differential_test.cpp) proves it on
+// every seed rule set. Kernel TUs are compiled with their ISA flags and
+// only ever called after a runtime CPUID check (common/simd.hpp).
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "packet/header.hpp"
+
+namespace pclass {
+namespace expcuts {
+
+class Schedule;
+
+namespace detail {
+
+/// Below this batch size the dispatcher stays on the scalar walker: a
+/// vector round needs most lanes busy to beat it.
+inline constexpr std::size_t kSimdMinBatch = 8;
+
+/// Packets per chunk-row superblock. 4096 rows of <=112 bytes keep the
+/// staging buffer within L2 while amortizing the plan setup.
+inline constexpr std::size_t kSuperblockPackets = 4096;
+
+/// The walk state the kernels need from FlatImage — a plain view so the
+/// kernel TUs do not pull in the full class (and its allocator) under
+/// per-file ISA flags.
+struct FlatView {
+  const u32* words = nullptr;
+  u32 root = 0;  ///< Non-leaf word offset (caller handled leaf roots).
+  u32 u = 4;     ///< log2 pointers per CPA sub-array.
+  bool aggregated = true;
+};
+
+/// The schedule, flattened for branch-free chunk extraction: chunk l of
+/// header h is (h.fields[dim[l]] >> shift[l]) & mask.
+struct ChunkPlan {
+  u32 depth = 0;       ///< Schedule depth (levels per lookup, <= 104).
+  u32 row_stride = 0;  ///< Bytes per packet row: depth rounded up to 16.
+  u8 mask = 0xff;      ///< (1 << stride_w) - 1; chunks always fit a byte.
+  u8 dim[104] = {};    ///< Field index per level (0 = sip .. 4 = proto).
+  u8 shift[104] = {};  ///< LSB shift within the field per level.
+};
+
+ChunkPlan make_chunk_plan(const Schedule& sched);
+
+/// Decodes packets [0, n) into chunk-byte rows: rows[i * row_stride + l]
+/// holds packet i's level-l chunk. The buffer must hold
+/// n * row_stride + 4 bytes — the kernels fetch chunk bytes with 32-bit
+/// gathers, so the final row needs 3 bytes of slack.
+void fill_chunk_rows(const ChunkPlan& plan, const PacketHeader* h,
+                     std::size_t n, u8* rows);
+
+/// Walk-loop counters the kernels report back for the metrics layer.
+struct KernelStats {
+  u64 rounds = 0;  ///< Vector rounds executed.
+  u64 levels = 0;  ///< Node decodes summed over live lanes.
+};
+
+#if PCLASS_SIMD_ENABLED && defined(__x86_64__)
+/// One superblock walk: out[i] = rule for the packet whose chunk row is i.
+/// depth_hist has `depth_buckets` saturating entries. Callers must have
+/// verified the ISA via simd::active() — these TUs are compiled with
+/// -mavx2 / -mavx512f and fault on unsupported hosts.
+void lookup_batch_avx2(const FlatView& v, const u8* rows, u32 row_stride,
+                       RuleId* out, std::size_t n, u32* depth_hist,
+                       u32 depth_buckets, KernelStats* ks);
+void lookup_batch_avx512(const FlatView& v, const u8* rows, u32 row_stride,
+                         RuleId* out, std::size_t n, u32* depth_hist,
+                         u32 depth_buckets, KernelStats* ks);
+#endif
+
+}  // namespace detail
+}  // namespace expcuts
+}  // namespace pclass

@@ -1,0 +1,157 @@
+// AVX2 tier of the batch walker: 8 lookups per vector round.
+//
+// Compiled with -mavx2 (see src/expcuts/CMakeLists.txt) and reached only
+// through the runtime CPUID dispatch in FlatImage::lookup_batch. This TU
+// deliberately includes nothing with non-trivial inline functions: any
+// header-inline code emitted here would carry AVX2 encodings, and the
+// linker may pick this TU's copy for the whole binary.
+#include "expcuts/flat_simd.hpp"
+
+#if PCLASS_SIMD_ENABLED && defined(__x86_64__)
+
+#include <immintrin.h>
+
+namespace pclass {
+namespace expcuts {
+namespace detail {
+namespace {
+
+/// Ptr-tag constants, restated from expcuts.hpp (see the include note
+/// above); flat.cpp static_asserts these against the real definitions.
+constexpr u32 kLeafTag = 0x80000000u;
+constexpr u32 kEmptyLeafWord = 0xffffffffu;
+constexpr u32 kNoMatchWord = 0xffffffffu;
+
+/// Per-lane popcount of 16-bit values (the masked HABS). AVX2 has no
+/// vpopcntd, so: nibble-LUT pshufb popcount per byte, then a two-step
+/// horizontal byte sum within each dword.
+inline __m256i popcount16_epi32(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i nib = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_shuffle_epi8(lut, _mm256_and_si256(v, nib));
+  const __m256i hi = _mm256_shuffle_epi8(
+      lut, _mm256_and_si256(_mm256_srli_epi16(v, 4), nib));
+  const __m256i cnt8 = _mm256_add_epi8(lo, hi);
+  const __m256i pair_mask = _mm256_set1_epi32(0x00ff00ff);
+  const __m256i cnt16 =
+      _mm256_add_epi32(_mm256_and_si256(cnt8, pair_mask),
+                       _mm256_and_si256(_mm256_srli_epi32(cnt8, 8), pair_mask));
+  return _mm256_add_epi32(
+      _mm256_and_si256(cnt16, _mm256_set1_epi32(0xffff)),
+      _mm256_srli_epi32(cnt16, 16));
+}
+
+}  // namespace
+
+void lookup_batch_avx2(const FlatView& v, const u8* rows, u32 row_stride,
+                       RuleId* out, std::size_t n, u32* depth_hist,
+                       u32 depth_buckets, KernelStats* ks) {
+  const int* words = reinterpret_cast<const int*>(v.words);
+  const int* row_base = reinterpret_cast<const int*>(rows);
+  // Lanes whose packet is the all-ones sentinel are "parked": the batch is
+  // exhausted, the lane keeps looping but is masked out of every gather
+  // and can never retire (its gathered child is 0, never leaf-tagged).
+  alignas(32) u32 pkt_a[8], node_a[8], depth_a[8], child_a[8];
+  std::size_t next = 0;
+  std::size_t completed = 0;
+  for (int l = 0; l < 8; ++l) {
+    pkt_a[l] = next < n ? static_cast<u32>(next++) : 0xffffffffu;
+  }
+  __m256i vpkt = _mm256_load_si256(reinterpret_cast<const __m256i*>(pkt_a));
+  __m256i vnode = _mm256_set1_epi32(static_cast<int>(v.root));
+  __m256i vdepth = _mm256_setzero_si256();
+  const __m256i vzero = _mm256_setzero_si256();
+  const __m256i vneg1 = _mm256_set1_epi32(-1);
+  const __m256i vone = _mm256_set1_epi32(1);
+  const __m256i vtwo = _mm256_set1_epi32(2);
+  const __m256i vlevelmask = _mm256_set1_epi32(0x7f);
+  const __m256i vbyte = _mm256_set1_epi32(0xff);
+  const __m256i vlow16 = _mm256_set1_epi32(0xffff);
+  const __m256i vstride = _mm256_set1_epi32(static_cast<int>(row_stride));
+  const __m256i vjmask =
+      _mm256_set1_epi32(static_cast<int>((u32{1} << v.u) - 1));
+  const __m128i vucount = _mm_cvtsi32_si128(static_cast<int>(v.u));
+  u64 rounds = 0;
+  u64 levels = 0;
+  while (completed < n) {
+    ++rounds;
+    const __m256i vpark = _mm256_cmpeq_epi32(vpkt, vneg1);
+    const __m256i vactive = _mm256_andnot_si256(vpark, vneg1);
+    levels += static_cast<unsigned>(__builtin_popcount(static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(vactive)))));
+    // Header long-word of each lane's node.
+    const __m256i vheader =
+        _mm256_mask_i32gather_epi32(vzero, words, vnode, vactive, 4);
+    // This level's chunk byte from the precomputed rows (32-bit gather at
+    // byte granularity; the rows buffer carries 3 bytes of slack).
+    const __m256i vlevel =
+        _mm256_and_si256(_mm256_srli_epi32(vheader, 16), vlevelmask);
+    __m256i vaddr =
+        _mm256_add_epi32(_mm256_mullo_epi32(vpkt, vstride), vlevel);
+    vaddr = _mm256_and_si256(vaddr, vactive);  // parked lanes read row 0
+    const __m256i vchunk = _mm256_and_si256(
+        _mm256_mask_i32gather_epi32(vzero, row_base, vaddr, vactive, 1),
+        vbyte);
+    // CPA slot: the Sec. 4.2.2 HABS rank, all lanes at once —
+    // m = chunk >> u, j = chunk & (2^u - 1), i = popcount(habs & ((2 <<
+    // m) - 1)) - 1, slot = (i << u) + j. Direct layout: slot = chunk.
+    __m256i vslot;
+    if (v.aggregated) {
+      const __m256i vhabs = _mm256_and_si256(vheader, vlow16);
+      const __m256i vm = _mm256_srl_epi32(vchunk, vucount);
+      const __m256i vj = _mm256_and_si256(vchunk, vjmask);
+      const __m256i vrankmask =
+          _mm256_sub_epi32(_mm256_sllv_epi32(vtwo, vm), vone);
+      const __m256i vmasked = _mm256_and_si256(vhabs, vrankmask);
+      const __m256i vi = _mm256_sub_epi32(popcount16_epi32(vmasked), vone);
+      vslot = _mm256_add_epi32(_mm256_sll_epi32(vi, vucount), vj);
+    } else {
+      vslot = vchunk;
+    }
+    const __m256i vptr =
+        _mm256_add_epi32(_mm256_add_epi32(vnode, vone), vslot);
+    const __m256i vchild =
+        _mm256_mask_i32gather_epi32(vzero, words, vptr, vactive, 4);
+    // Depth +1 on live lanes only (vactive is -1 there, 0 on parked).
+    vdepth = _mm256_sub_epi32(vdepth, vactive);
+    // Retirement: the leaf tag is bit 31, so one sign-bit movemask finds
+    // every finishing lane; rounds with none stay fully branch-free.
+    const u32 leafmask = static_cast<u32>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(vchild)));
+    if (leafmask == 0) {
+      vnode = vchild;
+      continue;
+    }
+    _mm256_store_si256(reinterpret_cast<__m256i*>(pkt_a), vpkt);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(node_a), vchild);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(depth_a), vdepth);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(child_a), vchild);
+    for (u32 mask = leafmask; mask != 0; mask &= mask - 1) {
+      const int l = __builtin_ctz(mask);
+      const u32 child = child_a[l];
+      out[pkt_a[l]] =
+          child == kEmptyLeafWord ? kNoMatchWord : (child & ~kLeafTag);
+      const u32 d = depth_a[l];
+      ++depth_hist[d < depth_buckets ? d : depth_buckets - 1];
+      ++completed;
+      pkt_a[l] = next < n ? static_cast<u32>(next++) : 0xffffffffu;
+      node_a[l] = v.root;
+      depth_a[l] = 0;
+    }
+    vpkt = _mm256_load_si256(reinterpret_cast<const __m256i*>(pkt_a));
+    vnode = _mm256_load_si256(reinterpret_cast<const __m256i*>(node_a));
+    vdepth = _mm256_load_si256(reinterpret_cast<const __m256i*>(depth_a));
+  }
+  if (ks != nullptr) {
+    ks->rounds += rounds;
+    ks->levels += levels;
+  }
+}
+
+}  // namespace detail
+}  // namespace expcuts
+}  // namespace pclass
+
+#endif  // PCLASS_SIMD_ENABLED && __x86_64__

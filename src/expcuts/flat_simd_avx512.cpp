@@ -1,0 +1,170 @@
+// AVX-512 tier of the batch walker: two independent 16-lane groups, 32
+// lookups in flight.
+//
+// Compiled with -mavx512f -mavx512bw and reached only through the runtime
+// CPUID dispatch (common/simd.hpp requires both F and BW for this tier:
+// the nibble-LUT popcount needs 512-bit vpshufb). Same include discipline
+// as the AVX2 TU — nothing with non-trivial inline functions.
+//
+// Why two groups: the walk is latency-bound on the per-level gathers
+// (header, then child pointer — a dependent chain of cache misses). One
+// 16-lane group leaves the core idle while its gather lines arrive; a
+// second group with an independent chain roughly doubles the outstanding
+// misses per round, which is where the batch walker's throughput comes
+// from on images larger than LLC.
+#include "expcuts/flat_simd.hpp"
+
+#if PCLASS_SIMD_ENABLED && defined(__x86_64__)
+
+#include <immintrin.h>
+
+namespace pclass {
+namespace expcuts {
+namespace detail {
+namespace {
+
+constexpr u32 kLeafTag = 0x80000000u;
+constexpr u32 kEmptyLeafWord = 0xffffffffu;
+constexpr u32 kNoMatchWord = 0xffffffffu;
+
+/// Per-lane popcount of 16-bit values; AVX512BW vpshufb nibble LUT (the
+/// VPOPCNTDQ extension is not in this tier's baseline).
+inline __m512i popcount16_epi32(__m512i v) {
+  const __m512i lut = _mm512_broadcast_i32x4(
+      _mm_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4));
+  const __m512i nib = _mm512_set1_epi8(0x0f);
+  const __m512i lo = _mm512_shuffle_epi8(lut, _mm512_and_si512(v, nib));
+  const __m512i hi = _mm512_shuffle_epi8(
+      lut, _mm512_and_si512(_mm512_srli_epi16(v, 4), nib));
+  const __m512i cnt8 = _mm512_add_epi8(lo, hi);
+  const __m512i pair_mask = _mm512_set1_epi32(0x00ff00ff);
+  const __m512i cnt16 = _mm512_add_epi32(
+      _mm512_and_si512(cnt8, pair_mask),
+      _mm512_and_si512(_mm512_srli_epi32(cnt8, 8), pair_mask));
+  return _mm512_add_epi32(
+      _mm512_and_si512(cnt16, _mm512_set1_epi32(0xffff)),
+      _mm512_srli_epi32(cnt16, 16));
+}
+
+/// One group's lane state: packet index (0xffffffff = parked), current
+/// node offset, levels walked so far.
+struct LaneGroup {
+  __m512i pkt;
+  __m512i node;
+  __m512i depth;
+};
+
+}  // namespace
+
+void lookup_batch_avx512(const FlatView& v, const u8* rows, u32 row_stride,
+                         RuleId* out, std::size_t n, u32* depth_hist,
+                         u32 depth_buckets, KernelStats* ks) {
+  const int* words = reinterpret_cast<const int*>(v.words);
+  const int* row_base = reinterpret_cast<const int*>(rows);
+  alignas(64) u32 pkt_a[16], node_a[16], depth_a[16], child_a[16];
+  std::size_t next = 0;
+  std::size_t completed = 0;
+  const __m512i vzero = _mm512_setzero_si512();
+  const __m512i vneg1 = _mm512_set1_epi32(-1);
+  const __m512i vone = _mm512_set1_epi32(1);
+  const __m512i vtwo = _mm512_set1_epi32(2);
+  const __m512i vlevelmask = _mm512_set1_epi32(0x7f);
+  const __m512i vbyte = _mm512_set1_epi32(0xff);
+  const __m512i vlow16 = _mm512_set1_epi32(0xffff);
+  const __m512i vstride = _mm512_set1_epi32(static_cast<int>(row_stride));
+  const __m512i vjmask =
+      _mm512_set1_epi32(static_cast<int>((u32{1} << v.u) - 1));
+  const __m128i vucount = _mm_cvtsi32_si128(static_cast<int>(v.u));
+  u64 rounds = 0;
+  u64 levels = 0;
+
+  auto seed = [&]() {
+    LaneGroup g;
+    for (int l = 0; l < 16; ++l) {
+      pkt_a[l] = next < n ? static_cast<u32>(next++) : 0xffffffffu;
+    }
+    g.pkt = _mm512_load_si512(pkt_a);
+    g.node = _mm512_set1_epi32(static_cast<int>(v.root));
+    g.depth = _mm512_setzero_si512();
+    return g;
+  };
+  LaneGroup g0 = seed();
+  LaneGroup g1 = seed();
+
+  // Advances one group one level; retires and refills its leaf lanes.
+  auto step = [&](LaneGroup& g) {
+    const __mmask16 kactive = _mm512_cmpneq_epu32_mask(g.pkt, vneg1);
+    if (kactive == 0) return;  // whole group parked; tail of the batch
+    ++rounds;
+    levels += static_cast<unsigned>(
+        __builtin_popcount(static_cast<unsigned>(kactive)));
+    const __m512i vheader =
+        _mm512_mask_i32gather_epi32(vzero, kactive, g.node, words, 4);
+    const __m512i vlevel =
+        _mm512_and_si512(_mm512_srli_epi32(vheader, 16), vlevelmask);
+    __m512i vaddr =
+        _mm512_add_epi32(_mm512_mullo_epi32(g.pkt, vstride), vlevel);
+    vaddr = _mm512_maskz_mov_epi32(kactive, vaddr);  // parked: row 0
+    const __m512i vchunk = _mm512_and_si512(
+        _mm512_mask_i32gather_epi32(vzero, kactive, vaddr, row_base, 1),
+        vbyte);
+    __m512i vslot;
+    if (v.aggregated) {
+      const __m512i vhabs = _mm512_and_si512(vheader, vlow16);
+      const __m512i vm = _mm512_srl_epi32(vchunk, vucount);
+      const __m512i vj = _mm512_and_si512(vchunk, vjmask);
+      const __m512i vrankmask =
+          _mm512_sub_epi32(_mm512_sllv_epi32(vtwo, vm), vone);
+      const __m512i vmasked = _mm512_and_si512(vhabs, vrankmask);
+      const __m512i vi = _mm512_sub_epi32(popcount16_epi32(vmasked), vone);
+      vslot = _mm512_add_epi32(_mm512_sll_epi32(vi, vucount), vj);
+    } else {
+      vslot = vchunk;
+    }
+    const __m512i vptr =
+        _mm512_add_epi32(_mm512_add_epi32(g.node, vone), vslot);
+    const __m512i vchild =
+        _mm512_mask_i32gather_epi32(vzero, kactive, vptr, words, 4);
+    g.depth = _mm512_mask_add_epi32(g.depth, kactive, g.depth, vone);
+    // Leaf tag is bit 31: signed compare against zero finds finishers.
+    const __mmask16 kleaf = _mm512_cmplt_epi32_mask(vchild, vzero);
+    if (kleaf == 0) {
+      g.node = vchild;
+      return;
+    }
+    _mm512_store_si512(pkt_a, g.pkt);
+    _mm512_store_si512(node_a, vchild);
+    _mm512_store_si512(depth_a, g.depth);
+    _mm512_store_si512(child_a, vchild);
+    for (u32 mask = kleaf; mask != 0; mask &= mask - 1) {
+      const int l = __builtin_ctz(mask);
+      const u32 child = child_a[l];
+      out[pkt_a[l]] =
+          child == kEmptyLeafWord ? kNoMatchWord : (child & ~kLeafTag);
+      const u32 d = depth_a[l];
+      ++depth_hist[d < depth_buckets ? d : depth_buckets - 1];
+      ++completed;
+      pkt_a[l] = next < n ? static_cast<u32>(next++) : 0xffffffffu;
+      node_a[l] = v.root;
+      depth_a[l] = 0;
+    }
+    g.pkt = _mm512_load_si512(pkt_a);
+    g.node = _mm512_load_si512(node_a);
+    g.depth = _mm512_load_si512(depth_a);
+  };
+
+  while (completed < n) {
+    step(g0);
+    step(g1);
+  }
+  if (ks != nullptr) {
+    ks->rounds += rounds;
+    ks->levels += levels;
+  }
+}
+
+}  // namespace detail
+}  // namespace expcuts
+}  // namespace pclass
+
+#endif  // PCLASS_SIMD_ENABLED && __x86_64__

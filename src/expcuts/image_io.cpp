@@ -13,7 +13,11 @@ namespace pclass {
 namespace expcuts {
 namespace {
 
-constexpr char kMagic[4] = {'X', 'P', 'C', '1'};
+// Format versions: v1 ("XPC1") predates the layout byte and always holds a
+// linearly packed image; v2 ("XPC2") adds one layout byte after the
+// aggregated flag. save_image always writes v2; load_image accepts both.
+constexpr char kMagicV1[4] = {'X', 'P', 'C', '1'};
+constexpr char kMagicV2[4] = {'X', 'P', 'C', '2'};
 
 /// Words read per chunk on non-seekable streams, so a forged word count
 /// cannot force a huge allocation before truncation is detected.
@@ -46,11 +50,12 @@ T read_pod(std::istream& is) {
 void save_image(std::ostream& os, const ExpCutsClassifier& cls) {
   const FlatImage& img = cls.flat();
   const Config& cfg = cls.config();
-  os.write(kMagic, sizeof kMagic);
+  os.write(kMagicV2, sizeof kMagicV2);
   write_pod<u32>(os, cfg.stride_w);
   write_pod<u32>(os, cfg.habs_v);
   write_pod<u8>(os, static_cast<u8>(cfg.order));
   write_pod<u8>(os, img.aggregated() ? 1 : 0);
+  write_pod<u8>(os, static_cast<u8>(img.layout_version()));
   write_pod<u32>(os, img.root_ptr());
   write_pod<u64>(os, img.words().size());
   os.write(reinterpret_cast<const char*>(img.words().data()),
@@ -68,14 +73,29 @@ u64 image_checksum(u32 stride_w, const u32* words, std::size_t count) {
 LoadedImage load_image(std::istream& is, bool strict) {
   char magic[4];
   is.read(magic, sizeof magic);
-  if (!is || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
-    throw ParseError("bad ExpCuts image magic", 0);
+  u32 format = 0;
+  if (is && std::memcmp(magic, kMagicV1, sizeof kMagicV1) == 0) format = 1;
+  if (is && std::memcmp(magic, kMagicV2, sizeof kMagicV2) == 0) format = 2;
+  if (format == 0) {
+    throw ParseError(
+        "bad ExpCuts image magic (expected XPC1 or XPC2; later versions "
+        "are not supported by this loader)",
+        0);
   }
   Config cfg;
   cfg.stride_w = read_pod<u32>(is);
   cfg.habs_v = read_pod<u32>(is);
   cfg.order = static_cast<ChunkOrder>(read_pod<u8>(is));
   const bool aggregated = read_pod<u8>(is) != 0;
+  // v1 images predate the layout byte and are always linearly packed;
+  // their audits simply skip the v2 alignment/clustering proofs.
+  cfg.layout = format >= 2 ? read_pod<u8>(is) : kLayoutLinear;
+  if (cfg.layout != kLayoutLinear && cfg.layout != kLayoutAligned) {
+    throw ParseError("unknown ExpCuts image layout version " +
+                         std::to_string(cfg.layout) +
+                         " (this loader knows layouts 1 and 2)",
+                     0);
+  }
   const Ptr root = read_pod<u32>(is);
   const u64 count = read_pod<u64>(is);
   if (cfg.stride_w == 0 || cfg.stride_w > 8 ||
@@ -122,7 +142,7 @@ LoadedImage load_image(std::istream& is, bool strict) {
   const u32 v = std::min({cfg.habs_v, cfg.stride_w, 4u});
   LoadedImage li{
       FlatImage(std::move(words), root, cfg.stride_w - v, cfg.stride_w,
-                aggregated),
+                aggregated, cfg.layout),
       Schedule::make(cfg.stride_w, cfg.order), cfg};
   if (strict) {
     // The checksum above only proves transport integrity; the structural

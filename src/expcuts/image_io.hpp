@@ -2,10 +2,16 @@
 //
 // A control plane builds the tree once (possibly on another host — the
 // XScale core in the paper's deployment) and ships the flat word image to
-// the data plane. The format is versioned, little-endian, and checksummed:
+// the data plane. The format is versioned, little-endian, and checksummed.
+// Current version (always written):
 //
-//   magic "XPC1" | stride_w | habs_v | order | aggregated | root |
-//   word_count | words... | fnv1a64 checksum
+//   magic "XPC2" | stride_w | habs_v | order | aggregated | layout |
+//   root | word_count | words... | fnv1a64 checksum
+//
+// i.e. v2 inserts one layout byte (1 = linear, 2 = cache-aligned; see
+// flat.hpp) between the aggregated flag and the root pointer. v1 images
+// ("XPC1", no layout byte, implicitly linear) still load; unknown magics
+// and unknown layout bytes are rejected with a versioned ParseError.
 #pragma once
 
 #include <iosfwd>

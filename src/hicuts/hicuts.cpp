@@ -7,6 +7,7 @@
 #include "common/bitops.hpp"
 #include "common/error.hpp"
 #include "common/metrics.hpp"
+#include "common/simd.hpp"
 #include "common/stats.hpp"
 #include "common/texttable.hpp"
 #include "rules/analysis.hpp"
@@ -69,6 +70,9 @@ HiCutsClassifier::HiCutsClassifier(const RuleSet& rules, const Config& cfg)
   for (RuleId i = 0; i < rules_.size(); ++i) all[i] = i;
   build(Box::full(), std::move(all), 0);
   finalize_stats();
+  leaf_arena_.build(nodes_, rules_);
+  simd_leaf_ =
+      cfg_.simd_leaf_budget == 0 || leaf_arena_.bytes() <= cfg_.simd_leaf_budget;
 }
 
 u32 HiCutsClassifier::build(const Box& box, std::vector<RuleId> ids,
@@ -219,11 +223,27 @@ RuleId HiCutsClassifier::classify(const PacketHeader& h) const {
   const u64 t_leaf = tracing ? trace::now_ns() : 0;
   RuleId matched = kNoMatch;
   u32 scanned = 0;
-  for (RuleId id : n->rules) {
-    ++scanned;
-    if (rules_[id].matches(h)) {
-      matched = id;
-      break;
+#if PCLASS_SIMD_ENABLED && defined(__x86_64__)
+  const simd::Level tier = simd::active();
+  if (simd_leaf_ && tier != simd::Level::kScalar) {
+    const LeafArena::Ref& ref =
+        leaf_arena_.ref(static_cast<std::size_t>(n - nodes_.data()));
+    const detail::LeafView lv = leaf_arena_.view();
+    const u32 key[kNumDims] = {h.sip, h.dip, h.sport, h.dport, h.proto};
+    matched = tier == simd::Level::kAvx512
+                  ? detail::scan_leaf_avx512(lv, ref.off, ref.count, key,
+                                             &scanned)
+                  : detail::scan_leaf_avx2(lv, ref.off, ref.count, key,
+                                           &scanned);
+  } else
+#endif
+  {
+    for (RuleId id : n->rules) {
+      ++scanned;
+      if (rules_[id].matches(h)) {
+        matched = id;
+        break;
+      }
     }
   }
   if (tracing) {
@@ -260,6 +280,15 @@ void HiCutsClassifier::classify_batch(const PacketHeader* h, RuleId* out,
   std::size_t pkt[G];
   const Node* node[G];   ///< Phase 1 input.
   const u32* slot[G];    ///< Child-pointer entry; phase 2 input.
+#if PCLASS_SIMD_ENABLED && defined(__x86_64__)
+  // Leaf-scan tier, resolved once per batch; the arena view is loop
+  // invariant. The tree walk itself stays scalar-interleaved — its loads
+  // are pointer chases gathers cannot help — only leaves vectorize, and
+  // only while the arena fits Config::simd_leaf_budget.
+  const bool vec_leaf = simd_leaf_ && simd::active() != simd::Level::kScalar;
+  const simd::Level tier = simd::active();
+  const detail::LeafView lv = leaf_arena_.view();
+#endif
   // Depth observations accumulate here (one L1 increment per retired
   // lookup) and flush into the sharded histogram once per batch.
   u32 depth_hist[kMaxDepth + 2] = {};
@@ -289,12 +318,29 @@ void HiCutsClassifier::classify_batch(const PacketHeader* h, RuleId* out,
       if (nd->is_leaf()) {
         RuleId matched = kNoMatch;
         u32 scanned = 0;
-        for (RuleId id : nd->rules) {
-          ++leaf_compares;
-          ++scanned;
-          if (rules_[id].matches(h[pkt[k]])) {
-            matched = id;
-            break;
+#if PCLASS_SIMD_ENABLED && defined(__x86_64__)
+        if (vec_leaf) {
+          const LeafArena::Ref& ref = leaf_arena_.ref(
+              static_cast<std::size_t>(nd - nodes_.data()));
+          const PacketHeader& hdr = h[pkt[k]];
+          const u32 key[kNumDims] = {hdr.sip, hdr.dip, hdr.sport, hdr.dport,
+                                     hdr.proto};
+          matched = tier == simd::Level::kAvx512
+                        ? detail::scan_leaf_avx512(lv, ref.off, ref.count,
+                                                   key, &scanned)
+                        : detail::scan_leaf_avx2(lv, ref.off, ref.count, key,
+                                                 &scanned);
+          leaf_compares += scanned;
+        } else
+#endif
+        {
+          for (RuleId id : nd->rules) {
+            ++leaf_compares;
+            ++scanned;
+            if (rules_[id].matches(h[pkt[k]])) {
+              matched = id;
+              break;
+            }
           }
         }
         out[pkt[k]] = matched;
@@ -337,9 +383,17 @@ void HiCutsClassifier::classify_batch(const PacketHeader* h, RuleId* out,
       }
     }
     for (k = 0; k < active; ++k) {
-      const Node* child = &nodes_[*slot[k]];
+      const u32 child_idx = *slot[k];
+      const Node* child = &nodes_[child_idx];
       node[k] = child;
       prefetch_ro(child);
+#if PCLASS_SIMD_ENABLED && defined(__x86_64__)
+      // If the child turns out to be a leaf, next round's vector scan
+      // starts with its arena ref; pull that line alongside the node.
+      if (vec_leaf) {
+        prefetch_ro(&leaf_arena_.ref(child_idx));
+      }
+#endif
     }
   }
   wm.rounds.add(rounds);

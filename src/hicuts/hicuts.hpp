@@ -18,6 +18,7 @@
 
 #include "classify/classifier.hpp"
 #include "geom/box.hpp"
+#include "hicuts/leaf_scan.hpp"
 
 namespace pclass {
 namespace hicuts {
@@ -42,6 +43,13 @@ struct Config {
   /// Build-size guard: aggressive binth/spfac combinations can blow the
   /// tree up; the build throws ConfigError past this many nodes.
   u64 max_nodes = 4'000'000;
+  /// Vector leaf scans read the materialized rule-box arena
+  /// (leaf_scan.hpp), which duplicates each leaf's rules. Duplication-heavy
+  /// trees can inflate it far past cache, and a cold 11-line group load
+  /// then loses to the scalar early-exit loop over the small, shared Rule
+  /// table. Leaves vectorize only while the arena fits this budget
+  /// (0 = always vectorize).
+  u64 simd_leaf_budget = 8u << 20;
 };
 
 struct Node {
@@ -73,6 +81,11 @@ class HiCutsClassifier final : public Classifier {
   HiCutsClassifier(const RuleSet& rules, const Config& cfg = {});
 
   std::string name() const override { return "HiCuts"; }
+  /// Tree walk, then the leaf linear search. The leaf scan runs over the
+  /// SoA rule-box arena (leaf_scan.hpp) when the SIMD dispatch
+  /// (common/simd.hpp) resolves to AVX2/AVX-512 — 8/16 rule boxes per
+  /// range-compare round — and over the classic Rule-table loop on the
+  /// scalar tier. All tiers return identical ids (differential-fuzzed).
   RuleId classify(const PacketHeader& h) const override;
   RuleId classify_traced(const PacketHeader& h,
                          LookupTrace& trace) const override;
@@ -87,6 +100,12 @@ class HiCutsClassifier final : public Classifier {
   const Config& config() const { return cfg_; }
   std::size_t node_count() const { return nodes_.size(); }
   const Node& node(std::size_t i) const { return nodes_[i]; }
+  /// The blocked rule-box arena the vectorized leaf scans run over.
+  const LeafArena& leaf_arena() const { return leaf_arena_; }
+  /// True when leaf scans dispatch to the vector kernels (arena within
+  /// Config::simd_leaf_budget; the tier still decides scalar/AVX2/AVX-512
+  /// per lookup).
+  bool simd_leaf_enabled() const { return simd_leaf_; }
 
  private:
   u32 build(const Box& box, std::vector<RuleId> ids, u16 depth);
@@ -95,6 +114,8 @@ class HiCutsClassifier final : public Classifier {
   const RuleSet& rules_;
   Config cfg_;
   std::vector<Node> nodes_;  ///< nodes_[0] is the root.
+  LeafArena leaf_arena_;
+  bool simd_leaf_ = false;
   TreeStats stats_;
 };
 

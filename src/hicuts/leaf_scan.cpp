@@ -1,0 +1,51 @@
+#include "hicuts/leaf_scan.hpp"
+
+#include "hicuts/hicuts.hpp"
+#include "rules/ruleset.hpp"
+
+namespace pclass {
+namespace hicuts {
+
+void LeafArena::build(const std::vector<Node>& nodes, const RuleSet& rules) {
+  refs_.assign(nodes.size(), Ref{});
+  std::size_t groups = 0;
+  for (const Node& n : nodes) {
+    if (!n.is_leaf()) continue;
+    groups += (n.rules.size() + kGroup - 1) / kGroup;
+  }
+  blob_ = AlignedWords(groups * kGroupWords);
+
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Node& n = nodes[i];
+    if (!n.is_leaf()) continue;
+    refs_[i] = Ref{static_cast<u32>(off), static_cast<u32>(n.rules.size())};
+    const std::size_t padded =
+        (n.rules.size() + kGroup - 1) & ~std::size_t{kGroup - 1};
+    for (std::size_t k = 0; k < padded; ++k) {
+      u32* group = blob_.data() + off + (k / kGroup) * kGroupWords;
+      const std::size_t lane = k % kGroup;
+      if (k < n.rules.size()) {
+        const RuleId id = n.rules[k];
+        for (std::size_t d = 0; d < kNumDims; ++d) {
+          const Interval iv = rules[id].field(static_cast<Dim>(d));
+          group[(2 * d) * kGroup + lane] = static_cast<u32>(iv.lo);
+          group[(2 * d + 1) * kGroup + lane] = static_cast<u32>(iv.hi);
+        }
+        group[2 * kNumDims * kGroup + lane] = id;
+      } else {
+        // Sentinel box (lo > hi in every dimension): no packet value can
+        // satisfy lo <= v <= hi, so vector groups may safely include it.
+        for (std::size_t d = 0; d < kNumDims; ++d) {
+          group[(2 * d) * kGroup + lane] = 0xffffffffu;
+          group[(2 * d + 1) * kGroup + lane] = 0;
+        }
+        group[2 * kNumDims * kGroup + lane] = kNoMatch;
+      }
+    }
+    off += (padded / kGroup) * kGroupWords;
+  }
+}
+
+}  // namespace hicuts
+}  // namespace pclass

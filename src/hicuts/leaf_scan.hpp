@@ -1,0 +1,91 @@
+// Blocked (AoSoA) leaf rule boxes for the HiCuts leaf linear search.
+//
+// The paper's critique of HiCuts is precisely this scan: up to binth
+// 6-word rule loads and 5-field compares per lookup. The array-of-structs
+// Rule table makes it worse on a real core — each compare chases a rule id
+// to a scattered Rule object. The LeafArena re-materializes every leaf's
+// rule list as 16-rule groups, each group a contiguous 704-byte block of
+// eleven 64-byte rows: lo/hi per dimension (ports and protocol widened to
+// u32) and a priority-ordered id row, padded with never-matching sentinel
+// boxes (lo > hi). One group scan therefore touches 11 *sequential* cache
+// lines — a plain per-dimension column layout would scatter the same
+// eleven loads across the whole arena, costing a miss each, which is
+// slower than the scalar early-exit loop it replaces. A leaf scan is
+// branch-free range compares over whole vectors: 8 rules per AVX2 round,
+// 16 per AVX-512 round, first set bit of the match mask =
+// highest-priority match. The scalar tier keeps the classic loop over the
+// Rule table; the differential fuzz suite pins all tiers to identical
+// results.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/types.hpp"
+
+namespace pclass {
+
+class RuleSet;
+
+namespace hicuts {
+
+struct Node;
+
+namespace detail {
+
+/// Base pointer of the blocked arena, handed to the scan kernels (see the
+/// include discipline note in flat_simd.hpp — the ISA-flagged kernel TUs
+/// consume only this POD view, never the arena class). Within each
+/// 16-rule group, row `2d` holds lo of dimension d, row `2d+1` its hi,
+/// and row 10 the rule ids; rows are 16 words, groups 176.
+struct LeafView {
+  const u32* blob = nullptr;
+};
+
+#if PCLASS_SIMD_ENABLED && defined(__x86_64__)
+/// Scan the `count` rules at arena word offset `off` against the packet
+/// key (field values widened to u32, Dim order). Returns the matched rule
+/// id or kNoMatch; *scanned gets the scalar-equivalent compare count
+/// (index of the match + 1, or `count`), keeping the leaf_compares metric
+/// comparable across tiers. Only called behind the runtime CPUID dispatch.
+RuleId scan_leaf_avx2(const LeafView& v, u32 off, u32 count,
+                      const u32 key[kNumDims], u32* scanned);
+RuleId scan_leaf_avx512(const LeafView& v, u32 off, u32 count,
+                        const u32 key[kNumDims], u32* scanned);
+#endif
+
+}  // namespace detail
+
+class LeafArena {
+ public:
+  /// Leaf padding quantum: the widest kernel's lane count, so every tier
+  /// may load full vectors from any group without crossing into the next
+  /// leaf's rules.
+  static constexpr u32 kGroup = 16;
+  /// Words per group block: (2 * kNumDims + 1) rows of kGroup words each
+  /// (64 bytes, so rows stay line-aligned in the 64-byte-aligned arena).
+  static constexpr u32 kGroupWords = (2 * kNumDims + 1) * kGroup;
+
+  /// Arena word offset and real (unpadded) rule count of one leaf,
+  /// indexed by node index; zero for internal nodes.
+  struct Ref {
+    u32 off = 0;
+    u32 count = 0;
+  };
+
+  /// (Re)builds the arena from the tree's leaves. Rules keep their
+  /// leaf-list order, so priority resolution stays first-match.
+  void build(const std::vector<Node>& nodes, const RuleSet& rules);
+
+  const Ref& ref(std::size_t node_index) const { return refs_[node_index]; }
+  detail::LeafView view() const { return detail::LeafView{blob_.data()}; }
+  u64 bytes() const { return blob_.size() * sizeof(u32); }
+
+ private:
+  AlignedWords blob_;
+  std::vector<Ref> refs_;
+};
+
+}  // namespace hicuts
+}  // namespace pclass

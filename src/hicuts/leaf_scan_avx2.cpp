@@ -1,0 +1,60 @@
+// AVX2 leaf-scan kernel: 8 rule boxes per compare round.
+//
+// Same discipline as flat_simd_avx2.cpp: per-file ISA flags, runtime
+// CPUID dispatch at every call site, and no includes that could emit
+// vector code into comdat sections shared with generic TUs. The 16-wide
+// kernel lives in leaf_scan_avx512.cpp under its own flags.
+#include "hicuts/leaf_scan.hpp"
+
+#if PCLASS_SIMD_ENABLED && defined(__x86_64__)
+
+#include <immintrin.h>
+
+namespace pclass {
+namespace hicuts {
+namespace detail {
+
+RuleId scan_leaf_avx2(const LeafView& v, u32 off, u32 count,
+                      const u32 key[kNumDims], u32* scanned) {
+  __m256i vkey[kNumDims];
+  for (std::size_t d = 0; d < kNumDims; ++d) {
+    vkey[d] = _mm256_set1_epi32(static_cast<int>(key[d]));
+  }
+  for (u32 g = 0; g < count; g += 8) {
+    // Each 16-rule group is a contiguous block of 16-word rows; the
+    // 8-wide kernel walks it in half-row steps (g % 16 is 0 or 8).
+    const u32* group = v.blob + off +
+                       (g / LeafArena::kGroup) * LeafArena::kGroupWords +
+                       (g % LeafArena::kGroup);
+    // Unsigned a <= b via min: min(a, b) == a. The padding sentinels
+    // (lo = ~0, hi = 0) can never pass both sides.
+    __m256i m = _mm256_set1_epi32(-1);
+    for (std::size_t d = 0; d < kNumDims; ++d) {
+      const __m256i lo = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(group + 2 * d * LeafArena::kGroup));
+      const __m256i hi = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          group + (2 * d + 1) * LeafArena::kGroup));
+      const __m256i ge_lo =
+          _mm256_cmpeq_epi32(_mm256_min_epu32(lo, vkey[d]), lo);
+      const __m256i le_hi =
+          _mm256_cmpeq_epi32(_mm256_max_epu32(hi, vkey[d]), hi);
+      m = _mm256_and_si256(m, _mm256_and_si256(ge_lo, le_hi));
+    }
+    const u32 mask =
+        static_cast<u32>(_mm256_movemask_ps(_mm256_castsi256_ps(m)));
+    if (mask != 0) {
+      // Lowest lane = earliest leaf-list position = highest priority.
+      const u32 lane = static_cast<u32>(__builtin_ctz(mask));
+      *scanned = g + lane + 1;  // scalar-equivalent compare count
+      return group[2 * kNumDims * LeafArena::kGroup + lane];
+    }
+  }
+  *scanned = count;
+  return kNoMatch;
+}
+
+}  // namespace detail
+}  // namespace hicuts
+}  // namespace pclass
+
+#endif  // PCLASS_SIMD_ENABLED && __x86_64__

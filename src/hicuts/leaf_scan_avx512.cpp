@@ -1,0 +1,49 @@
+// AVX-512 leaf-scan kernel: 16 rule boxes per compare round. AVX-512F has
+// native unsigned compares, so the range test is two cmp-mask ops per
+// dimension. Include discipline as in flat_simd_avx512.cpp.
+#include "hicuts/leaf_scan.hpp"
+
+#if PCLASS_SIMD_ENABLED && defined(__x86_64__)
+
+#include <immintrin.h>
+
+namespace pclass {
+namespace hicuts {
+namespace detail {
+
+RuleId scan_leaf_avx512(const LeafView& v, u32 off, u32 count,
+                        const u32 key[kNumDims], u32* scanned) {
+  __m512i vkey[kNumDims];
+  for (std::size_t d = 0; d < kNumDims; ++d) {
+    vkey[d] = _mm512_set1_epi32(static_cast<int>(key[d]));
+  }
+  for (u32 g = 0; g < count; g += 16) {
+    // One 16-rule group = 11 sequential 64-byte rows (lo/hi per
+    // dimension, then ids); the arena is 64-byte aligned, so every row
+    // load stays within one cache line.
+    const u32* group =
+        v.blob + off + (g / LeafArena::kGroup) * LeafArena::kGroupWords;
+    __mmask16 m = 0xffff;
+    for (std::size_t d = 0; d < kNumDims; ++d) {
+      const __m512i lo =
+          _mm512_loadu_si512(group + 2 * d * LeafArena::kGroup);
+      const __m512i hi =
+          _mm512_loadu_si512(group + (2 * d + 1) * LeafArena::kGroup);
+      m = _mm512_mask_cmple_epu32_mask(m, lo, vkey[d]);
+      m = _mm512_mask_cmple_epu32_mask(m, vkey[d], hi);
+    }
+    if (m != 0) {
+      const u32 lane = static_cast<u32>(__builtin_ctz(m));
+      *scanned = g + lane + 1;  // scalar-equivalent compare count
+      return group[2 * kNumDims * LeafArena::kGroup + lane];
+    }
+  }
+  *scanned = count;
+  return kNoMatch;
+}
+
+}  // namespace detail
+}  // namespace hicuts
+}  // namespace pclass
+
+#endif  // PCLASS_SIMD_ENABLED && __x86_64__

@@ -55,12 +55,14 @@ class ImageAuditTest : public ::testing::Test {
   ImageAuditTest()
       : rules_(small_rules()),
         cls_(rules_),
-        words_(cls_.flat().words()),
+        words_(cls_.flat().words().begin(), cls_.flat().words().end()),
         root_(cls_.flat().root_ptr()),
         u_(cls_.flat().cpa_sub_log2()),
         w_(cls_.flat().stride()) {}
 
-  /// Rebuilds a FlatImage over the (possibly mutated) word copy.
+  /// Rebuilds a FlatImage over the (possibly mutated) word copy. The copy
+  /// came from a layout-v2 builder, and the raw-words constructor defaults
+  /// to kLayoutAligned, so forgeries stay subject to the v2 proofs.
   FlatImage forged(Ptr root) const {
     return FlatImage(words_, root, u_, w_, /*aggregated=*/true);
   }
@@ -136,7 +138,8 @@ TEST(ImageAudit, DetectsForgedHabsBitsAboveEncodedRange) {
   expcuts::Config cfg;
   cfg.habs_v = 2;
   const ExpCutsClassifier cls(rules, cfg);
-  std::vector<u32> words = cls.flat().words();
+  std::vector<u32> words(cls.flat().words().begin(),
+                         cls.flat().words().end());
   const Ptr root = cls.flat().root_ptr();
   words[root] |= u32{1} << 7;  // forge a HABS bit past position 2^v = 4
   const FlatImage img(std::move(words), root, cls.flat().cpa_sub_log2(),
@@ -270,6 +273,64 @@ TEST_F(ImageAuditTest, ViolationsCarryPathAndKindNames) {
 }
 
 // ---------------------------------------------------------------------------
+// Layout-v2 invariants: alignment, pad-gap hygiene, level clustering.
+
+TEST_F(ImageAuditTest, DetectsMisalignedNodesWhenLinearImageClaimsV2) {
+  // A linearly packed image re-labeled as layout v2: nearly every node
+  // start misses its 64-byte boundary.
+  expcuts::Config cfg;
+  cfg.layout = expcuts::kLayoutLinear;
+  const ExpCutsClassifier lin(rules_, cfg);
+  std::vector<u32> words(lin.flat().words().begin(),
+                         lin.flat().words().end());
+  const FlatImage img(std::move(words), lin.flat().root_ptr(),
+                      lin.flat().cpa_sub_log2(), lin.flat().stride(),
+                      /*aggregated=*/true, expcuts::kLayoutAligned);
+  const AuditReport r = audit(img);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has(r, ViolationKind::kNodeMisaligned)) << r.summary();
+}
+
+TEST_F(ImageAuditTest, LinearLayoutSkipsV2Proofs) {
+  // The same words audited under their true layout version stay clean:
+  // the v2 proofs are layout-gated, not unconditional.
+  expcuts::Config cfg;
+  cfg.layout = expcuts::kLayoutLinear;
+  const ExpCutsClassifier lin(rules_, cfg);
+  const AuditReport r = audit(lin.flat());
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_EQ(r.stats.words_reachable, lin.flat().word_count());
+}
+
+TEST_F(ImageAuditTest, DetectsNonPadWordInAlignmentGap) {
+  // Any word equal to kPadWord is genuine padding: headers keep bits
+  // 24..31 clear and child offsets are bounded by the (much smaller)
+  // image, so no structural word can collide with the sentinel.
+  auto pad = std::find(words_.begin(), words_.end(), expcuts::kPadWord);
+  ASSERT_NE(pad, words_.end()) << "image has no alignment gaps to corrupt";
+  *pad = 0;
+  const AuditReport r = audit(forged(root_));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has(r, ViolationKind::kBadPadWord)) << r.summary();
+}
+
+TEST_F(ImageAuditTest, DetectsLevelClusteringBreak) {
+  // Relocate the root node to the end of the image: the tree stays
+  // walkable, but a level-0 node now sits after every deeper node (and
+  // the abandoned original root words corrupt their gap).
+  const u32 habs = words_[root_] & 0xffff;
+  const u32 span = 1 + (popcount32(habs) << u_);
+  while (words_.size() % expcuts::kNodeAlignWords != 0) {
+    words_.push_back(expcuts::kPadWord);
+  }
+  const Ptr new_root = static_cast<Ptr>(words_.size());
+  for (u32 k = 0; k < span; ++k) words_.push_back(words_[root_ + k]);
+  const AuditReport r = audit(forged(new_root));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has(r, ViolationKind::kLevelClusteringBroken)) << r.summary();
+}
+
+// ---------------------------------------------------------------------------
 // Strict image load: the on-disk path must reject what the auditor rejects.
 
 TEST_F(ImageAuditTest, StrictLoadAcceptsCleanImage) {
@@ -283,10 +344,11 @@ TEST_F(ImageAuditTest, StrictLoadRejectsForgedButChecksummedImage) {
   std::stringstream wire;
   expcuts::save_image(wire, cls_);
   std::string bytes = wire.str();
-  // Serialized layout: 26-byte header, then words, then the checksum.
-  // Forge the root header's HABS bit 0 and re-checksum, modeling a buggy
-  // builder whose output is transport-clean but structurally broken.
-  const std::size_t word_base = 26;
+  // Serialized layout: 27-byte XPC2 header, then words, then the
+  // checksum. Forge the root header's HABS bit 0 and re-checksum,
+  // modeling a buggy builder whose output is transport-clean but
+  // structurally broken.
+  const std::size_t word_base = 27;
   bytes[word_base + std::size_t{root_} * 4] &= static_cast<char>(~1);
   std::vector<u32> patched(words_.size());
   std::memcpy(patched.data(), bytes.data() + word_base, patched.size() * 4);
@@ -304,13 +366,13 @@ TEST_F(ImageAuditTest, LoadRejectsPayloadCountMismatchBeforeAllocating) {
   std::stringstream wire;
   expcuts::save_image(wire, cls_);
   std::string bytes = wire.str();
-  // Forge the declared word count (u64 at offset 18) up by one: the
-  // remaining payload no longer matches, and the loader must say so
+  // Forge the declared word count (u64 at offset 19 in XPC2) up by one:
+  // the remaining payload no longer matches, and the loader must say so
   // before trying to allocate or read.
   u64 count = 0;
-  std::memcpy(&count, bytes.data() + 18, 8);
+  std::memcpy(&count, bytes.data() + 19, 8);
   ++count;
-  std::memcpy(bytes.data() + 18, &count, 8);
+  std::memcpy(bytes.data() + 19, &count, 8);
   std::istringstream is(bytes);
   EXPECT_THROW(expcuts::load_image(is), ParseError);
 }
@@ -320,7 +382,7 @@ TEST_F(ImageAuditTest, LoadRejectsImplausiblyLargeWordCount) {
   expcuts::save_image(wire, cls_);
   std::string bytes = wire.str();
   const u64 huge = u64{1} << 40;
-  std::memcpy(bytes.data() + 18, &huge, 8);
+  std::memcpy(bytes.data() + 19, &huge, 8);
   std::istringstream is(bytes);
   EXPECT_THROW(expcuts::load_image(is), ParseError);
 }

@@ -109,8 +109,20 @@ TEST(ExpCuts, StatsAndFootprintConsistent) {
 TEST(ExpCuts, FlatImageMatchesWordAccounting) {
   const RuleSet rs = generate_paper_ruleset("FW01");
   const ExpCutsClassifier cls(rs);
-  EXPECT_EQ(cls.flat().bytes(), cls.stats().bytes_aggregated);
-  const FlatImage raw(cls.nodes(), cls.root(), cls.config(), false);
+  // stats() keeps the paper's word-accounting formulas; the default image
+  // adds layout-v2 alignment padding on top, bounded by one cache line of
+  // pad per node (each node start rounds up to a 64-byte boundary).
+  const u64 formula = cls.stats().bytes_aggregated;
+  const u64 pad_cap = cls.stats().node_count * kNodeAlignWords * 4;
+  EXPECT_GE(cls.flat().bytes(), formula);
+  EXPECT_LE(cls.flat().bytes(), formula + pad_cap);
+  // A linear-layout build has no padding: exact match against the paper
+  // formulas, both aggregated and raw.
+  Config linear_cfg = cls.config();
+  linear_cfg.layout = kLayoutLinear;
+  const FlatImage packed(cls.nodes(), cls.root(), linear_cfg);
+  EXPECT_EQ(packed.bytes(), formula);
+  const FlatImage raw(cls.nodes(), cls.root(), linear_cfg, false);
   EXPECT_EQ(raw.bytes(), cls.stats().bytes_unaggregated);
 }
 

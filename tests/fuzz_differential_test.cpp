@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "classify/verify.hpp"
+#include "common/simd.hpp"
 #include "packet/tracegen.hpp"
 #include "rules/generator.hpp"
 #include "workload/workload.hpp"
@@ -73,6 +74,88 @@ INSTANTIATE_TEST_SUITE_P(
              (info.param.profile == RuleProfile::kFirewall ? "fw" : "cr") +
              std::to_string(info.param.rules) +
              (info.param.with_default ? "_def" : "_nodef");
+    });
+
+// --- SIMD tier differential -------------------------------------------------
+//
+// The vectorized batch walkers (ExpCuts flat image, HiCuts leaf scan) must
+// return bit-identical rule ids at every tier the CPU supports. Each paper
+// rule set is walked at every available tier and diffed lane-for-lane
+// against the forced-scalar batch walk and the per-packet scalar lookup.
+// Batch sizes cover the kernel edges: below kSimdMinBatch (scalar
+// fallthrough), exactly one vector group, a ragged tail, and a batch that
+// crosses the 4096-packet superblock boundary.
+
+/// Restores the dispatched tier on scope exit so a failing assertion in one
+/// test cannot leak a forced tier into the rest of the suite.
+class TierGuard {
+ public:
+  TierGuard() : saved_(simd::active()) {}
+  ~TierGuard() { simd::set_active(saved_); }
+
+ private:
+  simd::Level saved_;
+};
+
+class SimdTierDifferential
+    : public ::testing::TestWithParam<PaperRuleSetSpec> {};
+
+TEST_P(SimdTierDifferential, AllTiersAgree) {
+  const PaperRuleSetSpec spec = GetParam();
+  const RuleSet rules = generate_paper_ruleset(spec.name);
+
+  TraceGenConfig tcfg;
+  tcfg.count = 4100;  // crosses the ExpCuts 4096-packet superblock
+  tcfg.seed = spec.seed ^ 0x51D0;
+  tcfg.rule_directed_fraction = 0.7;
+  const Trace trace = generate_trace(rules, tcfg);
+
+  for (workload::Algo algo :
+       {workload::Algo::kExpCuts, workload::Algo::kHiCuts}) {
+    const ClassifierPtr cls = workload::make_classifier(algo, rules);
+
+    TierGuard guard;
+    // Scalar references: per-packet lookup and forced-scalar batch.
+    simd::set_active(simd::Level::kScalar);
+    std::vector<RuleId> scalar_one(trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      scalar_one[i] = cls->classify(trace[i]);
+    }
+    std::vector<RuleId> scalar_batch(trace.size());
+    cls->classify_batch(trace.packets().data(), scalar_batch.data(), trace.size());
+    ASSERT_EQ(scalar_one, scalar_batch)
+        << cls->name() << "/" << spec.name << ": scalar batch diverges";
+
+    for (simd::Level tier : {simd::Level::kAvx2, simd::Level::kAvx512}) {
+      if (tier > simd::detected()) continue;
+      ASSERT_EQ(simd::set_active(tier), tier);
+      for (std::size_t n :
+           {std::size_t{1}, std::size_t{7}, std::size_t{8}, std::size_t{16},
+            std::size_t{19}, std::size_t{1200}, trace.size()}) {
+        std::vector<RuleId> got(n, RuleId{0xdeadbeef});
+        cls->classify_batch(trace.packets().data(), got.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(got[i], scalar_one[i])
+              << cls->name() << "/" << spec.name << " tier="
+              << simd::name(tier) << " n=" << n << " packet " << i;
+        }
+      }
+      // Per-packet lookups also route HiCuts leaf scans through the
+      // vector kernel; they must match the scalar tier too.
+      for (std::size_t i = 0; i < 512; ++i) {
+        ASSERT_EQ(cls->classify(trace[i]), scalar_one[i])
+            << cls->name() << "/" << spec.name << " tier="
+            << simd::name(tier) << " scalar lookup, packet " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRuleSets, SimdTierDifferential,
+    ::testing::ValuesIn(paper_rulesets()),
+    [](const ::testing::TestParamInfo<PaperRuleSetSpec>& info) {
+      return std::string(info.param.name);
     });
 
 }  // namespace

@@ -65,9 +65,83 @@ TEST(ImageIo, NonDefaultConfigRoundTrips) {
   }
 }
 
+TEST(ImageIo, RoundTripKeepsAlignedLayout) {
+  const RuleSet rs = generate_paper_ruleset("FW01");
+  const ExpCutsClassifier cls(rs);
+  ASSERT_EQ(cls.flat().layout_version(), kLayoutAligned);
+  std::stringstream buf;
+  save_image(buf, cls);
+  const LoadedImage loaded = load_image(buf);
+  EXPECT_EQ(loaded.image.layout_version(), kLayoutAligned);
+  EXPECT_EQ(loaded.config.layout, kLayoutAligned);
+}
+
+// Byte offset of the layout byte in an XPC2 header: magic(4) + stride_w(4)
+// + habs_v(4) + order(1) + aggregated(1).
+constexpr std::size_t kLayoutByteOffset = 14;
+
+/// Rewrites an XPC2 stream holding a linearly packed image into the exact
+/// bytes a v1 writer would have produced: v1 magic, no layout byte. The
+/// checksum covers only stride_w and the words, so it survives the edit.
+std::string to_v1_bytes(std::string v2) {
+  EXPECT_EQ(v2.substr(0, 4), "XPC2");
+  v2[3] = '1';
+  v2.erase(kLayoutByteOffset, 1);
+  return v2;
+}
+
+TEST(ImageIo, LoadsLegacyV1Images) {
+  const RuleSet rs = generate_paper_ruleset("FW02");
+  Config cfg;
+  cfg.layout = kLayoutLinear;  // v1 images are always linearly packed
+  const ExpCutsClassifier cls(rs, cfg);
+  std::stringstream buf;
+  save_image(buf, cls);
+  std::stringstream v1(to_v1_bytes(buf.str()));
+
+  const LoadedImage loaded = load_image(v1);
+  EXPECT_EQ(loaded.image.layout_version(), kLayoutLinear);
+  EXPECT_EQ(loaded.config.layout, kLayoutLinear);
+  TraceGenConfig tcfg;
+  tcfg.count = 2000;
+  tcfg.seed = 7;
+  const Trace trace = generate_trace(rs, tcfg);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_EQ(loaded.classify(trace[i]), cls.classify(trace[i]));
+  }
+}
+
+TEST(ImageIo, RejectsUnknownLayoutVersion) {
+  const RuleSet rs = generate_paper_ruleset("FW01");
+  const ExpCutsClassifier cls(rs);
+  std::stringstream buf;
+  save_image(buf, cls);
+  std::string bytes = buf.str();
+  bytes[kLayoutByteOffset] = 9;  // header is not checksummed
+  std::stringstream forged(bytes);
+  try {
+    load_image(forged);
+    FAIL() << "unknown layout version must not load";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("layout version 9"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ImageIo, RejectsBadMagic) {
   std::stringstream buf("not an image at all");
   EXPECT_THROW(load_image(buf), ParseError);
+  // A plausible-looking future version is rejected with the versioned
+  // message, not misparsed as v1/v2.
+  std::stringstream future("XPC3aaaaaaaaaaaaaaaaaaaaaaaaaaaa");
+  try {
+    load_image(future);
+    FAIL() << "unknown magic must not load";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("XPC1 or XPC2"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(ImageIo, RejectsTruncation) {

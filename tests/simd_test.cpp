@@ -1,0 +1,129 @@
+// SIMD dispatch and batch-kernel plumbing tests.
+//
+// Covers the tier machinery in common/simd.hpp (detection ordering,
+// clamped overrides, name/parse round-trips), the aligned arena in
+// common/aligned.hpp, and the ExpCuts chunk-plan precompute the vector
+// walkers consume (flat_simd.hpp). Tier-vs-tier answer equality is
+// enforced at scale by tests/fuzz_differential_test.cpp; here a small
+// forced-tier sweep keeps the dispatch seam itself under unit test.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/aligned.hpp"
+#include "common/simd.hpp"
+#include "expcuts/expcuts.hpp"
+#include "expcuts/flat.hpp"
+#include "expcuts/flat_simd.hpp"
+#include "packet/tracegen.hpp"
+#include "rules/generator.hpp"
+
+namespace pclass {
+namespace {
+
+class TierGuard {
+ public:
+  TierGuard() : saved_(simd::active()) {}
+  ~TierGuard() { simd::set_active(saved_); }
+
+ private:
+  simd::Level saved_;
+};
+
+TEST(SimdDispatch, TiersAreOrdered) {
+  EXPECT_LE(simd::detected(), simd::compiled_max());
+  EXPECT_LE(simd::active(), simd::detected());
+#if !PCLASS_SIMD_ENABLED
+  EXPECT_EQ(simd::compiled_max(), simd::Level::kScalar);
+  EXPECT_EQ(simd::detected(), simd::Level::kScalar);
+#endif
+}
+
+TEST(SimdDispatch, SetActiveClampsToDetected) {
+  TierGuard guard;
+  // Scalar is always available.
+  EXPECT_EQ(simd::set_active(simd::Level::kScalar), simd::Level::kScalar);
+  EXPECT_EQ(simd::active(), simd::Level::kScalar);
+  // Asking for more than the CPU has clamps rather than faulting.
+  const simd::Level got = simd::set_active(simd::Level::kAvx512);
+  EXPECT_LE(got, simd::detected());
+  EXPECT_EQ(simd::active(), got);
+}
+
+TEST(SimdDispatch, NameParseRoundTrip) {
+  for (simd::Level l : {simd::Level::kScalar, simd::Level::kAvx2,
+                        simd::Level::kAvx512}) {
+    simd::Level back = simd::Level::kAvx512;
+    ASSERT_TRUE(simd::parse(simd::name(l), &back)) << simd::name(l);
+    EXPECT_EQ(back, l);
+  }
+  simd::Level out;
+  EXPECT_FALSE(simd::parse("sse9", &out));
+  EXPECT_FALSE(simd::parse("", &out));
+}
+
+TEST(AlignedWords, CacheLineAlignedAndFilled) {
+  AlignedWords w(1000, 0x70AD70ADu);
+  ASSERT_EQ(w.size(), 1000u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w.data()) % kCacheLineBytes,
+            0u);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    ASSERT_EQ(w.data()[i], 0x70AD70ADu);
+  }
+  // Move transfers ownership; the source empties.
+  AlignedWords moved = std::move(w);
+  EXPECT_EQ(moved.size(), 1000u);
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(ChunkPlan, MatchesScheduleDecode) {
+  using expcuts::Schedule;
+  for (u32 w : {1u, 2u, 4u, 8u}) {
+    const Schedule sched = Schedule::make(w);
+    const expcuts::detail::ChunkPlan plan =
+        expcuts::detail::make_chunk_plan(sched);
+    ASSERT_EQ(plan.depth, sched.depth());
+    // Rows are padded to a 16-byte multiple for the gather addressing.
+    EXPECT_EQ(plan.row_stride % 16, 0u);
+    EXPECT_GE(plan.row_stride, plan.depth);
+    EXPECT_EQ(plan.mask, (1u << w) - 1);
+
+    PacketHeader h;
+    h.sip = 0xA1B2C3D4;
+    h.dip = 0x01020304;
+    h.sport = 0xBEEF;
+    h.dport = 0x1234;
+    h.proto = 17;
+    std::vector<u8> rows(plan.row_stride + 4);
+    expcuts::detail::fill_chunk_rows(plan, &h, 1, rows.data());
+    for (u32 l = 0; l < plan.depth; ++l) {
+      ASSERT_EQ(rows[l], sched.chunk_value(h, l))
+          << "w=" << w << " level " << l;
+    }
+  }
+}
+
+TEST(SimdDispatch, ForcedTiersAgreeOnSmallSet) {
+  const RuleSet rules = generate_paper_ruleset("FW01");
+  const expcuts::ExpCutsClassifier cls(rules);
+  TraceGenConfig tcfg;
+  tcfg.count = 256;
+  tcfg.seed = 99;
+  const Trace trace = generate_trace(rules, tcfg);
+
+  TierGuard guard;
+  simd::set_active(simd::Level::kScalar);
+  std::vector<RuleId> want(trace.size());
+  cls.classify_batch(trace.packets().data(), want.data(), trace.size());
+
+  for (simd::Level tier : {simd::Level::kAvx2, simd::Level::kAvx512}) {
+    if (tier > simd::detected()) continue;
+    simd::set_active(tier);
+    std::vector<RuleId> got(trace.size());
+    cls.classify_batch(trace.packets().data(), got.data(), trace.size());
+    EXPECT_EQ(got, want) << simd::name(tier);
+  }
+}
+
+}  // namespace
+}  // namespace pclass

@@ -27,6 +27,9 @@ import sys
 
 SCHEMA_VERSION = 1
 
+# Dispatch tiers bench_json.hpp can report in machine.simd.
+SIMD_TIERS = ("scalar", "avx2", "avx512")
+
 LOWER_IS_BETTER_SUFFIXES = ("_ns", "ns_per_lookup", "_ms", "_cycles", "_bytes")
 HIGHER_IS_BETTER_MARKERS = (
     "mpps",
@@ -69,7 +72,10 @@ def validate_doc(doc, path):
         errors.append(f"schema_version {ver} != {SCHEMA_VERSION}")
     need("bench", str)
     need("quick", bool)
-    need("machine", dict)
+    machine = need("machine", dict)
+    if machine is not None and "simd" in machine:
+        if machine["simd"] not in SIMD_TIERS:
+            errors.append(f"machine.simd {machine['simd']!r} not in {SIMD_TIERS}")
     need("config", dict)
     results = need("results", list)
     if results is not None:
@@ -122,6 +128,17 @@ def identity(row, id_keys):
 def compare_docs(base, cur, max_regress, only_metric):
     if base.get("bench") != cur.get("bench"):
         fail(f"bench mismatch: {base.get('bench')!r} vs {cur.get('bench')!r}")
+
+    # A tier difference means the documents came from different machines or
+    # build configs; perf deltas are then expected, so say it up front.
+    base_simd = base.get("machine", {}).get("simd")
+    cur_simd = cur.get("machine", {}).get("simd")
+    if base_simd != cur_simd:
+        print(
+            f"  note: SIMD tier differs ({base_simd or 'unreported'} -> "
+            f"{cur_simd or 'unreported'}); deltas reflect the dispatch "
+            "change, not a same-machine regression"
+        )
 
     # Identity keys: string/bool valued keys present in both documents'
     # rows. Numeric keys are the measurements being compared.
