@@ -1,0 +1,60 @@
+#include "common/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace pclass {
+
+std::shared_ptr<const MappedFile> MappedFile::open_readonly(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw Error("cannot open file for mapping: " + path + " (" +
+                std::strerror(errno) + ")");
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("cannot stat file for mapping: " + path + " (" +
+                std::strerror(err) + ")");
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    throw Error("refusing to map non-regular file: " + path);
+  }
+  if (st.st_size <= 0) {
+    // mmap of length 0 fails with EINVAL; reject empty files with a
+    // message that names the actual problem.
+    ::close(fd);
+    throw Error("refusing to map empty file: " + path);
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  const int map_err = errno;
+  ::close(fd);  // the mapping holds its own reference to the file
+  if (addr == MAP_FAILED) {
+    throw Error("mmap failed for " + path + " (" + std::strerror(map_err) +
+                ")");
+  }
+  // Image loads touch the whole payload once (checksum + audit), so tell
+  // the kernel to read ahead aggressively; advice failures are harmless.
+  (void)::madvise(addr, size, MADV_WILLNEED);
+  return std::shared_ptr<const MappedFile>(
+      new MappedFile(static_cast<const u8*>(addr), size, path));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<u8*>(data_), size_);
+  }
+}
+
+}  // namespace pclass

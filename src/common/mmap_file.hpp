@@ -1,0 +1,49 @@
+// Read-only memory-mapped files.
+//
+// Multi-GB classifier images (the 100k..1M-rule tiers, ROADMAP item 2)
+// make the stream loader's copy-into-heap path the dominant startup cost
+// and duplicate the image per process. A shared read-only mapping opens
+// in O(1), faults pages on first touch, and lets every data-plane process
+// on the host share one physical copy — the deployment shape the paper's
+// control-plane/data-plane split implies (the XScale core builds, the
+// microengines only read).
+//
+// The mapping is immutable by construction: PROT_READ only, MAP_SHARED,
+// and the handle is only ever exposed as shared_ptr<const MappedFile>, so
+// views (expcuts::FlatImage) can keep the bytes alive past the opener.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace pclass {
+
+class MappedFile {
+ public:
+  /// Maps `path` read-only; throws Error (with errno detail) when the
+  /// file cannot be opened, is empty, or the kernel rejects the mapping
+  /// (EINVAL and friends surface here instead of as a later SIGBUS).
+  static std::shared_ptr<const MappedFile> open_readonly(
+      const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const u8* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  MappedFile(const u8* data, std::size_t size, std::string path)
+      : data_(data), size_(size), path_(std::move(path)) {}
+
+  const u8* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace pclass

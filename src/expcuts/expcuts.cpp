@@ -5,6 +5,8 @@
 #include "audit/image_audit.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "engine/thread_pool.hpp"
+#include "expcuts/build_parallel.hpp"
 #include "expcuts/flat.hpp"
 #include "trace/trace.hpp"
 
@@ -17,10 +19,31 @@ ExpCutsClassifier::ExpCutsClassifier(const RuleSet& rules, const Config& cfg)
   // Covers cutting + stats; the HABS compression and word-image emission
   // inside finalize_stats get their own child spans (FlatImage ctor).
   PCLASS_TRACE_SPAN(kExpCutsBuild, rules_.size());
-  std::vector<RuleId> all(rules_.size());
-  for (RuleId i = 0; i < rules_.size(); ++i) all[i] = i;
-  root_ = build(Box::full(), std::move(all), 0);
-  finalize_stats();
+  if (cfg_.build_threads != 1 || cfg_.memory_budget_bytes != 0) {
+    // Parallel / budgeted path: deterministic decomposition on the
+    // ThreadPool (build_parallel.hpp). The stride may come back coarser
+    // than requested when the budget forced degradation, so config and
+    // schedule are re-derived from the built tree.
+    BuiltTree t = build_tree_parallel(rules_, cfg_);
+    cfg_ = t.cfg;
+    sched_ = Schedule::make(cfg_.stride_w, cfg_.order);
+    nodes_ = std::move(t.nodes);
+    root_ = t.root;
+    stats_.build_degrade_steps = t.stats.degrade_steps;
+    stats_.build_tasks = t.stats.tasks;
+    stats_.build_threads = t.stats.threads;
+    if (stats_.build_threads > 1) {
+      ThreadPool pool(stats_.build_threads);
+      finalize_stats(&pool);
+    } else {
+      finalize_stats(nullptr);
+    }
+  } else {
+    std::vector<RuleId> all(rules_.size());
+    for (RuleId i = 0; i < rules_.size(); ++i) all[i] = i;
+    root_ = build(Box::full(), std::move(all), 0);
+    finalize_stats(nullptr);
+  }
 #if !defined(NDEBUG) || defined(PCLASS_AUDIT_BUILDS)
   // Debug builds prove every freshly built image well-formed (HABS
   // coherence, depth bound, leaf finality, coverage) before it is used;
@@ -193,37 +216,98 @@ void ExpCutsClassifier::classify_batch(const PacketHeader* h, RuleId* out,
   flat_->lookup_batch(h, out, n, sched_, stats);
 }
 
-void ExpCutsClassifier::finalize_stats() {
-  stats_ = TreeStats{};
+void ExpCutsClassifier::finalize_stats(ThreadPool* pool) {
+  TreeStats fresh;
+  fresh.build_degrade_steps = stats_.build_degrade_steps;
+  fresh.build_tasks = stats_.build_tasks;
+  fresh.build_threads = stats_.build_threads;
+  stats_ = fresh;
   stats_.node_count = nodes_.size();
   stats_.depth = sched_.depth();
   const u32 fanout = 1u << cfg_.stride_w;
-  RunningStats distinct_stats;
-  RunningStats habs_stats;
-  for (const Node& n : nodes_) {
-    // Distinct children of this node (paper: commonly < 10 at 256 cuts).
-    std::vector<Ptr> uniq(n.ptrs);
-    std::sort(uniq.begin(), uniq.end());
-    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
-    distinct_stats.add(static_cast<double>(uniq.size()));
-    stats_.max_distinct_children = std::max<u32>(
-        stats_.max_distinct_children, static_cast<u32>(uniq.size()));
-    for (Ptr p : n.ptrs) {
-      if (ptr_is_leaf(p)) ++stats_.leaf_ptrs;
+  if (pool != nullptr && nodes_.size() >= 4096) {
+    // Sharded stats pass: fixed 1024-node blocks accumulate locally and
+    // combine in block order, so the result does not depend on the thread
+    // count (only last-bit FP rounding can differ from the serial path's
+    // streaming mean below).
+    struct Shard {
+      u64 leaf_ptrs = 0;
+      u64 cpa_words = 0;
+      u32 max_distinct = 0;
+      double distinct_sum = 0.0;
+      double habs_bits_sum = 0.0;
+    };
+    constexpr std::size_t kBlock = 1024;
+    const std::size_t blocks = (nodes_.size() + kBlock - 1) / kBlock;
+    std::vector<Shard> shards(blocks);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      pool->submit([this, b, &shards] {
+        Shard& sh = shards[b];
+        const std::size_t lo = b * kBlock;
+        const std::size_t hi = std::min(nodes_.size(), lo + kBlock);
+        for (std::size_t i = lo; i < hi; ++i) {
+          const Node& n = nodes_[i];
+          std::vector<Ptr> uniq(n.ptrs);
+          std::sort(uniq.begin(), uniq.end());
+          uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+          sh.distinct_sum += static_cast<double>(uniq.size());
+          sh.max_distinct =
+              std::max<u32>(sh.max_distinct, static_cast<u32>(uniq.size()));
+          for (Ptr p : n.ptrs) {
+            if (ptr_is_leaf(p)) ++sh.leaf_ptrs;
+          }
+          const HabsEncoding enc =
+              habs_encode(n.ptrs, cfg_.stride_w, cfg_.habs_v);
+          sh.habs_bits_sum += static_cast<double>(enc.set_bits());
+          sh.cpa_words += enc.cpa_words();
+        }
+      });
     }
-    const HabsEncoding enc = habs_encode(n.ptrs, cfg_.stride_w, cfg_.habs_v);
-    habs_stats.add(static_cast<double>(enc.set_bits()));
-    stats_.cpa_words += enc.cpa_words();
+    pool->wait_idle();
+    double distinct_sum = 0.0;
+    double habs_bits_sum = 0.0;
+    for (const Shard& sh : shards) {
+      stats_.leaf_ptrs += sh.leaf_ptrs;
+      stats_.cpa_words += sh.cpa_words;
+      stats_.max_distinct_children =
+          std::max(stats_.max_distinct_children, sh.max_distinct);
+      distinct_sum += sh.distinct_sum;
+      habs_bits_sum += sh.habs_bits_sum;
+    }
+    if (!nodes_.empty()) {
+      stats_.mean_distinct_children =
+          distinct_sum / static_cast<double>(nodes_.size());
+      stats_.mean_habs_set_bits =
+          habs_bits_sum / static_cast<double>(nodes_.size());
+    }
+  } else {
+    RunningStats distinct_stats;
+    RunningStats habs_stats;
+    for (const Node& n : nodes_) {
+      // Distinct children of this node (paper: commonly < 10 at 256 cuts).
+      std::vector<Ptr> uniq(n.ptrs);
+      std::sort(uniq.begin(), uniq.end());
+      uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+      distinct_stats.add(static_cast<double>(uniq.size()));
+      stats_.max_distinct_children = std::max<u32>(
+          stats_.max_distinct_children, static_cast<u32>(uniq.size()));
+      for (Ptr p : n.ptrs) {
+        if (ptr_is_leaf(p)) ++stats_.leaf_ptrs;
+      }
+      const HabsEncoding enc = habs_encode(n.ptrs, cfg_.stride_w, cfg_.habs_v);
+      habs_stats.add(static_cast<double>(enc.set_bits()));
+      stats_.cpa_words += enc.cpa_words();
+    }
+    stats_.mean_distinct_children = distinct_stats.mean();
+    stats_.mean_habs_set_bits = habs_stats.mean();
   }
-  stats_.mean_distinct_children = distinct_stats.mean();
-  stats_.mean_habs_set_bits = habs_stats.mean();
   // Aggregated image: one header long-word (HABS + cutting info, Fig. 4)
   // plus the CPA words, per node; plus the root pointer word.
   stats_.bytes_aggregated = (stats_.node_count + stats_.cpa_words) * 4 + 4;
   // Unaggregated: the header word plus the full 2^w pointer array per node.
   stats_.bytes_unaggregated = stats_.node_count * (1 + fanout) * 4 + 4;
 
-  flat_ = std::make_unique<FlatImage>(nodes_, root_, cfg_);
+  flat_ = std::make_unique<FlatImage>(nodes_, root_, cfg_, true, pool);
 }
 
 MemoryFootprint ExpCutsClassifier::footprint() const {

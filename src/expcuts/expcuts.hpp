@@ -32,6 +32,9 @@
 #include "geom/box.hpp"
 
 namespace pclass {
+
+class ThreadPool;  // engine/thread_pool.hpp
+
 namespace expcuts {
 
 struct Config {
@@ -53,6 +56,16 @@ struct Config {
   /// nodes, level clustering — the default), 1 = kLayoutLinear (the
   /// historical back-to-back packing; the layout ablation measures it).
   u32 layout = 2;
+  /// Build workers. 1 = the classic serial recursion; 0 = one worker per
+  /// hardware thread; otherwise the exact count. Any value other than 1
+  /// selects the deterministic parallel builder (build_parallel.hpp),
+  /// whose output is identical for every thread count.
+  u32 build_threads = 1;
+  /// Upper bound on the build's transient pointer-array burst, in bytes
+  /// (0 = unlimited). When exceeded, the build restarts at the next
+  /// coarser stride (8 -> 4 -> 2 -> 1) instead of OOMing; the image
+  /// degrades, the build never fails. Implies the parallel builder.
+  u64 memory_budget_bytes = 0;
 };
 
 /// Tagged child pointer: bit 31 set = leaf (bits 0..30 = rule id, all-ones
@@ -75,6 +88,9 @@ struct Node {
 struct TreeStats {
   u64 node_count = 0;
   u32 depth = 0;                 ///< Exactly 104/w (explicit bound).
+  u32 build_degrade_steps = 0;   ///< Budget-forced stride reductions.
+  u32 build_tasks = 0;           ///< Parallel frontier subtrees (0 = serial).
+  unsigned build_threads = 1;    ///< Workers the build actually used.
   double mean_distinct_children = 0.0;  ///< Paper: "less than 10" at w=8.
   u32 max_distinct_children = 0;
   double mean_habs_set_bits = 0.0;
@@ -129,7 +145,7 @@ class ExpCutsClassifier final : public Classifier {
   MemoKey make_key(const Box& box, const std::vector<RuleId>& ids,
                    u32 level) const;
   Ptr intern_node(Node&& n);
-  void finalize_stats();
+  void finalize_stats(ThreadPool* pool);
 
   const RuleSet& rules_;
   Config cfg_;

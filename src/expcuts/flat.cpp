@@ -8,7 +8,9 @@
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
+#include "common/mmap_file.hpp"
 #include "common/simd.hpp"
+#include "engine/thread_pool.hpp"
 #include "expcuts/flat_simd.hpp"
 #include "trace/trace.hpp"
 
@@ -56,6 +58,8 @@ WalkMetrics& walk_metrics() {
 FlatImage::FlatImage(std::vector<u32> words, Ptr root, u32 u, u32 stride_w,
                      bool aggregated, u32 layout)
     : words_(words.size()),
+      wptr_(words_.data()),
+      wcount_(words_.size()),
       root_(root),
       u_(u),
       chunk_mask_((u32{1} << stride_w) - 1),
@@ -64,15 +68,35 @@ FlatImage::FlatImage(std::vector<u32> words, Ptr root, u32 u, u32 stride_w,
   check(u <= stride_w && stride_w <= 8, "FlatImage: bad stride/u");
   check(layout == kLayoutLinear || layout == kLayoutAligned,
         "FlatImage: unknown layout version");
-  check(ptr_is_leaf(root_) || root_ < words_.size(),
+  check(ptr_is_leaf(root_) || root_ < wcount_,
         "FlatImage: root offset out of range");
   if (!words.empty()) {
     std::memcpy(words_.data(), words.data(), words.size() * sizeof(u32));
   }
 }
 
+FlatImage::FlatImage(std::shared_ptr<const MappedFile> map, const u32* words,
+                     std::size_t count, Ptr root, u32 u, u32 stride_w,
+                     bool aggregated, u32 layout)
+    : wptr_(words),
+      wcount_(count),
+      map_(std::move(map)),
+      root_(root),
+      u_(u),
+      chunk_mask_((u32{1} << stride_w) - 1),
+      layout_(layout),
+      aggregated_(aggregated) {
+  check(map_ != nullptr && (count == 0 || words != nullptr),
+        "FlatImage: null mapped view");
+  check(u <= stride_w && stride_w <= 8, "FlatImage: bad stride/u");
+  check(layout == kLayoutLinear || layout == kLayoutAligned,
+        "FlatImage: unknown layout version");
+  check(ptr_is_leaf(root_) || root_ < wcount_,
+        "FlatImage: root offset out of range");
+}
+
 FlatImage::FlatImage(const std::vector<Node>& nodes, Ptr root,
-                     const Config& cfg, bool aggregated)
+                     const Config& cfg, bool aggregated, ThreadPool* pool)
     : u_(cfg.stride_w - std::min({cfg.habs_v, cfg.stride_w, 4u})),
       chunk_mask_((u32{1} << cfg.stride_w) - 1),
       layout_(cfg.layout),
@@ -81,6 +105,27 @@ FlatImage::FlatImage(const std::vector<Node>& nodes, Ptr root,
         "FlatImage: unknown layout version");
   const u32 v = std::min({cfg.habs_v, cfg.stride_w, 4u});
   const std::size_t fanout = std::size_t{1} << cfg.stride_w;
+  // Fan the per-node passes out over the pool only past this size: below
+  // it the submit/wake overhead beats the win. Block granularity keeps
+  // queue traffic low while still load-balancing skewed node costs.
+  constexpr std::size_t kParallelMinNodes = 4096;
+  constexpr std::size_t kNodeBlock = 1024;
+  const bool fan_out = pool != nullptr && nodes.size() >= kParallelMinNodes;
+  // Runs fn(i) for every node index, on the pool when fanning out. The
+  // result is identical either way: every call writes disjoint state.
+  const auto for_each_node = [&](auto&& fn) {
+    if (!fan_out) {
+      for (std::size_t i = 0; i < nodes.size(); ++i) fn(i);
+      return;
+    }
+    for (std::size_t lo = 0; lo < nodes.size(); lo += kNodeBlock) {
+      const std::size_t hi = std::min(nodes.size(), lo + kNodeBlock);
+      pool->submit([&fn, lo, hi] {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      });
+    }
+    pool->wait_idle();
+  };
 
   // Pass 1: encode every node and assign word offsets. Layout v2 packs
   // nodes in level order (hot-level clustering: the levels every lookup
@@ -98,9 +143,14 @@ FlatImage::FlatImage(const std::vector<Node>& nodes, Ptr root,
   std::vector<u64> offsets(nodes.size());
   u64 next = 0;
   if (aggregated_) {
+    // HABS-encode every node (independent, the expensive part — fans out
+    // over the pool), then assign offsets serially in emit order so the
+    // packing is byte-identical to the serial builder's.
     encodings.resize(nodes.size());
-    for (const u32 i : emit_order) {
+    for_each_node([&](std::size_t i) {
       encodings[i] = habs_encode(nodes[i].ptrs, cfg.stride_w, v);
+    });
+    for (const u32 i : emit_order) {
       if (layout_ == kLayoutAligned) {
         next = (next + kNodeAlignWords - 1) & ~u64{kNodeAlignWords - 1};
       }
@@ -122,18 +172,21 @@ FlatImage::FlatImage(const std::vector<Node>& nodes, Ptr root,
   // pad follows the last node: word_count stays the exact structural size.
   words_ = AlignedWords(static_cast<std::size_t>(next),
                         layout_ == kLayoutAligned ? kPadWord : 0);
+  wptr_ = words_.data();
+  wcount_ = words_.size();
   if (tracing) {
     trace::span_end(trace::EventKind::kHabsCompress, t_pass1, nodes.size(),
                     next);
   }
 
   // Pass 2: emit headers and pointer words, translating node indices to
-  // word offsets.
+  // word offsets. Each node writes only its own [off, off+1+cpa) range,
+  // so the pass fans out over disjoint words.
   const u64 t_pass2 = tracing ? trace::now_ns() : 0;
   auto translate = [&](Ptr p) -> u32 {
     return ptr_is_leaf(p) ? p : static_cast<u32>(offsets[p]);
   };
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
+  for_each_node([&](std::size_t i) {
     const u64 off = offsets[i];
     const u32 habs = aggregated_ ? encodings[i].habs : 0;
     words_[off] = habs | (static_cast<u32>(nodes[i].level & 0x7f) << 16) |
@@ -148,7 +201,7 @@ FlatImage::FlatImage(const std::vector<Node>& nodes, Ptr root,
         words_[off + 1 + k] = translate(nodes[i].ptrs[k]);
       }
     }
-  }
+  });
   root_ = translate(root);
   if (tracing) {
     trace::span_end(trace::EventKind::kImageEmit, t_pass2, next);
@@ -163,7 +216,7 @@ RuleId FlatImage::lookup(const PacketHeader& h, const Schedule& sched,
   Ptr p = root_;
   while (!ptr_is_leaf(p)) {
     const u64 t0 = tracing ? pclass::trace::now_ns() : 0;
-    const u32 header = words_[p];
+    const u32 header = wptr_[p];
     const LevelStep s = decode_step(header, p, h, sched);
     if (trace != nullptr) {
       if (aggregated_) {
@@ -181,7 +234,7 @@ RuleId FlatImage::lookup(const PacketHeader& h, const Schedule& sched,
             kChunkExtractCycles + kDirectIndexCycles});
       }
     }
-    const Ptr child = words_[s.ptr_off];
+    const Ptr child = wptr_[s.ptr_off];
     if (tracing) {
       pclass::trace::span_end(
           pclass::trace::EventKind::kExpCutsLevel, t0,
@@ -204,7 +257,7 @@ RuleId FlatImage::lookup_explained(const PacketHeader& h,
   Ptr p = root_;
   while (!ptr_is_leaf(p)) {
     const u64 t0 = tracing ? trace::now_ns() : 0;
-    const u32 header = words_[p];
+    const u32 header = wptr_[p];
     // The walk advances through the production decode (shared with
     // lookup/lookup_batch); only the display arithmetic below is local.
     const LevelStep s = decode_step(header, p, h, sched);
@@ -228,7 +281,7 @@ RuleId FlatImage::lookup_explained(const PacketHeader& h,
     // arithmetic must land on the exact word decode_step selected.
     assert(p + 1 + e.cpa_index == s.ptr_off &&
            "lookup_explained diverged from decode_step");
-    e.child = words_[s.ptr_off];
+    e.child = wptr_[s.ptr_off];
     if (tracing) {
       trace::span_end(trace::EventKind::kExpCutsLevel, t0,
                       trace::pack_expcuts_a0(p, e.level, e.chunk, e.habs),
@@ -276,7 +329,7 @@ void FlatImage::lookup_batch_simd(const PacketHeader* h, RuleId* out,
   }
   wm.lookups.add(n);
 
-  const detail::FlatView view{words_.data(), root_, u_, aggregated_};
+  const detail::FlatView view{wptr_, root_, u_, aggregated_};
   const detail::ChunkPlan plan = detail::make_chunk_plan(sched);
   u32 depth_hist[kDepthBuckets] = {};
   detail::KernelStats ks;
@@ -339,7 +392,7 @@ void FlatImage::lookup_batch_scalar(const PacketHeader* h, RuleId* out,
   //     header), or retire the lookup and refill the lane.
   // Lane state is struct-of-arrays so the tight phase loops stay in
   // registers; retired lanes compact by swapping in the tail lane.
-  const u32* const words = words_.data();
+  const u32* const words = wptr_;
   std::size_t pkt[G];
   u32 node[G];   ///< Node word offset; phase 1 input.
   u32 poff[G];   ///< Child-pointer word offset; phase 2 input.

@@ -31,6 +31,7 @@
 // simulator replays the exact reference stream real hardware would see.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -40,6 +41,10 @@
 #include "expcuts/expcuts.hpp"
 
 namespace pclass {
+
+class MappedFile;  // common/mmap_file.hpp
+class ThreadPool;  // engine/thread_pool.hpp
+
 namespace expcuts {
 
 /// Image layout versions (the on-disk format byte of XPC2 images).
@@ -77,8 +82,12 @@ struct ExplainStep {
 
 class FlatImage {
  public:
+  /// Builds the image from a node array. When `pool` is non-null, the
+  /// HABS encoding pass and the word emission pass fan out over it (the
+  /// emitted image is bit-identical to the serial one: offsets are
+  /// assigned serially and every task writes a disjoint word range).
   FlatImage(const std::vector<Node>& nodes, Ptr root, const Config& cfg,
-            bool aggregated = true);
+            bool aggregated = true, ThreadPool* pool = nullptr);
 
   /// Reconstructs an image from raw words (deserialization path;
   /// see image_io.hpp). `u` is log2 pointers per CPA sub-array; `layout`
@@ -86,6 +95,15 @@ class FlatImage {
   /// and forged copies of it, kLayoutLinear for v1 images).
   FlatImage(std::vector<u32> words, Ptr root, u32 u, u32 stride_w,
             bool aggregated, u32 layout = kLayoutAligned);
+
+  /// Zero-copy view over an mmapped image payload (map_image_file,
+  /// image_io.hpp): `words` must point at `count` little-endian words
+  /// inside `map`, which the view keeps alive. The payload is 64-byte
+  /// aligned on disk (format v3), so layout-v2 node alignment holds in
+  /// the mapping exactly as it does in an owned arena.
+  FlatImage(std::shared_ptr<const MappedFile> map, const u32* words,
+            std::size_t count, Ptr root, u32 u, u32 stride_w,
+            bool aggregated, u32 layout);
 
   /// Executes a lookup against the image; when `trace` is non-null the
   /// word references are appended to it. `popcount_hw` selects the 3-cycle
@@ -115,13 +133,13 @@ class FlatImage {
   RuleId lookup_explained(const PacketHeader& h, const Schedule& sched,
                           std::vector<ExplainStep>& steps) const;
 
-  u64 word_count() const { return words_.size(); }
-  u64 bytes() const { return words_.size() * 4 + 4; }
+  u64 word_count() const { return wcount_; }
+  u64 bytes() const { return wcount_ * 4 + 4; }
   bool aggregated() const { return aggregated_; }
   Ptr root_ptr() const { return root_; }
 
   /// Raw image access for serialization tests and the structural auditor.
-  std::span<const u32> words() const { return {words_.data(), words_.size()}; }
+  std::span<const u32> words() const { return {wptr_, wcount_}; }
 
   /// log2 pointers per CPA sub-array (the paper's u = w - v).
   u32 cpa_sub_log2() const { return u_; }
@@ -130,8 +148,13 @@ class FlatImage {
   /// kLayoutLinear (v1) or kLayoutAligned (v2).
   u32 layout_version() const { return layout_; }
   /// True when the word arena is mmap'd with hugepage advice (layout-v2
-  /// images past the kHugepageBytes threshold).
+  /// images past the kHugepageBytes threshold). File-mapped views report
+  /// false: their pages come from the page cache, not an anonymous THP
+  /// region.
   bool hugepage_backed() const { return words_.hugepage_backed(); }
+  /// True when the words are a read-only view into an mmapped file
+  /// (shared, demand-paged) rather than an owned arena.
+  bool file_mapped() const { return map_ != nullptr; }
 
   /// Decodes the level tag of the node at `word_offset`.
   static u32 level_of_header(u32 header) { return (header >> 16) & 0x7f; }
@@ -176,7 +199,15 @@ class FlatImage {
                          const Schedule& sched, BatchLookupStats* stats,
                          bool avx512) const;
 
+  /// Owned storage (builder/deserializer ctors); empty for mapped views.
   AlignedWords words_;
+  /// The words every walker reads: words_.data() for owned images, a
+  /// pointer into *map_ for mapped views. AlignedWords moves by swapping
+  /// heap buffers, so the pointer stays valid across FlatImage moves.
+  const u32* wptr_ = nullptr;
+  std::size_t wcount_ = 0;
+  /// Keeps a file-mapped payload alive for the view's lifetime.
+  std::shared_ptr<const MappedFile> map_;
   Ptr root_ = kEmptyLeaf;  ///< Leaf-tagged or word offset of the root node.
   u32 u_ = 4;              ///< log2 pointers per CPA sub-array.
   u32 chunk_mask_ = 0xff;

@@ -8,6 +8,7 @@
 
 #include "audit/image_audit.hpp"
 #include "common/error.hpp"
+#include "common/mmap_file.hpp"
 
 namespace pclass {
 namespace expcuts {
@@ -15,9 +16,21 @@ namespace {
 
 // Format versions: v1 ("XPC1") predates the layout byte and always holds a
 // linearly packed image; v2 ("XPC2") adds one layout byte after the
-// aggregated flag. save_image always writes v2; load_image accepts both.
+// aggregated flag; v3 ("XPC3") zero-pads the header to 64 bytes so the
+// word payload is cache-line-aligned in an mmap'd file. save_image always
+// writes v3; load_image accepts all three; map_image_file requires v3.
 constexpr char kMagicV1[4] = {'X', 'P', 'C', '1'};
 constexpr char kMagicV2[4] = {'X', 'P', 'C', '2'};
+constexpr char kMagicV3[4] = {'X', 'P', 'C', '3'};
+
+/// v3 header size: the word payload starts at this file offset, a
+/// multiple of both the page size's divisors and the 64-byte node
+/// alignment quantum, so an mmap'd payload is aligned exactly like an
+/// owned arena.
+constexpr std::size_t kHeaderBytesV3 = 64;
+/// Bytes of the v3 header actually used (magic + fields); the rest is
+/// zero padding.
+constexpr std::size_t kHeaderFieldsBytesV3 = 4 + 4 + 4 + 1 + 1 + 1 + 4 + 8;
 
 /// Words read per chunk on non-seekable streams, so a forged word count
 /// cannot force a huge allocation before truncation is detected.
@@ -50,7 +63,7 @@ T read_pod(std::istream& is) {
 void save_image(std::ostream& os, const ExpCutsClassifier& cls) {
   const FlatImage& img = cls.flat();
   const Config& cfg = cls.config();
-  os.write(kMagicV2, sizeof kMagicV2);
+  os.write(kMagicV3, sizeof kMagicV3);
   write_pod<u32>(os, cfg.stride_w);
   write_pod<u32>(os, cfg.habs_v);
   write_pod<u8>(os, static_cast<u8>(cfg.order));
@@ -58,6 +71,8 @@ void save_image(std::ostream& os, const ExpCutsClassifier& cls) {
   write_pod<u8>(os, static_cast<u8>(img.layout_version()));
   write_pod<u32>(os, img.root_ptr());
   write_pod<u64>(os, img.words().size());
+  const char pad[kHeaderBytesV3 - kHeaderFieldsBytesV3] = {};
+  os.write(pad, sizeof pad);
   os.write(reinterpret_cast<const char*>(img.words().data()),
            static_cast<std::streamsize>(img.words().size() * sizeof(u32)));
   write_pod<u64>(os, image_checksum(cfg.stride_w, img.words().data(),
@@ -76,10 +91,11 @@ LoadedImage load_image(std::istream& is, bool strict) {
   u32 format = 0;
   if (is && std::memcmp(magic, kMagicV1, sizeof kMagicV1) == 0) format = 1;
   if (is && std::memcmp(magic, kMagicV2, sizeof kMagicV2) == 0) format = 2;
+  if (is && std::memcmp(magic, kMagicV3, sizeof kMagicV3) == 0) format = 3;
   if (format == 0) {
     throw ParseError(
-        "bad ExpCuts image magic (expected XPC1 or XPC2; later versions "
-        "are not supported by this loader)",
+        "bad ExpCuts image magic (expected XPC1, XPC2 or XPC3; later "
+        "versions are not supported by this loader)",
         0);
   }
   Config cfg;
@@ -101,6 +117,13 @@ LoadedImage load_image(std::istream& is, bool strict) {
   if (cfg.stride_w == 0 || cfg.stride_w > 8 ||
       count > (u64{1} << 31)) {
     throw ParseError("implausible ExpCuts image header", 0);
+  }
+  if (format >= 3) {
+    // v3 zero-pads the header to 64 bytes so mmapped payloads are
+    // cache-line-aligned; the stream loader just skips the padding.
+    char pad[kHeaderBytesV3 - kHeaderFieldsBytesV3];
+    is.read(pad, sizeof pad);
+    if (!is) throw ParseError("truncated ExpCuts image header padding", 0);
   }
   // Reject a declared word count the stream provably cannot satisfy
   // *before* allocating for it: on seekable streams the remaining bytes
@@ -168,6 +191,88 @@ LoadedImage load_image_file(const std::string& path, bool strict) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw Error("cannot open image file: " + path);
   return load_image(is, strict);
+}
+
+LoadedImage map_image_file(const std::string& path, bool strict) {
+  // MappedFile::open_readonly rejects missing, empty and non-regular
+  // files up front (mmap's EINVAL cases surface as Error here, never as
+  // a SIGBUS in a walker).
+  std::shared_ptr<const MappedFile> map = MappedFile::open_readonly(path);
+  const u8* bytes = map->data();
+  if (map->size() < kHeaderBytesV3 + sizeof(u64)) {
+    throw ParseError("ExpCuts image file too small for a v3 header: " + path,
+                     0);
+  }
+  if (std::memcmp(bytes, kMagicV3, sizeof kMagicV3) != 0) {
+    if (std::memcmp(bytes, kMagicV1, sizeof kMagicV1) == 0 ||
+        std::memcmp(bytes, kMagicV2, sizeof kMagicV2) == 0) {
+      throw ParseError(
+          "mmap loading requires a v3 (XPC3) image — v1/v2 payloads are "
+          "not alignment-safe to map; load " +
+              path + " with load_image_file and re-save it",
+          0);
+    }
+    throw ParseError("bad ExpCuts image magic (expected XPC3): " + path, 0);
+  }
+  // Header fields sit at unaligned offsets; memcpy keeps the reads legal.
+  auto read_at = [bytes](std::size_t off, auto& out) {
+    std::memcpy(&out, bytes + off, sizeof out);
+  };
+  Config cfg;
+  u8 order_byte = 0;
+  u8 aggregated_byte = 0;
+  u8 layout_byte = 0;
+  Ptr root = kEmptyLeaf;
+  u64 count = 0;
+  read_at(4, cfg.stride_w);
+  read_at(8, cfg.habs_v);
+  read_at(12, order_byte);
+  read_at(13, aggregated_byte);
+  read_at(14, layout_byte);
+  read_at(15, root);
+  read_at(19, count);
+  cfg.order = static_cast<ChunkOrder>(order_byte);
+  cfg.layout = layout_byte;
+  if (cfg.layout != kLayoutLinear && cfg.layout != kLayoutAligned) {
+    throw ParseError("unknown ExpCuts image layout version " +
+                         std::to_string(cfg.layout) +
+                         " (this loader knows layouts 1 and 2)",
+                     0);
+  }
+  if (cfg.stride_w == 0 || cfg.stride_w > 8 || count > (u64{1} << 31)) {
+    throw ParseError("implausible ExpCuts image header", 0);
+  }
+  const u64 expected =
+      kHeaderBytesV3 + count * sizeof(u32) + sizeof(u64);
+  if (map->size() != expected) {
+    throw ParseError("ExpCuts image word_count disagrees with file size (" +
+                         std::to_string(expected) + " bytes expected, " +
+                         std::to_string(map->size()) + " present)",
+                     0);
+  }
+  // The payload starts at offset 64 of a page-aligned mapping: aligned
+  // u32 loads, and layout-v2 nodes keep their 64-byte alignment.
+  const u32* words = reinterpret_cast<const u32*>(bytes + kHeaderBytesV3);
+  u64 stored = 0;
+  read_at(kHeaderBytesV3 + count * sizeof(u32), stored);
+  if (stored != image_checksum(cfg.stride_w, words, count)) {
+    throw ParseError("ExpCuts image checksum mismatch", 0);
+  }
+  const u32 v = std::min({cfg.habs_v, cfg.stride_w, 4u});
+  LoadedImage li{
+      FlatImage(std::move(map), words, static_cast<std::size_t>(count), root,
+                cfg.stride_w - v, cfg.stride_w, aggregated_byte != 0,
+                cfg.layout),
+      Schedule::make(cfg.stride_w, cfg.order), cfg};
+  if (strict) {
+    const audit::AuditReport report =
+        audit::audit_flat_image(li.image, li.schedule.depth());
+    if (!report.ok()) {
+      throw AuditError("ExpCuts image failed structural audit: " +
+                       report.summary());
+    }
+  }
+  return li;
 }
 
 }  // namespace expcuts

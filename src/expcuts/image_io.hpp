@@ -5,13 +5,20 @@
 // the data plane. The format is versioned, little-endian, and checksummed.
 // Current version (always written):
 //
-//   magic "XPC2" | stride_w | habs_v | order | aggregated | layout |
-//   root | word_count | words... | fnv1a64 checksum
+//   magic "XPC3" | stride_w | habs_v | order | aggregated | layout |
+//   root | word_count | zero pad to byte 64 | words... | fnv1a64 checksum
 //
-// i.e. v2 inserts one layout byte (1 = linear, 2 = cache-aligned; see
-// flat.hpp) between the aggregated flag and the root pointer. v1 images
-// ("XPC1", no layout byte, implicitly linear) still load; unknown magics
-// and unknown layout bytes are rejected with a versioned ParseError.
+// v3's only change over v2 is the zero padding that places the word
+// payload at file offset 64: an mmap'd file starts page-aligned, so the
+// payload — and with it every 64-byte-aligned layout-v2 node — keeps its
+// cache-line alignment inside the mapping, and word loads are naturally
+// aligned (v1/v2 put the words at odd offsets 26/27, which only a copying
+// loader can fix). v2 inserted one layout byte (1 = linear, 2 =
+// cache-aligned; see flat.hpp) between the aggregated flag and the root
+// pointer; v1 ("XPC1") predates that byte and is implicitly linear. The
+// stream loader accepts all three; the mmap loader requires v3. Unknown
+// magics and unknown layout bytes are rejected with a versioned
+// ParseError.
 #pragma once
 
 #include <iosfwd>
@@ -57,6 +64,16 @@ LoadedImage load_image(std::istream& is, bool strict = false);
 /// File-path convenience wrappers.
 void save_image_file(const std::string& path, const ExpCutsClassifier& cls);
 LoadedImage load_image_file(const std::string& path, bool strict = false);
+
+/// Opens a v3 image as a zero-copy read-only mapping: the returned
+/// image's words are a view into the page cache (shared across every
+/// process mapping the same file; a multi-GB image "loads" in O(1) plus
+/// one checksum pass). v1/v2 files are rejected with a ParseError that
+/// says to re-save (their payloads sit at unaligned offsets); truncated,
+/// oversized, empty, or checksum-corrupt files are rejected before any
+/// lookup can touch them. `strict` additionally runs the structural
+/// auditor, exactly as load_image does.
+LoadedImage map_image_file(const std::string& path, bool strict = false);
 
 /// The payload checksum `save_image` stores and `load_image` verifies
 /// (exposed for tests and tools that patch serialized images).

@@ -1,0 +1,310 @@
+#include "workload/scalegen.hpp"
+
+#include <unordered_set>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "packet/header.hpp"
+
+namespace pclass {
+namespace workload {
+namespace {
+
+/// Draws a random aligned sub-prefix of length `len` inside `block`;
+/// `len` is clamped up to the block's own prefix length.
+Interval random_subprefix(const Interval& block, u32 len, Rng& rng) {
+  const u32 block_len = block.prefix_len(32);
+  if (len < block_len) len = block_len;
+  const u32 free_bits = len - block_len;
+  const u64 slot = free_bits == 0 ? 0 : rng.next_below(u64{1} << free_bits);
+  return Interval::from_prefix(block.lo + (slot << (32 - len)), len, 32);
+}
+
+u32 pick_len(const std::vector<std::pair<u32, double>>& dist, Rng& rng) {
+  std::vector<double> w;
+  w.reserve(dist.size());
+  for (const auto& [len, weight] : dist) w.push_back(weight);
+  return dist[rng.pick_weighted(w)].first;
+}
+
+/// The five ClassBench port classes, as sampling weights.
+struct PortModel {
+  double wc, hi, lo, ar, em;
+};
+
+/// Everything profile-specific: wildcard odds, prefix-length histograms,
+/// port-class mixes, protocol pool, deny rate, and how much of the
+/// provider space destination prefixes concentrate into.
+struct ProfileModel {
+  double sip_wild, dip_wild;
+  std::vector<std::pair<u32, double>> sip_lens, dip_lens;
+  PortModel sport, dport;
+  double proto_wild;
+  std::vector<double> proto_weights;  ///< Over proto_pool below.
+  std::vector<Interval> proto_pool;
+  std::size_t dip_provider_span;  ///< Providers dst prefixes draw from.
+  double deny_p;
+};
+
+ProfileModel make_model(ScaleProfile profile, std::size_t providers) {
+  ProfileModel m;
+  m.proto_pool = {Interval::point(kProtoTcp), Interval::point(kProtoUdp),
+                  Interval::point(kProtoIcmp)};
+  m.proto_weights = {6, 3, 1};
+  switch (profile) {
+    case ScaleProfile::kFirewall:
+      m.sip_wild = 0.50;
+      m.dip_wild = 0.06;
+      m.sip_lens = {{16, 3}, {20, 2}, {24, 6}, {28, 2}, {32, 4}};
+      m.dip_lens = {{16, 1}, {24, 5}, {27, 1}, {28, 2}, {30, 1}, {32, 6}};
+      m.sport = {0.80, 0.10, 0.02, 0.04, 0.04};
+      m.dport = {0.10, 0.08, 0.06, 0.16, 0.60};
+      m.proto_wild = 0.08;
+      m.dip_provider_span = 4;  // the protected site space
+      m.deny_p = 0.30;
+      break;
+    case ScaleProfile::kCoreRouter:
+      m.sip_wild = 0.08;
+      m.dip_wild = 0.04;
+      m.sip_lens = {{10, 1}, {14, 1}, {16, 4}, {18, 2}, {20, 3},
+                    {22, 2}, {24, 8}, {26, 1}, {28, 1}, {32, 2}};
+      m.dip_lens = m.sip_lens;
+      m.sport = {0.70, 0.12, 0.06, 0.06, 0.06};
+      m.dport = {0.45, 0.12, 0.08, 0.15, 0.20};
+      m.proto_wild = 0.20;
+      m.dip_provider_span = providers;
+      m.deny_p = 0.05;
+      break;
+    case ScaleProfile::kAcl:
+      m.sip_wild = 0.25;
+      m.dip_wild = 0.02;
+      m.sip_lens = {{16, 2}, {24, 5}, {28, 2}, {32, 4}};
+      m.dip_lens = {{24, 3}, {28, 3}, {30, 2}, {32, 8}};
+      m.sport = {0.75, 0.10, 0.05, 0.05, 0.05};
+      m.dport = {0.15, 0.05, 0.05, 0.15, 0.60};
+      m.proto_wild = 0.10;
+      m.proto_pool.push_back(Interval::point(47));  // GRE
+      m.proto_pool.push_back(Interval::point(50));  // ESP
+      m.proto_weights = {10, 5, 2, 1, 1};
+      m.dip_provider_span = providers / 2 > 0 ? providers / 2 : 1;
+      m.deny_p = 0.50;
+      break;
+  }
+  return m;
+}
+
+/// Well-known services the exact-match port class favors.
+constexpr u16 kScaleServices[] = {
+    20,  21,  22,   23,   25,   53,   67,   80,   110,  123,  143, 161,
+    179, 389, 443,  445,  465,  514,  587,  636,  993,  995,  1433, 1521,
+    1812, 2049, 3128, 3306, 3389, 5060, 5432, 6379, 8080, 8443, 9090, 27017};
+
+/// Distinct-value pools (see header comment: bounded pools reproduce the
+/// value redundancy of real databases).
+struct ScalePools {
+  std::vector<Interval> sip, dip;
+  std::vector<Interval> ar_ranges;  ///< Arbitrary port ranges.
+  std::vector<u16> em_ports;        ///< Exact-match ports.
+};
+
+ScalePools make_pools(const ScaleGenConfig& cfg, const ProfileModel& m,
+                      Rng& rng) {
+  // Provider blocks: /8../12, disjoint-ish (alignment makes exact overlap
+  // harmless — nested prefixes are the realistic case anyway).
+  std::vector<Interval> providers;
+  providers.reserve(cfg.provider_blocks);
+  for (std::size_t i = 0; i < cfg.provider_blocks; ++i) {
+    const u32 len = static_cast<u32>(8 + rng.next_below(5));  // /8 .. /12
+    const u64 base = rng.next_below(u64{1} << len) << (32 - len);
+    providers.push_back(Interval::from_prefix(base, len, 32));
+  }
+  // Site blocks: /16../20 carved inside providers. Sites remember their
+  // provider index so destination pools can concentrate (protected space).
+  std::vector<Interval> sites;
+  std::vector<std::size_t> site_provider;
+  sites.reserve(cfg.site_blocks);
+  for (std::size_t i = 0; i < cfg.site_blocks; ++i) {
+    const std::size_t p = rng.next_below(providers.size());
+    const u32 len = static_cast<u32>(16 + rng.next_below(5));  // /16 .. /20
+    sites.push_back(random_subprefix(providers[p], len, rng));
+    site_provider.push_back(p);
+  }
+
+  auto draw_prefix = [&](const std::vector<std::pair<u32, double>>& lens,
+                         std::size_t provider_span) {
+    const u32 len = pick_len(lens, rng);
+    if (len <= 14) {
+      // Short prefixes carve straight from a provider block.
+      const Interval& blk = providers[rng.next_below(
+          std::min(provider_span, providers.size()))];
+      return random_subprefix(blk, len, rng);
+    }
+    // Long prefixes nest inside a site of an allowed provider.
+    for (;;) {
+      const std::size_t s = rng.next_below(sites.size());
+      if (site_provider[s] < provider_span) {
+        return random_subprefix(sites[s], len, rng);
+      }
+    }
+  };
+
+  const std::size_t n = cfg.rule_count;
+  auto pool_size = [n](std::size_t div) {
+    const std::size_t sz = n / div;
+    return sz < 64 ? std::size_t{64} : (sz > (std::size_t{1} << 18)
+                                            ? std::size_t{1} << 18
+                                            : sz);
+  };
+  ScalePools p;
+  p.sip.reserve(pool_size(6));
+  for (std::size_t i = 0; i < pool_size(6); ++i) {
+    p.sip.push_back(draw_prefix(m.sip_lens, cfg.provider_blocks));
+  }
+  p.dip.reserve(pool_size(6));
+  for (std::size_t i = 0; i < pool_size(6); ++i) {
+    p.dip.push_back(draw_prefix(m.dip_lens, m.dip_provider_span));
+  }
+  for (std::size_t i = 0; i < 64; ++i) {
+    const u64 lo = rng.next_below(60000);
+    const u64 span = 1 + rng.next_below(4000);
+    p.ar_ranges.push_back(Interval{lo, lo + span > 65535 ? 65535 : lo + span});
+  }
+  p.em_ports.assign(std::begin(kScaleServices), std::end(kScaleServices));
+  for (std::size_t i = 0; i < 28; ++i) {
+    p.em_ports.push_back(static_cast<u16>(rng.next_below(65536)));
+  }
+  return p;
+}
+
+Interval sample_port(const PortModel& pm, const ScalePools& pools, Rng& rng) {
+  const std::size_t cls =
+      rng.pick_weighted({pm.wc, pm.hi, pm.lo, pm.ar, pm.em});
+  switch (cls) {
+    case 0: return Interval::full(16);
+    case 1: return Interval{1024, 65535};
+    case 2: return Interval{0, 1023};
+    case 3: return pools.ar_ranges[rng.next_below(pools.ar_ranges.size())];
+    default:
+      return Interval::point(pools.em_ports[rng.next_below(
+          pools.em_ports.size())]);
+  }
+}
+
+/// Order-insensitive-enough 64-bit digest of a rule's match region, for
+/// the O(n) dedup set. A 64-bit collision between two *distinct* boxes
+/// discards one candidate rule — vanishingly rare and deterministic.
+u64 box_digest(const Box& box) {
+  u64 h = 0x9e3779b97f4a7c15ULL;
+  auto mix = [&h](u64 v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h *= 0xff51afd7ed558ccdULL;
+  };
+  for (std::size_t d = 0; d < kNumDims; ++d) {
+    mix(box.dims[d].lo);
+    mix(box.dims[d].hi);
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* scale_profile_name(ScaleProfile p) {
+  switch (p) {
+    case ScaleProfile::kFirewall: return "firewall";
+    case ScaleProfile::kCoreRouter: return "core-router";
+    case ScaleProfile::kAcl: return "acl";
+  }
+  return "?";
+}
+
+RuleSet generate_scale_ruleset(const ScaleGenConfig& cfg) {
+  if (cfg.rule_count == 0) {
+    throw ConfigError("generate_scale_ruleset: rule_count == 0");
+  }
+  if (cfg.provider_blocks == 0 || cfg.site_blocks == 0) {
+    throw ConfigError("generate_scale_ruleset: empty prefix hierarchy");
+  }
+  Rng rng(cfg.seed ^ 0x5ca1e000u);
+  const ProfileModel model = make_model(cfg.profile, cfg.provider_blocks);
+  const ScalePools pools = make_pools(cfg, model, rng);
+
+  const std::size_t body =
+      cfg.with_default ? cfg.rule_count - 1 : cfg.rule_count;
+  std::vector<Rule> rules;
+  rules.reserve(cfg.rule_count);
+  std::unordered_set<u64> seen;
+  seen.reserve(body * 2);
+
+  auto sample_ip = [&](const std::vector<Interval>& pool, double p_wild) {
+    if (rng.chance(p_wild)) return Interval::full(32);
+    return pool[rng.next_below(pool.size())];
+  };
+
+  std::size_t misses = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = body * 50 + 1000;
+  while (rules.size() < body) {
+    check(++attempts <= max_attempts,
+          "generate_scale_ruleset: dedup failed to converge");
+    Rule r;
+    r.box[Dim::kSrcIp] = sample_ip(pools.sip, model.sip_wild);
+    r.box[Dim::kDstIp] = sample_ip(pools.dip, model.dip_wild);
+    if (misses >= 64) {
+      // Pool exhaustion escape hatch: a fresh host-precise source address
+      // guarantees progress at any requested rule count.
+      r.box[Dim::kSrcIp] =
+          Interval::point(rng.next_below(u64{1} << 32));
+    }
+    r.box[Dim::kSrcPort] = sample_port(model.sport, pools, rng);
+    r.box[Dim::kDstPort] = sample_port(model.dport, pools, rng);
+    r.box[Dim::kProto] = rng.chance(model.proto_wild)
+                             ? Interval::full(8)
+                             : model.proto_pool[rng.pick_weighted(
+                                   model.proto_weights)];
+    r.action = rng.chance(model.deny_p) ? Action::kDeny : Action::kPermit;
+    if (seen.insert(box_digest(r.box)).second) {
+      rules.push_back(r);
+      misses = 0;
+    } else {
+      ++misses;
+    }
+  }
+  if (cfg.with_default) rules.push_back(Rule::any(Action::kDeny));
+  RuleSet rs(std::move(rules));
+  rs.validate();
+  return rs;
+}
+
+const std::vector<ScaleSetSpec>& scale_rulesets() {
+  static const std::vector<ScaleSetSpec> specs = {
+      {"FW-100k", ScaleProfile::kFirewall, 100000, 0xF100},
+      {"CR-100k", ScaleProfile::kCoreRouter, 100000, 0xC100},
+      {"ACL-100k", ScaleProfile::kAcl, 100000, 0xA100},
+      {"FW-500k", ScaleProfile::kFirewall, 500000, 0xF500},
+      {"CR-500k", ScaleProfile::kCoreRouter, 500000, 0xC500},
+      {"ACL-500k", ScaleProfile::kAcl, 500000, 0xA500},
+      {"FW-1M", ScaleProfile::kFirewall, 1000000, 0xF999},
+      {"CR-1M", ScaleProfile::kCoreRouter, 1000000, 0xC999},
+      {"ACL-1M", ScaleProfile::kAcl, 1000000, 0xA999},
+  };
+  return specs;
+}
+
+RuleSet generate_scale_ruleset(const std::string& name) {
+  for (const ScaleSetSpec& spec : scale_rulesets()) {
+    if (name == spec.name) {
+      ScaleGenConfig cfg;
+      cfg.profile = spec.profile;
+      cfg.rule_count = spec.rule_count;
+      cfg.seed = spec.seed;
+      RuleSet rs = generate_scale_ruleset(cfg);
+      rs.set_name(name);
+      return rs;
+    }
+  }
+  throw ConfigError("unknown scale rule set: " + name);
+}
+
+}  // namespace workload
+}  // namespace pclass

@@ -1,0 +1,74 @@
+// ClassBench-scale synthetic rule sets (100k .. 1M rules).
+//
+// The paper's seed generator (rules/generator.hpp) tops out around the
+// evaluation's 2k-rule sets and dedups with an O(n^2) scan; this module
+// synthesizes rule sets at the scale the ClassBench suite and the
+// follow-on literature evaluate (Rashelbach et al., Jamil & Weng — see
+// PAPERS.md): 100k / 500k / 1M rules with the skewed structure real
+// filter databases show:
+//
+//  * a provider -> site -> subnet prefix hierarchy, so prefixes nest and
+//    share the way BGP-derived address space does;
+//  * profile-specific prefix-length histograms (firewall: wildcard-heavy
+//    sources, long protected destinations; core-router: backbone lengths
+//    peaking at /16../24; ACL: long, nearly-exact destinations);
+//  * the five ClassBench port classes — wildcard, ephemeral [1024:65535],
+//    well-known [0:1023], arbitrary range, exact match — drawn per
+//    profile;
+//  * bounded distinct-value pools (real sets reuse the same subnets and
+//    services across many rules), which is what keeps decision-tree
+//    images at realistic sizes.
+//
+// Generation is O(n) (hash-set dedup) and fully deterministic for a given
+// config: the same seed yields a byte-identical rule set on every
+// platform (tests/scalegen_test.cpp proves it through the ClassBench
+// writer).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rules/ruleset.hpp"
+
+namespace pclass {
+namespace workload {
+
+enum class ScaleProfile : u8 {
+  kFirewall = 0,    ///< FW: wildcard sources, protected dst prefixes/ports.
+  kCoreRouter = 1,  ///< CR: sip/dip prefix pairs, mostly-wildcard ports.
+  kAcl = 2,         ///< ACL: long dst prefixes, exact services, proto mix.
+};
+
+const char* scale_profile_name(ScaleProfile p);
+
+struct ScaleGenConfig {
+  ScaleProfile profile = ScaleProfile::kCoreRouter;
+  std::size_t rule_count = 100000;
+  u64 seed = 1;
+  /// Top-level provider blocks (/8../12) the prefix hierarchy hangs off.
+  std::size_t provider_blocks = 64;
+  /// Site blocks (/16../20) carved inside the providers.
+  std::size_t site_blocks = 4096;
+  /// Append a match-all default rule as the lowest priority.
+  bool with_default = true;
+};
+
+/// Generates one rule set; throws ConfigError on a zero rule_count.
+RuleSet generate_scale_ruleset(const ScaleGenConfig& cfg);
+
+/// Named evaluation tiers ("FW-100k" .. "CR-1M").
+struct ScaleSetSpec {
+  const char* name;
+  ScaleProfile profile;
+  std::size_t rule_count;
+  u64 seed;
+};
+
+/// The nine standard tiers: {FW, CR, ACL} x {100k, 500k, 1M}.
+const std::vector<ScaleSetSpec>& scale_rulesets();
+
+/// Generates a tier by name; throws ConfigError for unknown names.
+RuleSet generate_scale_ruleset(const std::string& name);
+
+}  // namespace workload
+}  // namespace pclass

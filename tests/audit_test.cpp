@@ -344,11 +344,11 @@ TEST_F(ImageAuditTest, StrictLoadRejectsForgedButChecksummedImage) {
   std::stringstream wire;
   expcuts::save_image(wire, cls_);
   std::string bytes = wire.str();
-  // Serialized layout: 27-byte XPC2 header, then words, then the
-  // checksum. Forge the root header's HABS bit 0 and re-checksum,
-  // modeling a buggy builder whose output is transport-clean but
-  // structurally broken.
-  const std::size_t word_base = 27;
+  // Serialized layout: 64-byte XPC3 header (fields + alignment padding),
+  // then words, then the checksum. Forge the root header's HABS bit 0 and
+  // re-checksum, modeling a buggy builder whose output is transport-clean
+  // but structurally broken.
+  const std::size_t word_base = 64;
   bytes[word_base + std::size_t{root_} * 4] &= static_cast<char>(~1);
   std::vector<u32> patched(words_.size());
   std::memcpy(patched.data(), bytes.data() + word_base, patched.size() * 4);
@@ -366,7 +366,7 @@ TEST_F(ImageAuditTest, LoadRejectsPayloadCountMismatchBeforeAllocating) {
   std::stringstream wire;
   expcuts::save_image(wire, cls_);
   std::string bytes = wire.str();
-  // Forge the declared word count (u64 at offset 19 in XPC2) up by one:
+  // Forge the declared word count (u64 at offset 19 in XPC2/XPC3) up by one:
   // the remaining payload no longer matches, and the loader must say so
   // before trying to allocate or read.
   u64 count = 0;

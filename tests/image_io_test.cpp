@@ -76,18 +76,24 @@ TEST(ImageIo, RoundTripKeepsAlignedLayout) {
   EXPECT_EQ(loaded.config.layout, kLayoutAligned);
 }
 
-// Byte offset of the layout byte in an XPC2 header: magic(4) + stride_w(4)
-// + habs_v(4) + order(1) + aggregated(1).
+// Byte offset of the layout byte in an XPC2/XPC3 header: magic(4) +
+// stride_w(4) + habs_v(4) + order(1) + aggregated(1).
 constexpr std::size_t kLayoutByteOffset = 14;
+// XPC3 headers occupy 64 bytes (the tail past the 27 header-field bytes
+// is zero padding that cache-line-aligns the mmapped payload).
+constexpr std::size_t kHeaderBytesV3 = 64;
+constexpr std::size_t kHeaderFieldsBytes = 27;
 
-/// Rewrites an XPC2 stream holding a linearly packed image into the exact
-/// bytes a v1 writer would have produced: v1 magic, no layout byte. The
-/// checksum covers only stride_w and the words, so it survives the edit.
-std::string to_v1_bytes(std::string v2) {
-  EXPECT_EQ(v2.substr(0, 4), "XPC2");
-  v2[3] = '1';
-  v2.erase(kLayoutByteOffset, 1);
-  return v2;
+/// Rewrites an XPC3 stream holding a linearly packed image into the exact
+/// bytes a v1 writer would have produced: v1 magic, no layout byte, no
+/// alignment padding. The checksum covers only stride_w and the words, so
+/// it survives the edit.
+std::string to_v1_bytes(std::string v3) {
+  EXPECT_EQ(v3.substr(0, 4), "XPC3");
+  v3[3] = '1';
+  v3.erase(kHeaderFieldsBytes, kHeaderBytesV3 - kHeaderFieldsBytes);
+  v3.erase(kLayoutByteOffset, 1);
+  return v3;
 }
 
 TEST(ImageIo, LoadsLegacyV1Images) {
@@ -134,12 +140,13 @@ TEST(ImageIo, RejectsBadMagic) {
   EXPECT_THROW(load_image(buf), ParseError);
   // A plausible-looking future version is rejected with the versioned
   // message, not misparsed as v1/v2.
-  std::stringstream future("XPC3aaaaaaaaaaaaaaaaaaaaaaaaaaaa");
+  std::stringstream future("XPC4aaaaaaaaaaaaaaaaaaaaaaaaaaaa");
   try {
     load_image(future);
     FAIL() << "unknown magic must not load";
   } catch (const ParseError& e) {
-    EXPECT_NE(std::string(e.what()).find("XPC1 or XPC2"), std::string::npos)
+    EXPECT_NE(std::string(e.what()).find("XPC1, XPC2 or XPC3"),
+              std::string::npos)
         << e.what();
   }
 }

@@ -1,0 +1,221 @@
+// ClassBench-scale generator: determinism, profile shape, named tiers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "rules/parser.hpp"
+#include "workload/scalegen.hpp"
+
+namespace pclass {
+namespace workload {
+namespace {
+
+ScaleGenConfig small_cfg(ScaleProfile p, u64 seed = 42) {
+  ScaleGenConfig cfg;
+  cfg.profile = p;
+  cfg.rule_count = 20000;  // large enough for stable histograms, fast
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(ScaleGen, SameSeedIsByteIdentical) {
+  const ScaleGenConfig cfg = small_cfg(ScaleProfile::kCoreRouter);
+  const RuleSet a = generate_scale_ruleset(cfg);
+  const RuleSet b = generate_scale_ruleset(cfg);
+  ASSERT_EQ(a.size(), cfg.rule_count);
+  // Byte identity through the ClassBench writer is the portability claim:
+  // the full serialized form, not just counts, must match.
+  EXPECT_EQ(write_classbench_string(a), write_classbench_string(b));
+}
+
+TEST(ScaleGen, DifferentSeedsDiffer) {
+  const RuleSet a = generate_scale_ruleset(small_cfg(ScaleProfile::kAcl, 1));
+  const RuleSet b = generate_scale_ruleset(small_cfg(ScaleProfile::kAcl, 2));
+  EXPECT_NE(write_classbench_string(a), write_classbench_string(b));
+}
+
+TEST(ScaleGen, RespectsRuleCountAndDefault) {
+  ScaleGenConfig cfg = small_cfg(ScaleProfile::kFirewall);
+  cfg.rule_count = 1234;
+  const RuleSet rs = generate_scale_ruleset(cfg);
+  ASSERT_EQ(rs.size(), 1234u);
+  EXPECT_TRUE(rs.has_default());
+
+  cfg.with_default = false;
+  const RuleSet no_def = generate_scale_ruleset(cfg);
+  ASSERT_EQ(no_def.size(), 1234u);
+}
+
+TEST(ScaleGen, RejectsDegenerateConfigs) {
+  ScaleGenConfig cfg;
+  cfg.rule_count = 0;
+  EXPECT_THROW(generate_scale_ruleset(cfg), ConfigError);
+  cfg.rule_count = 100;
+  cfg.provider_blocks = 0;
+  EXPECT_THROW(generate_scale_ruleset(cfg), ConfigError);
+  EXPECT_THROW(generate_scale_ruleset("CR-7k"), ConfigError);
+}
+
+TEST(ScaleGen, NamedTiersCoverProfilesAndSizes) {
+  const auto& specs = scale_rulesets();
+  ASSERT_EQ(specs.size(), 9u);
+  std::size_t by_count[3] = {};
+  for (const ScaleSetSpec& s : specs) {
+    if (s.rule_count == 100000) ++by_count[0];
+    if (s.rule_count == 500000) ++by_count[1];
+    if (s.rule_count == 1000000) ++by_count[2];
+  }
+  EXPECT_EQ(by_count[0], 3u);
+  EXPECT_EQ(by_count[1], 3u);
+  EXPECT_EQ(by_count[2], 3u);
+}
+
+// Shape summary over one profile's rule body (the default rule excluded).
+struct Shape {
+  std::size_t n = 0;
+  double sip_wild = 0, dip_wild = 0, deny = 0;
+  double dport_exact = 0, dport_wild = 0;
+  double sport_wild = 0, sport_ephemeral = 0, sport_wellknown = 0,
+         sport_range = 0, sport_exact = 0;
+  /// Histogram of non-wildcard prefix lengths, index = length.
+  std::array<std::size_t, 33> sip_len{}, dip_len{};
+  std::size_t dip_prefixes = 0, sip_prefixes = 0;
+};
+
+Shape summarize(const RuleSet& rs) {
+  Shape s;
+  const std::size_t body = rs.size() - 1;  // skip the default rule
+  s.n = body;
+  for (std::size_t i = 0; i < body; ++i) {
+    const Rule& r = rs[static_cast<RuleId>(i)];
+    const Interval& sip = r.box[Dim::kSrcIp];
+    const Interval& dip = r.box[Dim::kDstIp];
+    const Interval& sp = r.box[Dim::kSrcPort];
+    const Interval& dp = r.box[Dim::kDstPort];
+    if (sip == Interval::full(32)) {
+      s.sip_wild += 1;
+    } else if (sip.is_prefix(32)) {
+      ++s.sip_prefixes;
+      ++s.sip_len[sip.prefix_len(32)];
+    }
+    if (dip == Interval::full(32)) {
+      s.dip_wild += 1;
+    } else if (dip.is_prefix(32)) {
+      ++s.dip_prefixes;
+      ++s.dip_len[dip.prefix_len(32)];
+    }
+    if (r.action == Action::kDeny) s.deny += 1;
+    if (dp.lo == dp.hi) s.dport_exact += 1;
+    if (dp == Interval::full(16)) s.dport_wild += 1;
+    if (sp == Interval::full(16)) {
+      s.sport_wild += 1;
+    } else if (sp.lo == 1024 && sp.hi == 65535) {
+      s.sport_ephemeral += 1;
+    } else if (sp.lo == 0 && sp.hi == 1023) {
+      s.sport_wellknown += 1;
+    } else if (sp.lo == sp.hi) {
+      s.sport_exact += 1;
+    } else {
+      s.sport_range += 1;
+    }
+  }
+  const double n = static_cast<double>(body);
+  s.sip_wild /= n;
+  s.dip_wild /= n;
+  s.deny /= n;
+  s.dport_exact /= n;
+  s.dport_wild /= n;
+  s.sport_wild /= n;
+  s.sport_ephemeral /= n;
+  s.sport_wellknown /= n;
+  s.sport_range /= n;
+  s.sport_exact /= n;
+  return s;
+}
+
+double len_mass(const std::array<std::size_t, 33>& hist, std::size_t total,
+                u32 lo, u32 hi) {
+  std::size_t in = 0;
+  for (u32 l = lo; l <= hi; ++l) in += hist[l];
+  return total == 0 ? 0.0 : static_cast<double>(in) / total;
+}
+
+TEST(ScaleGen, EveryAddressIsWildcardOrPrefix) {
+  // ClassBench semantics: IP fields are always CIDR prefixes.
+  for (const ScaleProfile p : {ScaleProfile::kFirewall,
+                               ScaleProfile::kCoreRouter, ScaleProfile::kAcl}) {
+    const RuleSet rs = generate_scale_ruleset(small_cfg(p));
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      const Rule& r = rs[static_cast<RuleId>(i)];
+      EXPECT_TRUE(r.box[Dim::kSrcIp].is_prefix(32));
+      EXPECT_TRUE(r.box[Dim::kDstIp].is_prefix(32));
+    }
+  }
+}
+
+TEST(ScaleGen, FirewallShape) {
+  const Shape s =
+      summarize(generate_scale_ruleset(small_cfg(ScaleProfile::kFirewall)));
+  // Wildcard-heavy sources ("from anywhere"), specific destinations.
+  EXPECT_GT(s.sip_wild, 0.35);
+  EXPECT_LT(s.sip_wild, 0.65);
+  EXPECT_LT(s.dip_wild, 0.15);
+  // The protected space is mostly long prefixes (/24 and beyond).
+  EXPECT_GT(len_mass(s.dip_len, s.dip_prefixes, 24, 32), 0.80);
+  // Destination ports name services: exact matches dominate.
+  EXPECT_GT(s.dport_exact, 0.40);
+  // Deny rules are common but not the norm.
+  EXPECT_GT(s.deny, 0.20);
+  EXPECT_LT(s.deny, 0.45);
+}
+
+TEST(ScaleGen, CoreRouterShape) {
+  const Shape s =
+      summarize(generate_scale_ruleset(small_cfg(ScaleProfile::kCoreRouter)));
+  // Backbone filters match prefix pairs: very few wildcard addresses.
+  EXPECT_LT(s.sip_wild, 0.15);
+  EXPECT_LT(s.dip_wild, 0.10);
+  // Announced-route lengths peak in /16../24.
+  EXPECT_GT(len_mass(s.sip_len, s.sip_prefixes, 16, 24), 0.60);
+  EXPECT_GT(len_mass(s.dip_len, s.dip_prefixes, 16, 24), 0.60);
+  // Ports are mostly unconstrained in transit filtering.
+  EXPECT_GT(s.dport_wild, 0.30);
+  EXPECT_GT(s.sport_wild, 0.55);
+}
+
+TEST(ScaleGen, AclShape) {
+  const Shape s =
+      summarize(generate_scale_ruleset(small_cfg(ScaleProfile::kAcl)));
+  // ACLs pin destinations nearly exactly.
+  EXPECT_LT(s.dip_wild, 0.08);
+  EXPECT_GT(len_mass(s.dip_len, s.dip_prefixes, 28, 32), 0.55);
+  EXPECT_GT(s.dport_exact, 0.40);
+  EXPECT_GT(s.deny, 0.35);
+}
+
+TEST(ScaleGen, AllFivePortClassesAppear) {
+  const Shape s =
+      summarize(generate_scale_ruleset(small_cfg(ScaleProfile::kCoreRouter)));
+  EXPECT_GT(s.sport_wild, 0.0);
+  EXPECT_GT(s.sport_ephemeral, 0.0);
+  EXPECT_GT(s.sport_wellknown, 0.0);
+  EXPECT_GT(s.sport_range, 0.0);
+  EXPECT_GT(s.sport_exact, 0.0);
+}
+
+TEST(ScaleGen, NamedTierGeneratesAndIsNamed) {
+  ScaleGenConfig cfg;
+  cfg.profile = ScaleProfile::kCoreRouter;
+  cfg.rule_count = 100000;
+  cfg.seed = 0xC100;
+  const RuleSet by_cfg = generate_scale_ruleset(cfg);
+  const RuleSet by_name = generate_scale_ruleset("CR-100k");
+  ASSERT_EQ(by_name.size(), 100000u);
+  EXPECT_EQ(by_name.name(), "CR-100k");
+  EXPECT_EQ(write_classbench_string(by_cfg), write_classbench_string(by_name));
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace pclass

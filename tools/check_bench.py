@@ -9,14 +9,19 @@ Every bench_* binary emits one JSON document via bench/bench_json.hpp
       malformed file.
 
   compare BASELINE CURRENT [--max-regress 0.20] [--metric KEY]
+          [--max-growth F]
       Join the two documents' result rows on their shared string-valued
       identity keys and compare numeric metrics row by row. A metric
       regresses when it moves in the bad direction by more than
       --max-regress (relative). Direction is inferred from the key name:
-      keys ending in ns/_ns/ns_per_lookup/_ms/_cycles/_bytes are
+      keys ending in ns/_ns/ns_per_lookup/_ms/_cycles/_bytes/_seconds are
       lower-is-better; *_mpps / *throughput* / *mlookups* / *hit_rate* /
       *speedup* are higher-is-better; everything else is informational.
       With --metric only that key gates; others are still printed.
+      --max-growth gives monotone size metrics (keys ending in _bytes /
+      _nodes / _words) their own, usually tighter, bound: sizes are
+      deterministic functions of (rules, config), so they deserve a
+      stricter gate than timing metrics, which carry machine noise.
 
 Exit codes: 0 OK, 1 regression or malformed input, 2 usage error.
 """
@@ -30,7 +35,19 @@ SCHEMA_VERSION = 1
 # Dispatch tiers bench_json.hpp can report in machine.simd.
 SIMD_TIERS = ("scalar", "avx2", "avx512")
 
-LOWER_IS_BETTER_SUFFIXES = ("_ns", "ns_per_lookup", "_ms", "_cycles", "_bytes")
+LOWER_IS_BETTER_SUFFIXES = (
+    "_ns",
+    "ns_per_lookup",
+    "_ms",
+    "_cycles",
+    "_bytes",
+    "_seconds",
+)
+
+# Deterministic size metrics: same rules + config must give the same
+# image, so these gate at --max-growth (when given) instead of the
+# machine-noise-tolerant --max-regress.
+SIZE_SUFFIXES = ("_bytes", "_nodes", "_words")
 HIGHER_IS_BETTER_MARKERS = (
     "mpps",
     "throughput",
@@ -73,8 +90,13 @@ def validate_doc(doc, path):
     need("bench", str)
     need("quick", bool)
     machine = need("machine", dict)
-    if machine is not None and "simd" in machine:
-        if machine["simd"] not in SIMD_TIERS:
+    if machine is not None:
+        # Without the dispatch tier a perf diff cannot distinguish "this
+        # machine got slower" from "this machine lacks AVX", so its
+        # absence is a schema error, not a warning.
+        if "simd" not in machine:
+            errors.append("machine.simd missing")
+        elif machine["simd"] not in SIMD_TIERS:
             errors.append(f"machine.simd {machine['simd']!r} not in {SIMD_TIERS}")
     need("config", dict)
     results = need("results", list)
@@ -82,6 +104,15 @@ def validate_doc(doc, path):
         for i, row in enumerate(results):
             if not isinstance(row, dict):
                 errors.append(f"results[{i}] is not an object")
+        # The scale document feeds the CI scale gates; every row must
+        # carry the two gated metrics or the gate silently gates nothing.
+        if doc.get("bench") == "scale":
+            for i, row in enumerate(results):
+                if not isinstance(row, dict):
+                    continue
+                for k in ("build_seconds", "image_bytes"):
+                    if k not in row:
+                        errors.append(f"results[{i}] (scale) missing '{k}'")
     latency = need("latency_ns", dict)
     if latency is not None:
         for series, s in latency.items():
@@ -125,7 +156,7 @@ def identity(row, id_keys):
     return tuple(row.get(k) for k in id_keys)
 
 
-def compare_docs(base, cur, max_regress, only_metric):
+def compare_docs(base, cur, max_regress, only_metric, max_growth=None):
     if base.get("bench") != cur.get("bench"):
         fail(f"bench mismatch: {base.get('bench')!r} vs {cur.get('bench')!r}")
 
@@ -177,7 +208,10 @@ def compare_docs(base, cur, max_regress, only_metric):
             if old == 0:
                 continue
             rel = (new - old) / abs(old)
-            bad = d_gate == -1 and rel > max_regress or d_gate == +1 and rel < -max_regress
+            bound = max_regress
+            if max_growth is not None and metric.lower().endswith(SIZE_SUFFIXES):
+                bound = max_growth
+            bad = d_gate == -1 and rel > bound or d_gate == +1 and rel < -bound
             tag = "REGRESS" if bad else ("ok" if d else "info")
             arrow = "+" if rel >= 0 else ""
             print(
@@ -211,6 +245,12 @@ def main():
     c.add_argument("current")
     c.add_argument("--max-regress", type=float, default=0.20)
     c.add_argument("--metric", default=None, help="gate only on this metric key")
+    c.add_argument(
+        "--max-growth",
+        type=float,
+        default=None,
+        help="tighter bound for size metrics (*_bytes/_nodes/_words)",
+    )
     args = ap.parse_args()
 
     if args.mode == "validate":
@@ -228,7 +268,11 @@ def main():
         if not validate_doc(doc, path):
             sys.exit(1)
     print(f"comparing {args.current} against {args.baseline} ({base['bench']})")
-    sys.exit(0 if compare_docs(base, cur, args.max_regress, args.metric) else 1)
+    sys.exit(
+        0
+        if compare_docs(base, cur, args.max_regress, args.metric, args.max_growth)
+        else 1
+    )
 
 
 if __name__ == "__main__":

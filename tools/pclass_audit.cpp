@@ -4,13 +4,19 @@
 // src/audit/ and DESIGN.md §10). Reports are pclass-audit-v1 JSON on
 // stdout so CI can archive and diff them.
 //
-//   pclass_audit audit <image.bin> [rule_count]
+//   pclass_audit audit [--mmap] <image.bin> [rule_count]
 //       Audit a serialized ExpCuts SRAM image (as written by `build` or
 //       expcuts::save_image). rule_count, when given, additionally proves
-//       every leaf's rule id in range.
-//   pclass_audit build <ruleset> <out.bin>
-//       Compile one of the seed rule sets (FW01..CR04) and write its
-//       aggregated image — the golden-image producer for CI.
+//       every leaf's rule id in range. --mmap opens the image through the
+//       zero-copy mapping loader (v3 images only) so the audited words
+//       are the very bytes the data plane would run against.
+//   pclass_audit build [--threads=N] [--budget=BYTES] <ruleset> <out.bin>
+//       Compile a rule set and write its aggregated image — the
+//       golden-image producer for CI. Accepts the seed rule sets
+//       (FW01..CR04) and the scale tiers (FW-100k..ACL-1M; see
+//       workload/scalegen.hpp). --threads selects the parallel builder
+//       (0 = one per hardware thread), --budget caps the build's
+//       transient memory, degrading the stride instead of failing.
 //   pclass_audit selftest
 //       Build every seed rule set across ExpCuts (aggregated and
 //       unaggregated), HiCuts and HSM, audit each structure, and strict-
@@ -22,6 +28,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "audit/audit.hpp"
 #include "common/error.hpp"
@@ -29,6 +36,7 @@
 #include "hicuts/hicuts.hpp"
 #include "hsm/hsm.hpp"
 #include "rules/generator.hpp"
+#include "workload/scalegen.hpp"
 
 namespace {
 
@@ -36,31 +44,49 @@ using namespace pclass;
 
 int usage() {
   std::cerr
-      << "usage: pclass_audit audit <image.bin> [rule_count]\n"
-      << "       pclass_audit build <ruleset> <out.bin>\n"
+      << "usage: pclass_audit audit [--mmap] <image.bin> [rule_count]\n"
+      << "       pclass_audit build [--threads=N] [--budget=BYTES] "
+         "<ruleset> <out.bin>\n"
       << "       pclass_audit selftest\n"
       << "rulesets: ";
   for (const PaperRuleSetSpec& spec : paper_rulesets()) {
+    std::cerr << spec.name << " ";
+  }
+  for (const workload::ScaleSetSpec& spec : workload::scale_rulesets()) {
     std::cerr << spec.name << " ";
   }
   std::cerr << "\n";
   return 2;
 }
 
-int cmd_audit(const std::string& path, u32 rule_count) {
-  const expcuts::LoadedImage li = expcuts::load_image_file(path);
+int cmd_audit(const std::string& path, u32 rule_count, bool use_mmap) {
+  const expcuts::LoadedImage li = use_mmap ? expcuts::map_image_file(path)
+                                           : expcuts::load_image_file(path);
   const audit::AuditReport report = audit::audit_image(li, rule_count);
   audit::write_json(std::cout, report, path);
   std::cout << "\n";
   return report.ok() ? 0 : 1;
 }
 
-int cmd_build(const std::string& name, const std::string& out) {
-  const RuleSet rules = generate_paper_ruleset(name);
-  const expcuts::ExpCutsClassifier cls(rules);
+/// Accepts a seed set name (FW01..CR04) or a scale tier (FW-100k..ACL-1M).
+RuleSet generate_any_ruleset(const std::string& name) {
+  for (const PaperRuleSetSpec& spec : paper_rulesets()) {
+    if (name == spec.name) return generate_paper_ruleset(name);
+  }
+  return workload::generate_scale_ruleset(name);
+}
+
+int cmd_build(const std::string& name, const std::string& out, u32 threads,
+              u64 budget_bytes) {
+  const RuleSet rules = generate_any_ruleset(name);
+  expcuts::Config cfg;
+  cfg.build_threads = threads;
+  cfg.memory_budget_bytes = budget_bytes;
+  const expcuts::ExpCutsClassifier cls(rules, cfg);
   expcuts::save_image_file(out, cls);
   std::cerr << "pclass_audit: wrote " << out << " (" << rules.size()
-            << " rules, " << cls.flat().word_count() << " words)\n";
+            << " rules, " << cls.flat().word_count() << " words, stride "
+            << cls.config().stride_w << ")\n";
   return 0;
 }
 
@@ -121,13 +147,37 @@ int cmd_selftest() {
 int main(int argc, char** argv) {
   try {
     const std::string cmd = argc > 1 ? argv[1] : "";
-    if (cmd == "audit" && (argc == 3 || argc == 4)) {
-      const u32 rule_count =
-          argc == 4 ? static_cast<u32>(std::strtoul(argv[3], nullptr, 10)) : 0;
-      return cmd_audit(argv[2], rule_count);
+    // Split the remaining argv into --flags and positionals.
+    bool use_mmap = false;
+    u32 threads = 1;
+    u64 budget_bytes = 0;
+    std::vector<std::string> pos;
+    for (int i = 2; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--mmap") {
+        use_mmap = true;
+      } else if (a.rfind("--threads=", 0) == 0) {
+        threads = static_cast<u32>(std::strtoul(a.c_str() + 10, nullptr, 10));
+      } else if (a.rfind("--budget=", 0) == 0) {
+        budget_bytes = std::strtoull(a.c_str() + 9, nullptr, 10);
+      } else if (a.rfind("--", 0) == 0) {
+        std::cerr << "pclass_audit: unknown flag '" << a << "'\n";
+        return usage();
+      } else {
+        pos.push_back(a);
+      }
     }
-    if (cmd == "build" && argc == 4) return cmd_build(argv[2], argv[3]);
-    if (cmd == "selftest" && argc == 2) return cmd_selftest();
+    if (cmd == "audit" && (pos.size() == 1 || pos.size() == 2)) {
+      const u32 rule_count =
+          pos.size() == 2
+              ? static_cast<u32>(std::strtoul(pos[1].c_str(), nullptr, 10))
+              : 0;
+      return cmd_audit(pos[0], rule_count, use_mmap);
+    }
+    if (cmd == "build" && pos.size() == 2) {
+      return cmd_build(pos[0], pos[1], threads, budget_bytes);
+    }
+    if (cmd == "selftest" && pos.empty() && argc == 2) return cmd_selftest();
     return usage();
   } catch (const Error& e) {
     std::cerr << "pclass_audit: " << e.what() << "\n";
