@@ -11,6 +11,7 @@
 #include "expcuts/expcuts.hpp"
 #include "expcuts/flat.hpp"
 #include "npsim/sim.hpp"
+#include "telemetry/profile.hpp"
 #include "workload/workload.hpp"
 
 namespace {
@@ -141,5 +142,69 @@ int main(int argc, char** argv) {
         .set("busiest_util", busiest);
   }
   t4.print(std::cout);
+
+  // --- Image packing: linear v1 vs aligned v2 vs heat-clustered v2 ---
+  // Heat for the third row comes from the sampled profiler itself: the
+  // batch walker runs once over the trace with 1-in-4 sampling, and the
+  // resulting per-offset heat feeds FlatLayoutHints — the same loop
+  // `pclass_audit profile` + `build --profile=` automates.
+  std::cout << "\n-- image packing (batch walker, CR03) --\n";
+  {
+    std::vector<u32> offsets;
+    expcuts::FlatLayoutHints probe;
+    probe.node_offsets_out = &offsets;
+    expcuts::Config cfg_v2 = cls.config();
+    cfg_v2.layout = expcuts::kLayoutAligned;
+    const expcuts::FlatImage aligned(cls.nodes(), cls.root(), cfg_v2, true,
+                                     nullptr, &probe);
+    expcuts::Config cfg_v1 = cls.config();
+    cfg_v1.layout = expcuts::kLayoutLinear;
+    const expcuts::FlatImage linear(cls.nodes(), cls.root(), cfg_v1);
+
+    telemetry::Profiler& prof = telemetry::Profiler::global();
+    const bool was_active = telemetry::active();
+    prof.reset();
+    prof.set_sample_period(4);
+    prof.set_enabled(true);
+    std::vector<RuleId> out(trace.size());
+    aligned.lookup_batch(trace.packets().data(), out.data(), trace.size(),
+                         cls.schedule());
+    prof.set_enabled(false);
+    const telemetry::HeatProfile heat = prof.snapshot();
+    expcuts::FlatLayoutHints hints;
+    hints.node_heat.resize(cls.nodes().size());
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+      hints.node_heat[i] = heat.expcuts.visits(offsets[i]);
+    }
+    const expcuts::FlatImage clustered(cls.nodes(), cls.root(), cfg_v2, true,
+                                       nullptr, &hints);
+
+    const int reps = report.quick() ? 3 : 5;
+    const auto measure = [&](const expcuts::FlatImage& img) {
+      const double best = bench::best_seconds(reps, [&] {
+        img.lookup_batch(trace.packets().data(), out.data(), trace.size(),
+                         cls.schedule());
+      });
+      return static_cast<double>(trace.size()) / best / 1e6;
+    };
+    TextTable t5({"packing", "words", "batch_mpps"});
+    struct PackRow {
+      const char* name;
+      const expcuts::FlatImage* img;
+    };
+    for (const PackRow& p :
+         {PackRow{"linear_v1", &linear}, PackRow{"aligned_v2", &aligned},
+          PackRow{"heat_clustered", &clustered}}) {
+      const double mpps = measure(*p.img);
+      t5.add(p.name, p.img->word_count(), format_fixed(mpps, 2));
+      report.add_row()
+          .set("ablation", "packing")
+          .set("packing", std::string(p.name))
+          .set("words", p.img->word_count())
+          .set("batch_mpps", mpps);
+    }
+    t5.print(std::cout);
+    if (was_active) prof.set_enabled(true);  // restore --profile-sample
+  }
   return report.write();
 }

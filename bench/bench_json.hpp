@@ -30,6 +30,13 @@
 //                                     tracer and write a Chrome trace-event
 //                                     file (load in Perfetto; no-op when
 //                                     built with PCLASS_TRACE=OFF)
+//                       --profile-sample=N  enable the sampled heat
+//                                     profiler at 1-in-N for the run (the
+//                                     CI overhead gate runs N=64; no-op
+//                                     when built with PCLASS_PROFILE=OFF)
+//                       --heat=PATH   write the run's pclass-heat-v1 heat
+//                                     profile on exit (implies
+//                                     --profile-sample=64 unless given)
 #pragma once
 
 #include <algorithm>
@@ -47,6 +54,7 @@
 #include "common/metrics.hpp"
 #include "common/simd.hpp"
 #include "common/types.hpp"
+#include "telemetry/profile.hpp"
 #include "trace/export.hpp"
 #include "trace/trace.hpp"
 
@@ -97,10 +105,12 @@ inline std::string json_value(T v) {
   return std::to_string(v);
 }
 
-/// Mean/percentile summary of a latency sample series.
+/// Mean/percentile summary of a latency sample series. Quantiles are the
+/// shared nearest-rank convention (metrics::sample_quantile), so latency
+/// series and histogram snapshots summarize identically.
 struct LatencySummary {
   std::size_t samples = 0;
-  double mean = 0, p50 = 0, p90 = 0, p99 = 0, min = 0, max = 0;
+  double mean = 0, p50 = 0, p90 = 0, p99 = 0, p999 = 0, min = 0, max = 0;
 
   static LatencySummary of(std::vector<double> xs) {
     LatencySummary s;
@@ -110,15 +120,10 @@ struct LatencySummary {
     double sum = 0;
     for (double x : xs) sum += x;
     s.mean = sum / static_cast<double>(xs.size());
-    auto at = [&](double f) {
-      const std::size_t i = std::min(
-          xs.size() - 1,
-          static_cast<std::size_t>(f * static_cast<double>(xs.size())));
-      return xs[i];
-    };
-    s.p50 = at(0.50);
-    s.p90 = at(0.90);
-    s.p99 = at(0.99);
+    s.p50 = metrics::sample_quantile(xs, 0.50);
+    s.p90 = metrics::sample_quantile(xs, 0.90);
+    s.p99 = metrics::sample_quantile(xs, 0.99);
+    s.p999 = metrics::sample_quantile(xs, 0.999);
     s.min = xs.front();
     s.max = xs.back();
     return s;
@@ -153,13 +158,20 @@ class BenchReport {
         json_path_ = argv[++i];
       } else if (std::strncmp(a, "--trace=", 8) == 0) {
         trace_path_ = a + 8;
+      } else if (std::strncmp(a, "--profile-sample=", 17) == 0) {
+        profile_period_ = static_cast<u32>(std::strtoul(a + 17, nullptr, 10));
+      } else if (std::strncmp(a, "--heat=", 7) == 0) {
+        heat_path_ = a + 7;
       } else {
         std::fprintf(stderr,
                      "%s: unknown argument '%s' (supported: --quick "
-                     "--json=PATH --trace=PATH)\n",
+                     "--json=PATH --trace=PATH --profile-sample=N "
+                     "--heat=PATH)\n",
                      name_.c_str(), a);
       }
     }
+    // Named tracks in the Chrome trace / exporter output beat "thread-0".
+    trace::name_this_thread("main");
     if (!trace_path_.empty()) {
       trace::Registry::global().reset();
       trace::Registry::global().set_enabled(true);
@@ -168,6 +180,19 @@ class BenchReport {
                      "%s: --trace requested but the tracer is compiled out "
                      "(PCLASS_TRACE=OFF); %s will be empty\n",
                      name_.c_str(), trace_path_.c_str());
+      }
+    }
+    if (!heat_path_.empty() && profile_period_ == 0) profile_period_ = 64;
+    if (profile_period_ > 0) {
+      telemetry::Profiler& prof = telemetry::Profiler::global();
+      prof.reset();
+      prof.set_sample_period(profile_period_);
+      prof.set_enabled(true);
+      if (!telemetry::active()) {
+        std::fprintf(stderr,
+                     "%s: --profile-sample requested but the profiler is "
+                     "compiled out (PCLASS_PROFILE=OFF)\n",
+                     name_.c_str());
       }
     }
   }
@@ -194,6 +219,18 @@ class BenchReport {
   /// Chrome trace-event file under --trace=PATH). Returns an exit code
   /// for main(): 0 on success.
   int write() const {
+    if (profile_period_ > 0) {
+      telemetry::Profiler::global().set_enabled(false);
+    }
+    if (!heat_path_.empty()) {
+      try {
+        telemetry::Profiler::global().snapshot().save_json_file(heat_path_);
+        std::printf("wrote %s\n", heat_path_.c_str());
+      } catch (const Error& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+      }
+    }
     if (!trace_path_.empty()) {
       trace::Registry::global().set_enabled(false);
       try {
@@ -283,12 +320,13 @@ class BenchReport {
       const auto& [series, s] = latency_[i];
       std::fprintf(f,
                    "%s\n    \"%s\": {\"samples\": %zu, \"mean\": %s, "
-                   "\"p50\": %s, \"p90\": %s, \"p99\": %s, \"min\": %s, "
-                   "\"max\": %s}",
+                   "\"p50\": %s, \"p90\": %s, \"p99\": %s, \"p999\": %s, "
+                   "\"min\": %s, \"max\": %s}",
                    i ? "," : "", json_escape(series).c_str(), s.samples,
                    json_value(s.mean).c_str(), json_value(s.p50).c_str(),
                    json_value(s.p90).c_str(), json_value(s.p99).c_str(),
-                   json_value(s.min).c_str(), json_value(s.max).c_str());
+                   json_value(s.p999).c_str(), json_value(s.min).c_str(),
+                   json_value(s.max).c_str());
     }
     std::fprintf(f, "%s},\n", latency_.empty() ? "" : "\n  ");
   }
@@ -304,18 +342,20 @@ class BenchReport {
                  snap.counters.empty() ? "" : "\n    ");
     for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
       const metrics::HistogramSnapshot& h = snap.histograms[i];
+      const metrics::Quantiles q = h.quantiles();
       std::fprintf(
           f,
           "%s\n      \"%s\": {\"scale\": \"%s\", \"width\": %llu, "
           "\"total\": %llu, \"p50\": %llu, \"p90\": %llu, \"p99\": %llu, "
-          "\"buckets\": [",
+          "\"p999\": %llu, \"buckets\": [",
           i ? "," : "", json_escape(h.name).c_str(),
           h.scale == metrics::Scale::kLinear ? "linear" : "log2",
           static_cast<unsigned long long>(h.width),
           static_cast<unsigned long long>(h.total),
-          static_cast<unsigned long long>(h.percentile(0.50)),
-          static_cast<unsigned long long>(h.percentile(0.90)),
-          static_cast<unsigned long long>(h.percentile(0.99)));
+          static_cast<unsigned long long>(q.p50),
+          static_cast<unsigned long long>(q.p90),
+          static_cast<unsigned long long>(q.p99),
+          static_cast<unsigned long long>(q.p999));
       for (std::size_t b = 0; b < h.buckets.size(); ++b) {
         std::fprintf(f, "%s%llu", b ? ", " : "",
                      static_cast<unsigned long long>(h.buckets[b]));
@@ -328,6 +368,8 @@ class BenchReport {
   std::string name_;
   std::string json_path_;
   std::string trace_path_;  ///< Empty = no trace capture.
+  std::string heat_path_;   ///< Empty = no heat-profile dump.
+  u32 profile_period_ = 0;  ///< 0 = profiler left alone.
   bool quick_ = false;
   Pairs config_;
   std::vector<Row> rows_;

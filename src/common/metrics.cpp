@@ -37,6 +37,19 @@ u64 HistogramSnapshot::percentile(double fraction) const {
   return bucket_lo(buckets.empty() ? 0 : buckets.size() - 1);
 }
 
+Quantiles HistogramSnapshot::quantiles() const {
+  return Quantiles{percentile(0.50), percentile(0.90), percentile(0.99),
+                   percentile(0.999)};
+}
+
+double sample_quantile(const std::vector<double>& sorted, double fraction) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t i = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(fraction * static_cast<double>(sorted.size())));
+  return sorted[i];
+}
+
 Histogram::Histogram(std::string name, Scale scale, std::size_t buckets,
                      u64 width)
     : name_(std::move(name)),

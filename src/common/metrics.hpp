@@ -88,6 +88,14 @@ enum class Scale {
   kLog2,    ///< bucket 0 covers {0}, bucket i>=1 covers [2^(i-1), 2^i).
 };
 
+/// The standard quantile set reporting code summarizes histograms with.
+struct Quantiles {
+  u64 p50 = 0;
+  u64 p90 = 0;
+  u64 p99 = 0;
+  u64 p999 = 0;
+};
+
 /// Merged view of one histogram, produced by Registry::snapshot().
 struct HistogramSnapshot {
   std::string name;
@@ -100,7 +108,14 @@ struct HistogramSnapshot {
   u64 bucket_lo(std::size_t i) const;
   /// Lower bound of the smallest bucket holding the `fraction` quantile.
   u64 percentile(double fraction) const;
+  /// p50/p90/p99/p999 in one pass-per-call bundle.
+  Quantiles quantiles() const;
 };
+
+/// Nearest-rank quantile of a SORTED sample vector: the element at rank
+/// floor(fraction * n), clamped (the convention every bench reporter
+/// shares). Returns 0 on an empty vector.
+double sample_quantile(const std::vector<double>& sorted, double fraction);
 
 /// A named fixed-bucket histogram, sharded per thread. Values beyond the
 /// last bucket clamp into it (the explicit-worst-case framing: the final

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
+#include "telemetry/profile.hpp"
 #include "trace/trace.hpp"
 
 namespace pclass {
@@ -50,14 +51,19 @@ FlowCache::FlowCache(std::size_t capacity) : capacity_(capacity) {
 std::optional<RuleId> FlowCache::get(const PacketHeader& h) {
   const MutexLock lock(mu_);
   const auto it = map_.find(h);
+  // Sampled probe outcomes feed the heat profiler's hit-rate estimate
+  // (folds to nothing under -DPCLASS_PROFILE=OFF).
+  const bool sampled = telemetry::active() && telemetry::Profiler::tick();
   if (it == map_.end()) {
     ++stats_.misses;
     cache_metrics().misses.inc();
+    if (sampled) telemetry::Profiler::global().record_flow_probe(false);
     PCLASS_TRACE_INSTANT(kFlowCacheMiss, KeyHash{}(h), 0);
     return std::nullopt;
   }
   ++stats_.hits;
   cache_metrics().hits.inc();
+  if (sampled) telemetry::Profiler::global().record_flow_probe(true);
   PCLASS_TRACE_INSTANT(kFlowCacheHit, KeyHash{}(h), it->second->verdict);
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
   return it->second->verdict;

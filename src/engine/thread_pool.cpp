@@ -9,7 +9,10 @@ ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) throw ConfigError("ThreadPool: need at least 1 thread");
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      trace::name_this_thread("pool-worker-" + std::to_string(i));
+      worker_loop();
+    });
   }
 }
 

@@ -12,6 +12,7 @@
 #include "common/simd.hpp"
 #include "engine/thread_pool.hpp"
 #include "expcuts/flat_simd.hpp"
+#include "telemetry/profile.hpp"
 #include "trace/trace.hpp"
 
 namespace pclass {
@@ -96,7 +97,8 @@ FlatImage::FlatImage(std::shared_ptr<const MappedFile> map, const u32* words,
 }
 
 FlatImage::FlatImage(const std::vector<Node>& nodes, Ptr root,
-                     const Config& cfg, bool aggregated, ThreadPool* pool)
+                     const Config& cfg, bool aggregated, ThreadPool* pool,
+                     const FlatLayoutHints* hints)
     : u_(cfg.stride_w - std::min({cfg.habs_v, cfg.stride_w, 4u})),
       chunk_mask_((u32{1} << cfg.stride_w) - 1),
       layout_(cfg.layout),
@@ -135,9 +137,25 @@ FlatImage::FlatImage(const std::vector<Node>& nodes, Ptr root,
   const u64 t_pass1 = tracing ? trace::now_ns() : 0;
   std::vector<u32> emit_order(nodes.size());
   std::iota(emit_order.begin(), emit_order.end(), 0u);
+  const std::vector<u64>* heat = nullptr;
+  if (hints != nullptr && !hints->node_heat.empty()) {
+    check(hints->node_heat.size() == nodes.size(),
+          "FlatImage: heat hint size != node count");
+    check(layout_ == kLayoutAligned,
+          "FlatImage: heat-ordered packing requires layout v2");
+    heat = &hints->node_heat;
+  }
   if (layout_ == kLayoutAligned) {
-    std::stable_sort(emit_order.begin(), emit_order.end(),
-                     [&](u32 a, u32 b) { return nodes[a].level < nodes[b].level; });
+    // Level order first (the audit invariant), heat descending within a
+    // level so each level's hottest nodes share its leading cache lines;
+    // stable_sort keeps build order for ties, so a null/uniform heat
+    // reproduces the historical packing exactly.
+    std::stable_sort(emit_order.begin(), emit_order.end(), [&](u32 a, u32 b) {
+      if (nodes[a].level != nodes[b].level) {
+        return nodes[a].level < nodes[b].level;
+      }
+      return heat != nullptr && (*heat)[a] > (*heat)[b];
+    });
   }
   std::vector<HabsEncoding> encodings;
   std::vector<u64> offsets(nodes.size());
@@ -167,6 +185,12 @@ FlatImage::FlatImage(const std::vector<Node>& nodes, Ptr root,
     }
   }
   check(next < kLeafBit, "FlatImage: image exceeds 2^31 words");
+  if (hints != nullptr && hints->node_offsets_out != nullptr) {
+    hints->node_offsets_out->resize(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      (*hints->node_offsets_out)[i] = static_cast<u32>(offsets[i]);
+    }
+  }
   // v2 arenas are pre-filled with the pad sentinel so the alignment gaps
   // between nodes are provably inert (pclass_audit checks every one). No
   // pad follows the last node: word_count stays the exact structural size.
@@ -210,6 +234,11 @@ FlatImage::FlatImage(const std::vector<Node>& nodes, Ptr root,
 
 RuleId FlatImage::lookup(const PacketHeader& h, const Schedule& sched,
                          LookupTrace* trace, bool popcount_hw) const {
+  // Sampled heat profiling: 1-in-N lookups re-walk record-only (both
+  // calls fold to constant-false under -DPCLASS_PROFILE=OFF).
+  if (telemetry::active() && telemetry::Profiler::tick()) {
+    profile_walk(h, sched);
+  }
   // Hoisted once per lookup: when tracing is compiled in but idle, the
   // per-level cost is one predictable branch (CI gates this at 3%).
   const bool tracing = pclass::trace::active();
@@ -298,6 +327,10 @@ RuleId FlatImage::lookup_explained(const PacketHeader& h,
 void FlatImage::lookup_batch(const PacketHeader* h, RuleId* out,
                              std::size_t n, const Schedule& sched,
                              BatchLookupStats* stats) const {
+  // Sampled heat profiling rides outside the dispatched walkers (SIMD
+  // included): every sample_period-th packet of the stream gets one
+  // record-only re-walk, so the production kernels stay uninstrumented.
+  if (telemetry::active()) profile_sampled_walks(h, n, sched);
 #if PCLASS_SIMD_ENABLED && defined(__x86_64__)
   // Tracing stays on the scalar walker: its per-level events reflect the
   // interleaved reference stream the NP simulator models. Leaf roots and
@@ -363,6 +396,41 @@ void FlatImage::lookup_batch_simd(const PacketHeader*, RuleId*, std::size_t,
   check(false, "SIMD walkers not compiled in this build");
 }
 #endif
+
+void FlatImage::profile_walk(const PacketHeader& h,
+                             const Schedule& sched) const {
+  u32 ids[telemetry::kMaxPathLen];
+  u32 levels[telemetry::kMaxPathLen];
+  u32 depth = 0;
+  Ptr p = root_;
+  while (!ptr_is_leaf(p) && depth < telemetry::kMaxPathLen) {
+    const u32 header = wptr_[p];
+    const LevelStep s = decode_step(header, p, h, sched);
+    ids[depth] = p;
+    levels[depth] = s.level;
+    ++depth;
+    p = wptr_[s.ptr_off];
+  }
+  telemetry::Profiler::global().record_walk(telemetry::Family::kExpCuts, ids,
+                                            levels, depth);
+}
+
+void FlatImage::profile_sampled_walks(const PacketHeader* h, std::size_t n,
+                                      const Schedule& sched) const {
+  if (ptr_is_leaf(root_)) return;
+  const std::size_t period =
+      std::max<u32>(1, telemetry::Profiler::global().sample_period());
+  // The stride carries across batches (thread-local, like the scalar
+  // tick countdown), so small batches still sample at the global rate.
+  thread_local std::size_t skip = 0;
+  if (skip >= n) {
+    skip -= n;
+    return;
+  }
+  std::size_t i = skip;
+  for (; i < n; i += period) profile_walk(h[i], sched);
+  skip = i - n;
+}
 
 void FlatImage::lookup_batch_scalar(const PacketHeader* h, RuleId* out,
                                     std::size_t n, const Schedule& sched,

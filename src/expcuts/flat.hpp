@@ -80,14 +80,34 @@ struct ExplainStep {
   Ptr child = kEmptyLeaf;  ///< The pointer read (leaf-tagged or offset).
 };
 
+/// Optional layout-v2 packing hints (profile-guided relayout,
+/// DESIGN.md §14).
+struct FlatLayoutHints {
+  /// Per-node sampled visit counts, indexed by node index. When non-empty
+  /// (the size must equal the node count), layout v2 packs hotter nodes
+  /// first within each level, clustering every level's hottest nodes into
+  /// its leading cache lines. The level-clustering audit invariant is
+  /// preserved by construction: heat only permutes nodes *within* a
+  /// level, and the walk arithmetic never depends on packing order.
+  std::vector<u64> node_heat;
+  /// When non-null, receives every node's assigned word offset (indexed
+  /// by node index) — used to translate heat profiles keyed by word
+  /// offset (telemetry/profile.hpp) back to node indices for a rebuild.
+  std::vector<u32>* node_offsets_out = nullptr;
+};
+
 class FlatImage {
  public:
   /// Builds the image from a node array. When `pool` is non-null, the
   /// HABS encoding pass and the word emission pass fan out over it (the
   /// emitted image is bit-identical to the serial one: offsets are
   /// assigned serially and every task writes a disjoint word range).
+  /// `hints` (optional) selects heat-ordered packing and/or exposes the
+  /// offset map; a null or empty hint reproduces the historical packing
+  /// byte for byte.
   FlatImage(const std::vector<Node>& nodes, Ptr root, const Config& cfg,
-            bool aggregated = true, ThreadPool* pool = nullptr);
+            bool aggregated = true, ThreadPool* pool = nullptr,
+            const FlatLayoutHints* hints = nullptr);
 
   /// Reconstructs an image from raw words (deserialization path;
   /// see image_io.hpp). `u` is log2 pointers per CPA sub-array; `layout`
@@ -198,6 +218,14 @@ class FlatImage {
   void lookup_batch_simd(const PacketHeader* h, RuleId* out, std::size_t n,
                          const Schedule& sched, BatchLookupStats* stats,
                          bool avx512) const;
+
+  /// Sampled-profiler hooks (telemetry/profile.hpp): a record-only walk
+  /// of one packet, and the 1-in-N striding re-walk a batch runs after
+  /// its dispatch. Both touch only the image words every walker reads;
+  /// the production walks stay uninstrumented.
+  void profile_walk(const PacketHeader& h, const Schedule& sched) const;
+  void profile_sampled_walks(const PacketHeader* h, std::size_t n,
+                             const Schedule& sched) const;
 
   /// Owned storage (builder/deserializer ctors); empty for mapped views.
   AlignedWords words_;

@@ -61,8 +61,10 @@ T read_pod(std::istream& is) {
 }  // namespace
 
 void save_image(std::ostream& os, const ExpCutsClassifier& cls) {
-  const FlatImage& img = cls.flat();
-  const Config& cfg = cls.config();
+  save_image(os, cls.flat(), cls.config());
+}
+
+void save_image(std::ostream& os, const FlatImage& img, const Config& cfg) {
   os.write(kMagicV3, sizeof kMagicV3);
   write_pod<u32>(os, cfg.stride_w);
   write_pod<u32>(os, cfg.habs_v);
@@ -182,9 +184,14 @@ LoadedImage load_image(std::istream& is, bool strict) {
 }
 
 void save_image_file(const std::string& path, const ExpCutsClassifier& cls) {
+  save_image_file(path, cls.flat(), cls.config());
+}
+
+void save_image_file(const std::string& path, const FlatImage& img,
+                     const Config& cfg) {
   std::ofstream os(path, std::ios::binary);
   if (!os) throw Error("cannot create image file: " + path);
-  save_image(os, cls);
+  save_image(os, img, cfg);
 }
 
 LoadedImage load_image_file(const std::string& path, bool strict) {

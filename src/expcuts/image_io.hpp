@@ -47,6 +47,12 @@ struct LoadedImage {
 /// Writes the classifier's aggregated image.
 void save_image(std::ostream& os, const ExpCutsClassifier& cls);
 
+/// Writes a standalone image (the profile-guided relayout path rebuilds a
+/// FlatImage outside any classifier — see tools/pclass_audit `build
+/// --profile=`). `cfg` supplies the header fields; its stride/order must
+/// be the ones the image was built with.
+void save_image(std::ostream& os, const FlatImage& img, const Config& cfg);
+
 /// Reads an image; throws ParseError on malformed or corrupted input.
 /// The declared word count is validated against the stream's remaining
 /// payload *before* any allocation (a forged header cannot force a
@@ -63,6 +69,8 @@ LoadedImage load_image(std::istream& is, bool strict = false);
 
 /// File-path convenience wrappers.
 void save_image_file(const std::string& path, const ExpCutsClassifier& cls);
+void save_image_file(const std::string& path, const FlatImage& img,
+                     const Config& cfg);
 LoadedImage load_image_file(const std::string& path, bool strict = false);
 
 /// Opens a v3 image as a zero-copy read-only mapping: the returned

@@ -11,6 +11,7 @@
 #include "common/stats.hpp"
 #include "common/texttable.hpp"
 #include "rules/analysis.hpp"
+#include "telemetry/profile.hpp"
 #include "trace/trace.hpp"
 
 namespace pclass {
@@ -204,6 +205,11 @@ u32 HiCutsClassifier::build(const Box& box, std::vector<RuleId> ids,
 }
 
 RuleId HiCutsClassifier::classify(const PacketHeader& h) const {
+  // Sampled heat profiling: 1-in-N lookups re-walk record-only (both
+  // calls fold to constant-false under -DPCLASS_PROFILE=OFF).
+  if (telemetry::active() && telemetry::Profiler::tick()) {
+    profile_walk(h);
+  }
   const bool tracing = trace::active();
   const Node* n = &nodes_[0];
   while (!n->is_leaf()) {
@@ -256,9 +262,52 @@ RuleId HiCutsClassifier::classify(const PacketHeader& h) const {
   return matched;
 }
 
+void HiCutsClassifier::profile_walk(const PacketHeader& h) const {
+  u32 ids[telemetry::kMaxPathLen];
+  u32 levels[telemetry::kMaxPathLen];
+  u32 depth = 0;
+  const Node* nd = &nodes_[0];
+  while (!nd->is_leaf() && depth < telemetry::kMaxPathLen) {
+    ids[depth] = static_cast<u32>(nd - nodes_.data());
+    levels[depth] = nd->depth;
+    ++depth;
+    const u64 v = h.field(nd->cut_dim);
+    const u64 idx = (v - nd->cut_range.lo) / nd->cut_step;
+    nd = &nodes_[nd->children[static_cast<std::size_t>(idx)]];
+  }
+  // The leaf counts too: leaf scans dominate some workloads, and relayout
+  // consumers want the full visited set.
+  if (depth < telemetry::kMaxPathLen) {
+    ids[depth] = static_cast<u32>(nd - nodes_.data());
+    levels[depth] = nd->depth;
+    ++depth;
+  }
+  telemetry::Profiler::global().record_walk(telemetry::Family::kHiCuts, ids,
+                                            levels, depth);
+}
+
+void HiCutsClassifier::profile_sampled_walks(const PacketHeader* h,
+                                             std::size_t n) const {
+  const std::size_t period =
+      std::max<u32>(1, telemetry::Profiler::global().sample_period());
+  // The stride carries across batches (thread-local, like the scalar
+  // tick countdown), so small batches still sample at the global rate.
+  thread_local std::size_t skip = 0;
+  if (skip >= n) {
+    skip -= n;
+    return;
+  }
+  std::size_t i = skip;
+  for (; i < n; i += period) profile_walk(h[i]);
+  skip = i - n;
+}
+
 void HiCutsClassifier::classify_batch(const PacketHeader* h, RuleId* out,
                                       std::size_t n,
                                       BatchLookupStats* stats) const {
+  // Sampled heat profiling rides outside the production rounds: every
+  // sample_period-th packet of the stream gets one record-only re-walk.
+  if (telemetry::active()) profile_sampled_walks(h, n);
   constexpr std::size_t G = kBatchInterleaveWays;
   WalkMetrics& wm = walk_metrics();
   const bool tracing = trace::active();

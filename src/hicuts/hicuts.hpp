@@ -110,6 +110,11 @@ class HiCutsClassifier final : public Classifier {
  private:
   u32 build(const Box& box, std::vector<RuleId> ids, u16 depth);
   void finalize_stats();
+  /// Sampled-profiler hooks (telemetry/profile.hpp): a record-only walk
+  /// of one packet (heat keyed by node index), and the 1-in-N striding
+  /// re-walk classify_batch runs before its production rounds.
+  void profile_walk(const PacketHeader& h) const;
+  void profile_sampled_walks(const PacketHeader* h, std::size_t n) const;
 
   const RuleSet& rules_;
   Config cfg_;

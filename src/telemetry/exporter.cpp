@@ -1,0 +1,401 @@
+#include "telemetry/exporter.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/simd.hpp"
+#include "trace/trace.hpp"
+
+namespace pclass {
+namespace telemetry {
+
+namespace {
+
+const char* onoff(bool b) { return b ? "on" : "off"; }
+
+/// Inclusive integer upper bound of histogram bucket i ("le" label), or
+/// empty for the clamping last bucket (rendered "+Inf").
+std::string bucket_le(const metrics::HistogramSnapshot& h, std::size_t i) {
+  if (i + 1 >= h.buckets.size()) return "+Inf";
+  return std::to_string(h.bucket_lo(i + 1) - 1);
+}
+
+void render_histogram(std::ostringstream& os, const std::string& fam,
+                      const metrics::HistogramSnapshot& h) {
+  os << "# HELP " << fam << " Registry histogram " << h.name
+     << " (sum approximated from bucket lower bounds).\n"
+     << "# TYPE " << fam << " histogram\n";
+  u64 cum = 0;
+  u64 approx_sum = 0;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    cum += h.buckets[i];
+    approx_sum += h.buckets[i] * h.bucket_lo(i);
+    os << fam << "_bucket{le=\"" << bucket_le(h, i) << "\"} " << cum << "\n";
+  }
+  os << fam << "_sum " << approx_sum << "\n";
+  os << fam << "_count " << h.total << "\n";
+}
+
+void render_family_heat(std::ostringstream& os, const char* name,
+                        const FamilyProfile& p, std::size_t top_k) {
+  const std::string fam = std::string("{family=\"") + name + "\"}";
+  os << "pclass_profile_sampled_lookups_total" << fam << " "
+     << p.sampled_lookups << "\n";
+  os << "pclass_profile_node_visits_total" << fam << " " << p.node_visits
+     << "\n";
+  os << "pclass_profile_dropped_total" << fam << " " << p.dropped << "\n";
+  for (std::size_t l = 0; l < p.level_visits.size(); ++l) {
+    if (p.level_visits[l] == 0) continue;
+    os << "pclass_profile_level_visits_total{family=\"" << name
+       << "\",level=\"" << l << "\"} " << p.level_visits[l] << "\n";
+  }
+  for (const HeatNode& n : p.top(top_k)) {
+    os << "pclass_heat_node_visits{family=\"" << name << "\",node=\"" << n.id
+       << "\",level=\"" << n.level << "\"} " << n.visits << "\n";
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// Resolves the numeric-IPv4 (or "localhost") address the exporter and
+/// its scrapers speak; DNS is deliberately out of scope for this surface.
+in_addr parse_ipv4(const std::string& host) {
+  in_addr addr{};
+  const std::string h = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, h.c_str(), &addr) != 1) {
+    throw Error("exporter: not a numeric IPv4 address: " + host);
+  }
+  return addr;
+}
+
+void set_io_timeout(int fd, u32 timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<long>(timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "pclass_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string render_prometheus(const metrics::Snapshot& snap,
+                              const HeatProfile& heat,
+                              const ExporterOptions& opts) {
+  std::ostringstream os;
+  os << "# HELP pclass_build_info Build and dispatch metadata (value is "
+        "always 1).\n"
+     << "# TYPE pclass_build_info gauge\n"
+     << "pclass_build_info{job=\"" << opts.job << "\",simd=\""
+     << simd::name(simd::active()) << "\",simd_max=\""
+     << simd::name(simd::compiled_max()) << "\",metrics=\""
+     << onoff(PCLASS_METRICS_ENABLED != 0) << "\",trace=\""
+     << onoff(PCLASS_TRACE_ENABLED != 0) << "\",profile=\""
+     << onoff(PCLASS_PROFILE_ENABLED != 0) << "\"} 1\n";
+
+  for (const auto& [name, value] : snap.counters) {
+    const std::string fam = prometheus_name(name) + "_total";
+    os << "# TYPE " << fam << " counter\n" << fam << " " << value << "\n";
+  }
+  for (const metrics::HistogramSnapshot& h : snap.histograms) {
+    render_histogram(os, prometheus_name(h.name), h);
+  }
+
+  os << "# TYPE pclass_profile_sample_period gauge\n"
+     << "pclass_profile_sample_period " << heat.sample_period << "\n"
+     << "# TYPE pclass_profile_active gauge\n"
+     << "pclass_profile_active " << (active() ? 1 : 0) << "\n"
+     << "# TYPE pclass_profile_sampled_lookups_total counter\n"
+     << "# TYPE pclass_profile_node_visits_total counter\n"
+     << "# TYPE pclass_profile_dropped_total counter\n"
+     << "# TYPE pclass_profile_level_visits_total counter\n"
+     << "# HELP pclass_heat_node_visits Sampled visit count of the top-K "
+        "hottest nodes per walker family.\n"
+     << "# TYPE pclass_heat_node_visits gauge\n";
+  render_family_heat(os, family_name(Family::kExpCuts), heat.expcuts,
+                     opts.heat_top_k);
+  render_family_heat(os, family_name(Family::kHiCuts), heat.hicuts,
+                     opts.heat_top_k);
+  os << "# TYPE pclass_flow_probe_sampled_total counter\n"
+     << "pclass_flow_probe_sampled_total{outcome=\"hit\"} " << heat.flow_hits
+     << "\n"
+     << "pclass_flow_probe_sampled_total{outcome=\"miss\"} "
+     << heat.flow_misses << "\n";
+  return os.str();
+}
+
+std::string render_json(const metrics::Snapshot& snap, const HeatProfile& heat,
+                        const ExporterOptions& opts) {
+  // Shaped exactly like a bench_json.hpp document so check_bench.py
+  // validate/compare runs unchanged on a scrape.
+  std::ostringstream os;
+  os << "{\n  \"schema_version\": 1,\n  \"bench\": \"telemetry\",\n"
+     << "  \"quick\": false,\n  \"machine\": {"
+     << "\"hardware_threads\": " << std::thread::hardware_concurrency()
+     << ", \"metrics_enabled\": " << (PCLASS_METRICS_ENABLED ? "true" : "false")
+     << ", \"profile_enabled\": " << (PCLASS_PROFILE_ENABLED ? "true" : "false")
+     << ", \"simd\": \"" << simd::name(simd::active()) << "\""
+     << ", \"simd_compiled_max\": \"" << simd::name(simd::compiled_max())
+     << "\"},\n"
+     << "  \"config\": {\"job\": \"" << json_escape(opts.job)
+     << "\", \"sample_period\": " << heat.sample_period
+     << ", \"heat_top_k\": " << opts.heat_top_k
+     << ", \"flow_hits_sampled\": " << heat.flow_hits
+     << ", \"flow_misses_sampled\": " << heat.flow_misses << "},\n";
+  os << "  \"results\": [";
+  bool first = true;
+  for (const Family fam : {Family::kExpCuts, Family::kHiCuts}) {
+    const FamilyProfile& p = heat.family(fam);
+    for (const HeatNode& n : p.top(opts.heat_top_k)) {
+      os << (first ? "" : ",") << "\n    {\"family\": \"" << family_name(fam)
+         << "\", \"node\": \"" << n.id << "\", \"level\": " << n.level
+         << ", \"visits\": " << n.visits << "}";
+      first = false;
+    }
+  }
+  os << (first ? "" : "\n  ") << "],\n  \"latency_ns\": {},\n";
+  os << "  \"metrics\": {\n    \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    os << (i ? "," : "") << "\n      \""
+       << json_escape(snap.counters[i].first)
+       << "\": " << snap.counters[i].second;
+  }
+  os << (snap.counters.empty() ? "" : "\n    ") << "},\n    \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const metrics::HistogramSnapshot& h = snap.histograms[i];
+    os << (i ? "," : "") << "\n      \"" << json_escape(h.name)
+       << "\": {\"scale\": \""
+       << (h.scale == metrics::Scale::kLinear ? "linear" : "log2")
+       << "\", \"width\": " << h.width << ", \"total\": " << h.total
+       << ", \"p50\": " << h.percentile(0.50)
+       << ", \"p90\": " << h.percentile(0.90)
+       << ", \"p99\": " << h.percentile(0.99)
+       << ", \"p999\": " << h.percentile(0.999) << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      os << (b ? ", " : "") << h.buckets[b];
+    }
+    os << "]}";
+  }
+  os << (snap.histograms.empty() ? "" : "\n    ") << "}\n  }\n}\n";
+  return os.str();
+}
+
+Exporter::Exporter(ExporterOptions opts) : opts_(std::move(opts)) {}
+
+Exporter::~Exporter() { stop(); }
+
+void Exporter::start() {
+  if (running()) return;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw Error("exporter: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr = parse_ipv4(opts_.bind_address);
+  addr.sin_port = htons(opts_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    close_fd(listen_fd_);
+    throw Error("exporter: cannot bind " + opts_.bind_address + ":" +
+                std::to_string(opts_.port) + ": " + err);
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    close_fd(listen_fd_);
+    throw Error("exporter: listen() failed");
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_.store(ntohs(addr.sin_port), std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void Exporter::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    close_fd(listen_fd_);
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  close_fd(listen_fd_);
+}
+
+void Exporter::serve_loop() {
+  trace::name_this_thread("telemetry-exporter");
+  u32 since_file_ms = opts_.period_ms;  // first tick writes immediately
+  constexpr u32 kPollMs = 100;
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(kPollMs));
+    if (rc > 0 && (pfd.revents & POLLIN) != 0) {
+      const int client = ::accept(listen_fd_, nullptr, nullptr);
+      if (client >= 0) handle_client(client);
+    }
+    if (!opts_.file_path.empty()) {
+      since_file_ms += kPollMs;
+      if (since_file_ms >= opts_.period_ms) {
+        since_file_ms = 0;
+        write_file_sink();
+      }
+    }
+  }
+}
+
+void Exporter::handle_client(int fd) {
+  set_io_timeout(fd, 2000);
+  char buf[4096];
+  std::string req;
+  while (req.find("\r\n\r\n") == std::string::npos && req.size() < sizeof buf) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    req.append(buf, static_cast<std::size_t>(n));
+  }
+  std::string path = "/";
+  if (req.rfind("GET ", 0) == 0) {
+    const std::size_t end = req.find(' ', 4);
+    if (end != std::string::npos) path = req.substr(4, end - 4);
+  }
+
+  std::string body;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string status = "200 OK";
+  try {
+    if (path == "/metrics" || path == "/") {
+      body = render_prometheus(metrics::Registry::global().snapshot(),
+                               Profiler::global().snapshot(), opts_);
+      body += "# TYPE pclass_exporter_scrapes_total counter\n";
+      body += "pclass_exporter_scrapes_total " +
+              std::to_string(scrapes_.load(std::memory_order_relaxed) + 1) +
+              "\n";
+      content_type = "text/plain; version=0.0.4; charset=utf-8";
+    } else if (path == "/metrics.json") {
+      body = render_json(metrics::Registry::global().snapshot(),
+                         Profiler::global().snapshot(), opts_);
+      content_type = "application/json";
+    } else if (path == "/healthz") {
+      body = "ok\n";
+    } else {
+      status = "404 Not Found";
+      body = "not found\n";
+    }
+  } catch (const Error& e) {
+    status = "500 Internal Server Error";
+    body = std::string(e.what()) + "\n";
+  }
+  if (status[0] == '2') scrapes_.fetch_add(1, std::memory_order_relaxed);
+
+  std::string resp = "HTTP/1.0 " + status +
+                     "\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n" + body;
+  std::size_t off = 0;
+  while (off < resp.size()) {
+    const ssize_t n = ::send(fd, resp.data() + off, resp.size() - off, 0);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+}
+
+void Exporter::write_file_sink() {
+  const std::string text =
+      render_prometheus(metrics::Registry::global().snapshot(),
+                        Profiler::global().snapshot(), opts_);
+  const std::string tmp = opts_.file_path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return;  // transient sink failure; next tick retries
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (ok) std::rename(tmp.c_str(), opts_.file_path.c_str());
+}
+
+std::string http_get(const std::string& host, u16 port,
+                     const std::string& path, u32 timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw Error("http_get: socket() failed");
+  set_io_timeout(fd, timeout_ms);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr = parse_ipv4(host);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw Error("http_get: cannot connect to " + host + ":" +
+                std::to_string(port) + ": " + err);
+  }
+  const std::string req =
+      "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  std::size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + off, req.size() - off, 0);
+    if (n <= 0) {
+      ::close(fd);
+      throw Error("http_get: send failed");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string resp;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t hdr_end = resp.find("\r\n\r\n");
+  if (hdr_end == std::string::npos) {
+    throw Error("http_get: malformed response from " + host + ":" +
+                std::to_string(port));
+  }
+  const std::string status_line = resp.substr(0, resp.find("\r\n"));
+  if (status_line.find(" 200") == std::string::npos) {
+    throw Error("http_get: " + path + " -> " + status_line);
+  }
+  return resp.substr(hdr_end + 4);
+}
+
+}  // namespace telemetry
+}  // namespace pclass

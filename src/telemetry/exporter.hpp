@@ -1,0 +1,115 @@
+// Live telemetry exporter: Prometheus text exposition + schema-v1 JSON
+// over a built-in HTTP endpoint and/or an atomically replaced file sink.
+//
+// The metrics Registry and the sampled heat profiler (profile.hpp) are
+// pull-at-process-exit without this layer; the exporter makes a running
+// classifier observable: a tiny single-threaded HTTP server answers
+//
+//   GET /metrics       Prometheus text exposition (metrics + heat top-K)
+//   GET /metrics.json  the same snapshot as a schema-v1-compatible bench
+//                      JSON document (bench = "telemetry"; validates
+//                      under tools/check_bench.py)
+//   GET /healthz       "ok" liveness probe
+//
+// and/or a periodic file sink writes the exposition via the classic
+// tmp + rename dance so scrapers never read a torn file. `pclass_top`
+// scrapes the endpoint; any Prometheus agent can too.
+//
+// The server thread snapshots the registries on each scrape; the hot
+// paths never block on export (snapshots are relaxed-atomic merges).
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "common/metrics.hpp"
+#include "telemetry/profile.hpp"
+
+namespace pclass {
+namespace telemetry {
+
+/// Rendering + serving knobs.
+struct ExporterOptions {
+  /// TCP port to listen on; 0 picks an ephemeral port (see Exporter::port).
+  u16 port = 0;
+  /// Loopback only by default: telemetry is an operator surface, not a
+  /// public one.
+  std::string bind_address = "127.0.0.1";
+  /// When non-empty, the Prometheus exposition is also written here every
+  /// `period_ms`, atomically (tmp + rename).
+  std::string file_path;
+  /// File-sink refresh period.
+  u32 period_ms = 1000;
+  /// Hottest nodes exported per family as pclass_heat_node_visits series.
+  std::size_t heat_top_k = 32;
+  /// Instance label stamped on pclass_build_info (defaults to "pclass").
+  std::string job = "pclass";
+};
+
+/// Renders the Prometheus text exposition for one snapshot pair: every
+/// registry counter (`pclass_<name>_total`) and histogram
+/// (`pclass_<name>` with cumulative le-buckets), the heat profiler's
+/// per-family totals and top-K node series, and a pclass_build_info gauge
+/// carrying the SIMD dispatch tier and compile-time feature flags.
+std::string render_prometheus(const metrics::Snapshot& snap,
+                              const HeatProfile& heat,
+                              const ExporterOptions& opts);
+
+/// The same snapshot as a schema-v1 bench JSON document ("bench":
+/// "telemetry") so check_bench.py can validate and diff scrapes exactly
+/// like bench output. Heat top-K nodes become result rows.
+std::string render_json(const metrics::Snapshot& snap, const HeatProfile& heat,
+                        const ExporterOptions& opts);
+
+/// Sanitizes a registry metric name into a Prometheus family name:
+/// "expcuts.batch.lookups" -> "pclass_expcuts_batch_lookups".
+std::string prometheus_name(const std::string& name);
+
+/// The live exporter. start() spawns one server thread that owns the
+/// listening socket and the file sink; stop() (or the destructor) shuts
+/// it down. Scrape handlers snapshot the global metrics Registry and
+/// Profiler on demand.
+class Exporter {
+ public:
+  explicit Exporter(ExporterOptions opts = {});
+  ~Exporter();
+  Exporter(const Exporter&) = delete;
+  Exporter& operator=(const Exporter&) = delete;
+
+  /// Binds the socket (throws Error on failure) and starts serving.
+  void start();
+  /// Stops the server thread and closes the socket. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound TCP port (resolves port 0 to the ephemeral choice).
+  u16 port() const { return port_.load(std::memory_order_acquire); }
+  /// Scrapes served since start (HTTP requests answered 200).
+  u64 scrape_count() const {
+    return scrapes_.load(std::memory_order_relaxed);
+  }
+
+  const ExporterOptions& options() const { return opts_; }
+
+ private:
+  void serve_loop();
+  void handle_client(int fd);
+  void write_file_sink();
+
+  ExporterOptions opts_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<u16> port_{0};
+  std::atomic<u64> scrapes_{0};
+  int listen_fd_ = -1;
+};
+
+/// Minimal HTTP/1.0 GET, used by pclass_top and the tests to scrape the
+/// exporter. Returns the response body; throws Error on connection
+/// failure or a non-200 status.
+std::string http_get(const std::string& host, u16 port,
+                     const std::string& path, u32 timeout_ms = 2000);
+
+}  // namespace telemetry
+}  // namespace pclass

@@ -1,0 +1,379 @@
+#include "telemetry/profile.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pclass {
+namespace telemetry {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+std::atomic<u32> g_sample_period{64};
+}  // namespace detail
+
+const char* family_name(Family f) {
+  return f == Family::kExpCuts ? "expcuts" : "hicuts";
+}
+
+u64 FamilyProfile::visits(u32 id) const {
+  const auto it = std::lower_bound(
+      nodes.begin(), nodes.end(), id,
+      [](const HeatNode& n, u32 key) { return n.id < key; });
+  return it != nodes.end() && it->id == id ? it->visits : 0;
+}
+
+std::vector<HeatNode> FamilyProfile::top(std::size_t k) const {
+  std::vector<HeatNode> out = nodes;
+  std::sort(out.begin(), out.end(), [](const HeatNode& a, const HeatNode& b) {
+    return a.visits != b.visits ? a.visits > b.visits : a.id < b.id;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+Profiler& Profiler::global() {
+  // Leaked so instrumented code in static destructors stays safe (the
+  // same lifetime discipline as the metrics/trace registries).
+  static Profiler* instance = new Profiler();
+  return *instance;
+}
+
+void Profiler::bump(FamilyTable& t, u32 id, u32 level) noexcept {
+#if PCLASS_PROFILE_ENABLED
+  // Fibonacci-hash the node id across the table; linear probe from there.
+  std::size_t idx =
+      static_cast<std::size_t>((u64{id} * 0x9e3779b97f4a7c15ULL) >> 40) &
+      (kHeatSlots - 1);
+  for (std::size_t probe = 0; probe < kHeatMaxProbe; ++probe) {
+    Slot& s = t.slots[idx];
+    u32 k = s.key.load(std::memory_order_relaxed);
+    if (k == kEmptyKey) {
+      if (s.key.compare_exchange_strong(k, id, std::memory_order_relaxed)) {
+        s.level.store(level, std::memory_order_relaxed);
+        k = id;
+      }
+      // CAS failure loaded the racing claimant into k; fall through.
+    }
+    if (k == id) {
+      s.count.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    idx = (idx + 1) & (kHeatSlots - 1);
+  }
+  t.dropped.fetch_add(1, std::memory_order_relaxed);
+#else
+  (void)t, (void)id, (void)level;
+#endif
+}
+
+void Profiler::record_walk(Family fam, const u32* ids, const u32* levels,
+                           u32 depth) noexcept {
+#if PCLASS_PROFILE_ENABLED
+  FamilyTable& t = tables_[static_cast<std::size_t>(fam)];
+  t.sampled_lookups.fetch_add(1, std::memory_order_relaxed);
+  t.node_visits.fetch_add(depth, std::memory_order_relaxed);
+  const u32 dslot = std::min<u32>(depth, kLevelSlots - 1);
+  t.depth_hist[dslot].fetch_add(1, std::memory_order_relaxed);
+  for (u32 i = 0; i < depth; ++i) {
+    const u32 lslot = std::min<u32>(levels[i], kLevelSlots - 1);
+    t.level_visits[lslot].fetch_add(1, std::memory_order_relaxed);
+    bump(t, ids[i], levels[i]);
+  }
+#else
+  (void)fam, (void)ids, (void)levels, (void)depth;
+#endif
+}
+
+HeatProfile Profiler::snapshot() const {
+  HeatProfile out;
+  out.sample_period = sample_period();
+  out.flow_hits = flow_hits_.load(std::memory_order_relaxed);
+  out.flow_misses = flow_misses_.load(std::memory_order_relaxed);
+  for (std::size_t f = 0; f < kFamilyCount; ++f) {
+    const FamilyTable& t = tables_[f];
+    FamilyProfile& p = f == 0 ? out.expcuts : out.hicuts;
+    p.sampled_lookups = t.sampled_lookups.load(std::memory_order_relaxed);
+    p.node_visits = t.node_visits.load(std::memory_order_relaxed);
+    p.dropped = t.dropped.load(std::memory_order_relaxed);
+    p.level_visits.resize(kLevelSlots);
+    p.depth_hist.resize(kLevelSlots);
+    for (std::size_t i = 0; i < kLevelSlots; ++i) {
+      p.level_visits[i] = t.level_visits[i].load(std::memory_order_relaxed);
+      p.depth_hist[i] = t.depth_hist[i].load(std::memory_order_relaxed);
+    }
+    for (const Slot& s : t.slots) {
+      const u32 key = s.key.load(std::memory_order_relaxed);
+      if (key == kEmptyKey) continue;
+      // A slot claimed but not yet counted (racing record) reads 0; skip
+      // it rather than report a never-visited node.
+      const u64 count = s.count.load(std::memory_order_relaxed);
+      if (count == 0) continue;
+      p.nodes.push_back(
+          HeatNode{key, s.level.load(std::memory_order_relaxed), count});
+    }
+    std::sort(p.nodes.begin(), p.nodes.end(),
+              [](const HeatNode& a, const HeatNode& b) { return a.id < b.id; });
+  }
+  return out;
+}
+
+void Profiler::reset() noexcept {
+  for (FamilyTable& t : tables_) {
+    for (Slot& s : t.slots) {
+      s.key.store(kEmptyKey, std::memory_order_relaxed);
+      s.level.store(0, std::memory_order_relaxed);
+      s.count.store(0, std::memory_order_relaxed);
+    }
+    for (auto& v : t.level_visits) v.store(0, std::memory_order_relaxed);
+    for (auto& v : t.depth_hist) v.store(0, std::memory_order_relaxed);
+    t.sampled_lookups.store(0, std::memory_order_relaxed);
+    t.node_visits.store(0, std::memory_order_relaxed);
+    t.dropped.store(0, std::memory_order_relaxed);
+  }
+  flow_hits_.store(0, std::memory_order_relaxed);
+  flow_misses_.store(0, std::memory_order_relaxed);
+}
+
+// --- pclass-heat-v1 JSON ---------------------------------------------------
+
+namespace {
+
+constexpr const char* kFormatTag = "pclass-heat-v1";
+
+void write_u64_array(std::ostream& os, const char* key,
+                     const std::vector<u64>& xs) {
+  os << "    \"" << key << "\": [";
+  for (std::size_t i = 0; i < xs.size(); ++i) os << (i ? "," : "") << xs[i];
+  os << "]";
+}
+
+void write_family(std::ostream& os, const char* name, const FamilyProfile& p,
+                  bool trailing_comma) {
+  os << "  \"" << name << "\": {\n"
+     << "    \"sampled_lookups\": " << p.sampled_lookups << ",\n"
+     << "    \"node_visits\": " << p.node_visits << ",\n"
+     << "    \"dropped\": " << p.dropped << ",\n";
+  write_u64_array(os, "level_visits", p.level_visits);
+  os << ",\n";
+  write_u64_array(os, "depth_hist", p.depth_hist);
+  os << ",\n    \"nodes\": [";
+  for (std::size_t i = 0; i < p.nodes.size(); ++i) {
+    const HeatNode& n = p.nodes[i];
+    os << (i ? "," : "") << "[" << n.id << "," << n.level << "," << n.visits
+       << "]";
+  }
+  os << "]\n  }" << (trailing_comma ? "," : "") << "\n";
+}
+
+/// Minimal recursive-descent reader for the fixed pclass-heat-v1 shape:
+/// objects of string keys mapping to integers, integer arrays, [id,level,
+/// visits] triple arrays, the format string, or nested family objects.
+class HeatReader {
+ public:
+  explicit HeatReader(std::istream& is) : is_(is) {}
+
+  HeatProfile read() {
+    HeatProfile out;
+    bool saw_format = false;
+    expect('{');
+    while (true) {
+      skip_ws();
+      if (peek() == '}') {
+        get();
+        break;
+      }
+      const std::string key = read_string();
+      expect(':');
+      if (key == "format") {
+        const std::string tag = read_string();
+        if (tag != kFormatTag) {
+          throw ParseError("unknown heat-profile format '" + tag +
+                               "' (expected " + kFormatTag + ")",
+                           0);
+        }
+        saw_format = true;
+      } else if (key == "sample_period") {
+        out.sample_period = static_cast<u32>(read_u64());
+      } else if (key == "flow_hits") {
+        out.flow_hits = read_u64();
+      } else if (key == "flow_misses") {
+        out.flow_misses = read_u64();
+      } else if (key == "expcuts") {
+        read_family(out.expcuts);
+      } else if (key == "hicuts") {
+        read_family(out.hicuts);
+      } else {
+        throw ParseError("unknown heat-profile key '" + key + "'", 0);
+      }
+      skip_ws();
+      if (peek() == ',') get();
+    }
+    if (!saw_format) throw ParseError("heat profile missing format tag", 0);
+    return out;
+  }
+
+ private:
+  void read_family(FamilyProfile& p) {
+    expect('{');
+    while (true) {
+      skip_ws();
+      if (peek() == '}') {
+        get();
+        break;
+      }
+      const std::string key = read_string();
+      expect(':');
+      if (key == "sampled_lookups") {
+        p.sampled_lookups = read_u64();
+      } else if (key == "node_visits") {
+        p.node_visits = read_u64();
+      } else if (key == "dropped") {
+        p.dropped = read_u64();
+      } else if (key == "level_visits") {
+        p.level_visits = read_u64_array();
+      } else if (key == "depth_hist") {
+        p.depth_hist = read_u64_array();
+      } else if (key == "nodes") {
+        read_nodes(p.nodes);
+      } else {
+        throw ParseError("unknown heat-profile family key '" + key + "'", 0);
+      }
+      skip_ws();
+      if (peek() == ',') get();
+    }
+  }
+
+  std::vector<u64> read_u64_array() {
+    std::vector<u64> out;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      get();
+      return out;
+    }
+    while (true) {
+      out.push_back(read_u64());
+      skip_ws();
+      const char c = get();
+      if (c == ']') break;
+      if (c != ',') throw ParseError("expected ',' or ']' in array", 0);
+    }
+    return out;
+  }
+
+  void read_nodes(std::vector<HeatNode>& out) {
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      get();
+      return;
+    }
+    while (true) {
+      expect('[');
+      HeatNode n;
+      n.id = static_cast<u32>(read_u64());
+      expect(',');
+      n.level = static_cast<u32>(read_u64());
+      expect(',');
+      n.visits = read_u64();
+      expect(']');
+      out.push_back(n);
+      skip_ws();
+      const char c = get();
+      if (c == ']') break;
+      if (c != ',') throw ParseError("expected ',' or ']' in nodes", 0);
+    }
+  }
+
+  std::string read_string() {
+    expect('"');
+    std::string s;
+    while (true) {
+      const char c = get();
+      if (c == '"') return s;
+      if (c == '\\') {
+        s += get();  // profile strings never need escapes beyond pass-through
+      } else {
+        s += c;
+      }
+    }
+  }
+
+  u64 read_u64() {
+    skip_ws();
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      throw ParseError("expected integer in heat profile", 0);
+    }
+    u64 v = 0;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+      v = v * 10 + static_cast<u64>(get() - '0');
+    }
+    return v;
+  }
+
+  void skip_ws() {
+    while (is_.good() && std::isspace(static_cast<unsigned char>(is_.peek()))) {
+      is_.get();
+    }
+  }
+  char peek() {
+    const int c = is_.peek();
+    if (c < 0) throw ParseError("truncated heat profile", 0);
+    return static_cast<char>(c);
+  }
+  char get() {
+    const int c = is_.get();
+    if (c < 0) throw ParseError("truncated heat profile", 0);
+    return static_cast<char>(c);
+  }
+  void expect(char want) {
+    skip_ws();
+    const char c = get();
+    if (c != want) {
+      throw ParseError(std::string("expected '") + want + "' in heat profile, got '" +
+                           c + "'",
+                       0);
+    }
+  }
+
+  std::istream& is_;
+};
+
+}  // namespace
+
+void HeatProfile::save_json(std::ostream& os) const {
+  os << "{\n"
+     << "  \"format\": \"" << kFormatTag << "\",\n"
+     << "  \"sample_period\": " << sample_period << ",\n"
+     << "  \"flow_hits\": " << flow_hits << ",\n"
+     << "  \"flow_misses\": " << flow_misses << ",\n";
+  write_family(os, "expcuts", expcuts, /*trailing_comma=*/true);
+  write_family(os, "hicuts", hicuts, /*trailing_comma=*/false);
+  os << "}\n";
+}
+
+void HeatProfile::save_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw Error("cannot create heat profile file: " + path);
+  save_json(os);
+  if (!os) throw Error("failed to write heat profile: " + path);
+}
+
+HeatProfile HeatProfile::load_json(std::istream& is) {
+  return HeatReader(is).read();
+}
+
+HeatProfile HeatProfile::load_json_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw Error("cannot open heat profile file: " + path);
+  return load_json(is);
+}
+
+}  // namespace telemetry
+}  // namespace pclass

@@ -1,0 +1,220 @@
+// Sampled continuous profiler: low-overhead hot-node heat profiles.
+//
+// The metrics layer (common/metrics.hpp) answers "how many lookups, how
+// deep"; this layer answers "*which nodes* are hot" — the access
+// distribution Section 4's memory-channel allocation is built around,
+// observed live instead of post-mortem. Every walker family (the ExpCuts
+// flat-image scalar/SIMD batch walkers, the HiCuts walkers, the
+// FlowCache) samples one lookup in N and records the full node path into
+// a process-wide heat table; snapshots serialize as a versioned JSON heat
+// profile that the exporter publishes and `pclass_audit build --profile=`
+// feeds back into the image layout (hot nodes packed into the leading
+// cache lines of their level — see flat.hpp FlatLayoutHints).
+//
+// Design, mirroring the metrics/trace layers:
+//   * Sampling is thread-local and lock-free: active() is one relaxed
+//     atomic load, and the 1-in-N decision is a thread-local countdown
+//     (Profiler::tick()); unsampled lookups pay nothing else. Sampled
+//     lookups re-walk the structure once with an instrumented loop, so
+//     the production walk stays branch-free and the added cost is
+//     ~walk_cost / sample_period (the CI overhead gate holds it at 3%).
+//   * The heat table is a fixed-size open-addressing hash of relaxed
+//     atomics (node id -> visit count + level); a bounded probe chain
+//     keeps the hot path O(1) and overflow increments a drop counter
+//     instead of blocking or allocating.
+//   * Building with -DPCLASS_PROFILE=OFF (cmake) defines
+//     PCLASS_PROFILE_ENABLED=0: active() is constant-false, every record
+//     compiles to nothing, and the API stays available so call sites
+//     need no #ifdefs.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+#ifndef PCLASS_PROFILE_ENABLED
+#define PCLASS_PROFILE_ENABLED 1
+#endif
+
+namespace pclass {
+namespace telemetry {
+
+/// Walker families with distinct node-id spaces: ExpCuts heat is keyed by
+/// flat-image word offset, HiCuts heat by tree node index.
+enum class Family : u8 { kExpCuts = 0, kHiCuts = 1 };
+inline constexpr std::size_t kFamilyCount = 2;
+const char* family_name(Family f);
+
+/// Heat-table slots per family. Power of two; 2^17 slots x 16 B = 2 MiB.
+/// Sampling concentrates visits on the hot upper levels, so even 1M-node
+/// images fit their frequently visited set here; overflow is counted,
+/// never silent.
+inline constexpr std::size_t kHeatSlots = std::size_t{1} << 17;
+/// Probe-chain bound: past this the visit is dropped (counted) so a full
+/// table cannot degrade the sampled path into a linear scan.
+inline constexpr std::size_t kHeatMaxProbe = 32;
+/// Per-level visit counters and depth histogram slots; covers the HiCuts
+/// build guard (kMaxDepth = 64) with headroom, and ExpCuts' W/w = 13
+/// bound trivially. The last slot clamps.
+inline constexpr std::size_t kLevelSlots = 72;
+/// Longest node path one sampled lookup records.
+inline constexpr std::size_t kMaxPathLen = kLevelSlots;
+
+/// One hot node in a heat snapshot.
+struct HeatNode {
+  u32 id = 0;      ///< Word offset (ExpCuts) or node index (HiCuts).
+  u32 level = 0;   ///< The node's tree level / depth.
+  u64 visits = 0;  ///< Sampled visit count.
+};
+
+/// Snapshot of one walker family's heat data.
+struct FamilyProfile {
+  u64 sampled_lookups = 0;
+  u64 node_visits = 0;  ///< Sum of recorded path lengths.
+  u64 dropped = 0;      ///< Visits lost to table overflow.
+  std::vector<HeatNode> nodes;  ///< Sorted by id ascending.
+  std::vector<u64> level_visits;  ///< kLevelSlots entries.
+  std::vector<u64> depth_hist;    ///< Path length histogram, kLevelSlots.
+
+  /// Visit count of node `id`, 0 when never sampled.
+  u64 visits(u32 id) const;
+  /// The k hottest nodes, visits descending (id ascending tiebreak).
+  std::vector<HeatNode> top(std::size_t k) const;
+};
+
+/// A serializable point-in-time heat profile ("pclass-heat-v1" JSON).
+struct HeatProfile {
+  u32 sample_period = 0;
+  u64 flow_hits = 0;    ///< Sampled FlowCache hits.
+  u64 flow_misses = 0;  ///< Sampled FlowCache misses.
+  FamilyProfile expcuts;
+  FamilyProfile hicuts;
+
+  const FamilyProfile& family(Family f) const {
+    return f == Family::kExpCuts ? expcuts : hicuts;
+  }
+  u64 total_sampled() const {
+    return expcuts.sampled_lookups + hicuts.sampled_lookups;
+  }
+
+  /// Writes the profile as pclass-heat-v1 JSON.
+  void save_json(std::ostream& os) const;
+  void save_json_file(const std::string& path) const;
+  /// Parses a pclass-heat-v1 document; throws ParseError on malformed
+  /// input or an unknown format tag.
+  static HeatProfile load_json(std::istream& is);
+  static HeatProfile load_json_file(const std::string& path);
+};
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+extern std::atomic<u32> g_sample_period;
+}  // namespace detail
+
+/// True when sampled profiling should run: compiled in AND runtime-enabled.
+/// One relaxed load; hot loops may hoist it once per batch.
+inline bool active() noexcept {
+#if PCLASS_PROFILE_ENABLED
+  return detail::g_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+/// Process-wide sampled profiler. All recording is relaxed-atomic and
+/// wait-free; snapshot() may run concurrently with recording (it may miss
+/// in-flight increments, never tear).
+class Profiler {
+ public:
+  static Profiler& global();
+
+  /// Master switch (also see the compile-time PCLASS_PROFILE gate).
+  void set_enabled(bool on) {
+    detail::g_enabled.store(on && PCLASS_PROFILE_ENABLED != 0,
+                            std::memory_order_relaxed);
+  }
+  bool enabled() const { return active(); }
+
+  /// Samples 1 lookup in `period` (>= 1). Takes effect as each thread's
+  /// countdown next expires.
+  void set_sample_period(u32 period) {
+    detail::g_sample_period.store(period == 0 ? 1 : period,
+                                  std::memory_order_relaxed);
+  }
+  u32 sample_period() const {
+    return detail::g_sample_period.load(std::memory_order_relaxed);
+  }
+
+  /// The 1-in-N decision for call sites that sample individual lookups
+  /// (scalar walkers, FlowCache): a thread-local countdown, one decrement
+  /// per call. Callers check active() first. Batch walkers instead stride
+  /// their own index by sample_period() — same rate, no per-packet tick.
+  static bool tick() noexcept {
+#if PCLASS_PROFILE_ENABLED
+    thread_local u32 countdown = 0;
+    if (countdown == 0) {
+      countdown = detail::g_sample_period.load(std::memory_order_relaxed);
+    }
+    return --countdown == 0;
+#else
+    return false;
+#endif
+  }
+
+  /// Records one sampled lookup's node path: `ids[i]` visited at tree
+  /// level `levels[i]`, for i in [0, depth). Wait-free, relaxed atomics.
+  void record_walk(Family fam, const u32* ids, const u32* levels, u32 depth)
+      noexcept;
+
+  /// Records one sampled FlowCache probe outcome.
+  void record_flow_probe(bool hit) noexcept {
+#if PCLASS_PROFILE_ENABLED
+    (hit ? flow_hits_ : flow_misses_).fetch_add(1, std::memory_order_relaxed);
+#else
+    (void)hit;
+#endif
+  }
+
+  /// Merged point-in-time heat profile.
+  HeatProfile snapshot() const;
+
+  /// Zeroes every table and counter. Not atomic with respect to
+  /// concurrent recording.
+  void reset() noexcept;
+
+ private:
+  Profiler() = default;
+
+  /// One open-addressing heat slot. `key` is the node id (kEmptyKey =
+  /// free); ids are < 2^31 in both families (word offsets and node
+  /// indices), so the sentinel can never collide.
+  struct Slot {
+    std::atomic<u32> key{kEmptyKey};
+    std::atomic<u32> level{0};
+    std::atomic<u64> count{0};
+  };
+  static constexpr u32 kEmptyKey = 0xffffffffu;
+
+  struct FamilyTable {
+    std::vector<Slot> slots{kHeatSlots};
+    std::array<std::atomic<u64>, kLevelSlots> level_visits{};
+    std::array<std::atomic<u64>, kLevelSlots> depth_hist{};
+    std::atomic<u64> sampled_lookups{0};
+    std::atomic<u64> node_visits{0};
+    std::atomic<u64> dropped{0};
+  };
+
+  void bump(FamilyTable& t, u32 id, u32 level) noexcept;
+
+  std::array<FamilyTable, kFamilyCount> tables_;
+  std::atomic<u64> flow_hits_{0};
+  std::atomic<u64> flow_misses_{0};
+};
+
+}  // namespace telemetry
+}  // namespace pclass

@@ -277,6 +277,16 @@ class Registry {
   u64 next_tid_ PCLASS_GUARDED_BY(mu_) = 1;
 };
 
+/// Names the calling thread's recorder for exporters: Chrome-trace
+/// `thread_name` metadata (Perfetto track labels) shows this instead of
+/// the generic "thread-N". Cheap enough for thread entry points (one
+/// registry lookup); call once per thread, latest name wins. Compiled
+/// builds with PCLASS_TRACE=OFF still accept the call (the recorder API
+/// stays available), it just never surfaces anywhere.
+inline void name_this_thread(std::string name) {
+  Registry::local().set_name(std::move(name));
+}
+
 /// Records an instant event now.
 inline void instant(EventKind kind, u64 a0, u64 a1 = 0) {
   Registry::local().record(kind, a0, a1, now_ns(), 0);

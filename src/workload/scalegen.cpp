@@ -1,5 +1,6 @@
 #include "workload/scalegen.hpp"
 
+#include <cstdlib>
 #include <unordered_set>
 #include <utility>
 
@@ -298,6 +299,43 @@ RuleSet generate_scale_ruleset(const std::string& name) {
       cfg.profile = spec.profile;
       cfg.rule_count = spec.rule_count;
       cfg.seed = spec.seed;
+      RuleSet rs = generate_scale_ruleset(cfg);
+      rs.set_name(name);
+      return rs;
+    }
+  }
+  // Off-tier sizes parse as "{FW,CR,ACL}-<count>[k|M]" (e.g. "CR-12k"),
+  // seeded by the profile alone so the same name is always the same set.
+  const std::size_t dash = name.find('-');
+  if (dash != std::string::npos && dash + 1 < name.size()) {
+    const std::string prefix = name.substr(0, dash);
+    ScaleGenConfig cfg;
+    bool known = true;
+    if (prefix == "FW") {
+      cfg.profile = ScaleProfile::kFirewall;
+      cfg.seed = 0xF000;
+    } else if (prefix == "CR") {
+      cfg.profile = ScaleProfile::kCoreRouter;
+      cfg.seed = 0xC000;
+    } else if (prefix == "ACL") {
+      cfg.profile = ScaleProfile::kAcl;
+      cfg.seed = 0xA000;
+    } else {
+      known = false;
+    }
+    char* end = nullptr;
+    const std::string num = name.substr(dash + 1);
+    const unsigned long long n = std::strtoull(num.c_str(), &end, 10);
+    std::size_t scale = 0;
+    if (end != nullptr && *end == '\0') {
+      scale = 1;
+    } else if (end != nullptr && end[0] == 'k' && end[1] == '\0') {
+      scale = 1000;
+    } else if (end != nullptr && end[0] == 'M' && end[1] == '\0') {
+      scale = 1000000;
+    }
+    if (known && scale != 0 && n != 0 && end != num.c_str()) {
+      cfg.rule_count = static_cast<std::size_t>(n) * scale;
       RuleSet rs = generate_scale_ruleset(cfg);
       rs.set_name(name);
       return rs;

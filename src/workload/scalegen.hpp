@@ -67,7 +67,10 @@ struct ScaleSetSpec {
 /// The nine standard tiers: {FW, CR, ACL} x {100k, 500k, 1M}.
 const std::vector<ScaleSetSpec>& scale_rulesets();
 
-/// Generates a tier by name; throws ConfigError for unknown names.
+/// Generates a tier by name. Besides the nine standard tiers, accepts
+/// off-tier sizes as "{FW,CR,ACL}-<count>[k|M]" (e.g. "CR-12k"), seeded
+/// per profile so a name always denotes the same set. Throws ConfigError
+/// for unknown names.
 RuleSet generate_scale_ruleset(const std::string& name);
 
 }  // namespace workload

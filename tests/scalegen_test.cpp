@@ -54,7 +54,9 @@ TEST(ScaleGen, RejectsDegenerateConfigs) {
   cfg.rule_count = 100;
   cfg.provider_blocks = 0;
   EXPECT_THROW(generate_scale_ruleset(cfg), ConfigError);
-  EXPECT_THROW(generate_scale_ruleset("CR-7k"), ConfigError);
+  // Off-tier sizes like "CR-7k" now parse (see OffTierNames test);
+  // names outside the {FW,CR,ACL}-<count>[k|M] grammar still throw.
+  EXPECT_THROW(generate_scale_ruleset("notaset"), ConfigError);
 }
 
 TEST(ScaleGen, NamedTiersCoverProfilesAndSizes) {
@@ -214,6 +216,22 @@ TEST(ScaleGen, NamedTierGeneratesAndIsNamed) {
   ASSERT_EQ(by_name.size(), 100000u);
   EXPECT_EQ(by_name.name(), "CR-100k");
   EXPECT_EQ(write_classbench_string(by_cfg), write_classbench_string(by_name));
+}
+
+TEST(ScaleGen, OffTierNamesParseAndAreDeterministic) {
+  // "CR-12k" is not one of the nine tiers; the parser derives
+  // (profile=CR, 12000 rules, profile seed) from the name itself.
+  const RuleSet a = generate_scale_ruleset("CR-12k");
+  EXPECT_EQ(a.size(), 12000u);
+  EXPECT_EQ(a.name(), "CR-12k");
+  const RuleSet b = generate_scale_ruleset("CR-12k");
+  EXPECT_EQ(write_classbench_string(a), write_classbench_string(b));
+  EXPECT_EQ(generate_scale_ruleset("FW-2k").size(), 2000u);
+  EXPECT_EQ(generate_scale_ruleset("ACL-1500").size(), 1500u);
+  EXPECT_THROW(generate_scale_ruleset("CR-0k"), ConfigError);
+  EXPECT_THROW(generate_scale_ruleset("XX-12k"), ConfigError);
+  EXPECT_THROW(generate_scale_ruleset("CR-12q"), ConfigError);
+  EXPECT_THROW(generate_scale_ruleset("CR-"), ConfigError);
 }
 
 }  // namespace

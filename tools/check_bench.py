@@ -184,6 +184,13 @@ def compare_docs(base, cur, max_regress, only_metric, max_growth=None):
     cur_ids, cur_nums = key_kinds(cur["results"])
     id_keys = sorted(base_ids & cur_ids)
     num_keys = sorted(base_nums & cur_nums)
+    # A metric present in only one document silently drops out of the
+    # comparison; that is usually a renamed key or a bench change the
+    # baseline predates, so say so instead of gating on a shrunken set.
+    for key in sorted(base_nums - cur_nums):
+        print(f"  warning: metric '{key}' only in baseline; not compared")
+    for key in sorted(cur_nums - base_nums):
+        print(f"  warning: metric '{key}' only in current; not compared")
     if not id_keys and (len(base["results"]) != len(cur["results"])):
         fail("rows have no shared identity keys and counts differ")
 

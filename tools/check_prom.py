@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition scraped from the telemetry exporter.
+
+Checks the subset of the text exposition format (version 0.0.4) the
+exporter (src/telemetry/exporter.cpp) emits:
+
+  * every non-comment line parses as `name[{labels}] value`;
+  * metric and label names match the Prometheus grammar;
+  * every sample is preceded by a # TYPE for its family, and the sample
+    name agrees with the declared type (counters end in _total; histogram
+    samples are _bucket/_sum/_count);
+  * histogram `le` buckets are cumulative and end with +Inf, and the
+    +Inf bucket equals the _count sample;
+  * the required metric families are present (--require, repeatable;
+    defaults cover the families CI gates on).
+
+Usage:  check_prom.py [--require FAMILY]... [FILE]   (stdin when no FILE)
+Exit codes: 0 OK, 1 validation failure, 2 usage error.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+
+DEFAULT_REQUIRED = [
+    "pclass_build_info",
+    "pclass_exporter_scrapes_total",
+    "pclass_profile_sample_period",
+    "pclass_profile_active",
+]
+
+
+def base_family(name):
+    """Maps a sample name to its family (strips histogram suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_value(s):
+    if s == "+Inf":
+        return math.inf
+    if s == "-Inf":
+        return -math.inf
+    try:
+        return float(s)
+    except ValueError:
+        return None
+
+
+def validate(lines):
+    errors = []
+    types = {}  # family -> declared type
+    seen = set()  # families with at least one sample
+    hist_buckets = {}  # (family, non-le labels) -> [(le, value)]
+    hist_counts = {}  # (family, labels) -> _count value
+
+    for lineno, line in enumerate(lines, 1):
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                family, mtype = parts[2], parts[3] if len(parts) > 3 else ""
+                if not NAME_RE.match(family):
+                    errors.append(f"line {lineno}: bad family name '{family}'")
+                if mtype not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    errors.append(f"line {lineno}: bad TYPE '{mtype}'")
+                if family in types:
+                    errors.append(f"line {lineno}: duplicate TYPE for '{family}'")
+                types[family] = mtype
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparsable sample: {line!r}")
+            continue
+        name, labelstr, valstr = m.groups()
+        if not NAME_RE.match(name):
+            errors.append(f"line {lineno}: bad metric name '{name}'")
+            continue
+        labels = {}
+        if labelstr:
+            body = labelstr[1:-1]
+            consumed = LABEL_RE.findall(body)
+            labels = dict(consumed)
+            # Everything between the braces must be label pairs.
+            residue = LABEL_RE.sub("", body).replace(",", "").strip()
+            if residue:
+                errors.append(f"line {lineno}: malformed labels: {labelstr!r}")
+        value = parse_value(valstr)
+        if value is None:
+            errors.append(f"line {lineno}: bad sample value '{valstr}'")
+            continue
+
+        family = base_family(name)
+        mtype = types.get(family) or types.get(name)
+        if mtype is None:
+            errors.append(f"line {lineno}: sample '{name}' has no preceding TYPE")
+            continue
+        seen.add(family)
+        seen.add(name)
+        if mtype == "counter":
+            if not name.endswith("_total"):
+                errors.append(
+                    f"line {lineno}: counter sample '{name}' must end in _total"
+                )
+            if value < 0:
+                errors.append(f"line {lineno}: counter '{name}' negative")
+        if mtype == "histogram" and name.endswith("_bucket"):
+            if "le" not in labels:
+                errors.append(f"line {lineno}: histogram bucket without le label")
+                continue
+            le = parse_value(labels["le"])
+            rest = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            hist_buckets.setdefault((family, rest), []).append((le, value, lineno))
+        if mtype == "histogram" and name.endswith("_count"):
+            rest = tuple(sorted(labels.items()))
+            hist_counts[(family, rest)] = (value, lineno)
+
+    for (family, rest), buckets in hist_buckets.items():
+        buckets.sort(key=lambda t: t[0])
+        prev = -1.0
+        for le, value, lineno in buckets:
+            if value < prev:
+                errors.append(
+                    f"line {lineno}: histogram '{family}' buckets not cumulative"
+                )
+            prev = value
+        if not buckets or buckets[-1][0] != math.inf:
+            errors.append(f"histogram '{family}' missing +Inf bucket")
+        else:
+            count = hist_counts.get((family, rest))
+            if count is not None and count[0] != buckets[-1][1]:
+                errors.append(
+                    f"histogram '{family}': +Inf bucket {buckets[-1][1]} "
+                    f"!= _count {count[0]}"
+                )
+    return errors, seen
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("file", nargs="?", help="exposition file (default stdin)")
+    ap.add_argument(
+        "--require",
+        action="append",
+        default=None,
+        metavar="FAMILY",
+        help="require this metric family (repeatable; replaces the default set)",
+    )
+    args = ap.parse_args()
+
+    if args.file:
+        with open(args.file) as f:
+            lines = f.readlines()
+    else:
+        lines = sys.stdin.readlines()
+
+    errors, seen = validate(lines)
+    for family in args.require if args.require is not None else DEFAULT_REQUIRED:
+        if family not in seen:
+            errors.append(f"required metric family '{family}' absent")
+
+    for e in errors:
+        print(f"check_prom: {e}", file=sys.stderr)
+    if errors:
+        sys.exit(1)
+    print(f"check_prom: OK ({len(seen)} metric names)")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,13 +10,24 @@
 //       every leaf's rule id in range. --mmap opens the image through the
 //       zero-copy mapping loader (v3 images only) so the audited words
 //       are the very bytes the data plane would run against.
-//   pclass_audit build [--threads=N] [--budget=BYTES] <ruleset> <out.bin>
+//   pclass_audit build [--threads=N] [--budget=BYTES] [--profile=HEAT.json]
+//                      <ruleset> <out.bin>
 //       Compile a rule set and write its aggregated image — the
 //       golden-image producer for CI. Accepts the seed rule sets
 //       (FW01..CR04) and the scale tiers (FW-100k..ACL-1M; see
 //       workload/scalegen.hpp). --threads selects the parallel builder
 //       (0 = one per hardware thread), --budget caps the build's
 //       transient memory, degrading the stride instead of failing.
+//       --profile feeds a pclass-heat-v1 profile (from `profile` or the
+//       exporter) back into the layout-v2 packing: each level's hottest
+//       nodes move into its leading cache lines. The relayout is proved
+//       safe before the image is written — strict structural audit plus a
+//       differential sweep against the unprofiled image.
+//   pclass_audit profile [--packets=N] [--period=N] [--threads=N]
+//                        [--budget=BYTES] <ruleset> <out.json>
+//       Build a rule set, classify a synthetic skewed trace with the
+//       sampled heat profiler enabled, and write the resulting
+//       pclass-heat-v1 profile — the input `build --profile=` consumes.
 //   pclass_audit selftest
 //       Build every seed rule set across ExpCuts (aggregated and
 //       unaggregated), HiCuts and HSM, audit each structure, and strict-
@@ -35,7 +46,9 @@
 #include "expcuts/image_io.hpp"
 #include "hicuts/hicuts.hpp"
 #include "hsm/hsm.hpp"
+#include "packet/tracegen.hpp"
 #include "rules/generator.hpp"
+#include "telemetry/profile.hpp"
 #include "workload/scalegen.hpp"
 
 namespace {
@@ -46,7 +59,9 @@ int usage() {
   std::cerr
       << "usage: pclass_audit audit [--mmap] <image.bin> [rule_count]\n"
       << "       pclass_audit build [--threads=N] [--budget=BYTES] "
-         "<ruleset> <out.bin>\n"
+         "[--profile=HEAT.json] <ruleset> <out.bin>\n"
+      << "       pclass_audit profile [--packets=N] [--period=N] "
+         "[--threads=N] [--budget=BYTES] <ruleset> <out.json>\n"
       << "       pclass_audit selftest\n"
       << "rulesets: ";
   for (const PaperRuleSetSpec& spec : paper_rulesets()) {
@@ -76,17 +91,113 @@ RuleSet generate_any_ruleset(const std::string& name) {
   return workload::generate_scale_ruleset(name);
 }
 
+/// The skewed synthetic trace profiling runs drive: Zipf-like rule
+/// popularity so the sampled heat actually discriminates hot from cold
+/// paths (a uniform trace heats every node equally).
+Trace make_profile_trace(const RuleSet& rules, std::size_t packets) {
+  TraceGenConfig tc;
+  tc.count = packets;
+  tc.rule_skew = 1.0;
+  return generate_trace(rules, tc);
+}
+
 int cmd_build(const std::string& name, const std::string& out, u32 threads,
-              u64 budget_bytes) {
+              u64 budget_bytes, const std::string& profile_path) {
   const RuleSet rules = generate_any_ruleset(name);
   expcuts::Config cfg;
   cfg.build_threads = threads;
   cfg.memory_budget_bytes = budget_bytes;
   const expcuts::ExpCutsClassifier cls(rules, cfg);
-  expcuts::save_image_file(out, cls);
+  if (profile_path.empty()) {
+    expcuts::save_image_file(out, cls);
+    std::cerr << "pclass_audit: wrote " << out << " (" << rules.size()
+              << " rules, " << cls.flat().word_count() << " words, stride "
+              << cls.config().stride_w << ")\n";
+    return 0;
+  }
+
+  // Profile-guided relayout. The heat profile keys nodes by word offset
+  // in the *unprofiled* image; the build above is deterministic, so a
+  // rebuild with the offset map exposed recovers that keying exactly.
+  check(cls.config().layout == expcuts::kLayoutAligned,
+        "pclass_audit: --profile requires the layout-v2 (aligned) build");
+  const telemetry::HeatProfile prof =
+      telemetry::HeatProfile::load_json_file(profile_path);
+  std::vector<u32> plain_offsets;
+  expcuts::FlatLayoutHints offset_probe;
+  offset_probe.node_offsets_out = &plain_offsets;
+  const expcuts::FlatImage plain(cls.nodes(), cls.root(), cls.config(),
+                                 /*aggregated=*/true, nullptr, &offset_probe);
+  check(plain.word_count() == cls.flat().word_count(),
+        "pclass_audit: deterministic rebuild diverged from the classifier");
+  expcuts::FlatLayoutHints heat_hints;
+  heat_hints.node_heat.resize(cls.nodes().size());
+  u64 heated = 0;
+  for (std::size_t i = 0; i < plain_offsets.size(); ++i) {
+    heat_hints.node_heat[i] = prof.expcuts.visits(plain_offsets[i]);
+    if (heat_hints.node_heat[i] != 0) ++heated;
+  }
+  const expcuts::FlatImage hot(cls.nodes(), cls.root(), cls.config(),
+                               /*aggregated=*/true, nullptr, &heat_hints);
+
+  // Prove the permutation structure-preserving before it can ship: the
+  // full strict audit, then a differential sweep against the unprofiled
+  // image over a fresh trace (batch walker, so the SIMD path is covered).
+  audit::AuditOptions opts;
+  opts.rule_count = static_cast<u32>(rules.size());
+  const audit::AuditReport report =
+      audit::audit_flat_image(hot, cls.schedule().depth(), opts);
+  if (!report.ok()) {
+    audit::write_json(std::cout, report, out);
+    std::cout << "\n";
+    std::cerr << "pclass_audit: heat relayout failed structural audit\n";
+    return 1;
+  }
+  const Trace diff = make_profile_trace(rules, 20000);
+  std::vector<RuleId> got(diff.size()), want(diff.size());
+  hot.lookup_batch(diff.packets().data(), got.data(), diff.size(),
+                   cls.schedule());
+  cls.flat().lookup_batch(diff.packets().data(), want.data(), diff.size(),
+                          cls.schedule());
+  for (std::size_t i = 0; i < diff.size(); ++i) {
+    check(got[i] == want[i],
+          "pclass_audit: heat relayout changed a classification");
+  }
+  expcuts::save_image_file(out, hot, cls.config());
   std::cerr << "pclass_audit: wrote " << out << " (" << rules.size()
-            << " rules, " << cls.flat().word_count() << " words, stride "
-            << cls.config().stride_w << ")\n";
+            << " rules, " << hot.word_count() << " words, stride "
+            << cls.config().stride_w << ", heat-clustered: " << heated << "/"
+            << cls.nodes().size() << " nodes with samples)\n";
+  return 0;
+}
+
+int cmd_profile(const std::string& name, const std::string& out,
+                std::size_t packets, u32 period, u32 threads,
+                u64 budget_bytes) {
+  const RuleSet rules = generate_any_ruleset(name);
+  expcuts::Config cfg;
+  cfg.build_threads = threads;
+  cfg.memory_budget_bytes = budget_bytes;
+  const expcuts::ExpCutsClassifier cls(rules, cfg);
+  const Trace trace = make_profile_trace(rules, packets);
+
+  telemetry::Profiler& prof = telemetry::Profiler::global();
+  prof.reset();
+  prof.set_sample_period(period);
+  prof.set_enabled(true);
+  std::vector<RuleId> out_ids(trace.size());
+  cls.classify_batch(trace.packets().data(), out_ids.data(), trace.size());
+  prof.set_enabled(false);
+  const telemetry::HeatProfile heat = prof.snapshot();
+  heat.save_json_file(out);
+  std::cerr << "pclass_audit: wrote " << out << " ("
+            << heat.expcuts.sampled_lookups << " sampled lookups, "
+            << heat.expcuts.nodes.size() << " distinct nodes, period "
+            << heat.sample_period << ")\n";
+#if !PCLASS_PROFILE_ENABLED
+  std::cerr << "pclass_audit: warning: profiler compiled out "
+               "(-DPCLASS_PROFILE=OFF); profile is empty\n";
+#endif
   return 0;
 }
 
@@ -151,6 +262,9 @@ int main(int argc, char** argv) {
     bool use_mmap = false;
     u32 threads = 1;
     u64 budget_bytes = 0;
+    std::string profile_path;
+    std::size_t packets = 200000;
+    u32 period = 4;
     std::vector<std::string> pos;
     for (int i = 2; i < argc; ++i) {
       const std::string a = argv[i];
@@ -160,6 +274,12 @@ int main(int argc, char** argv) {
         threads = static_cast<u32>(std::strtoul(a.c_str() + 10, nullptr, 10));
       } else if (a.rfind("--budget=", 0) == 0) {
         budget_bytes = std::strtoull(a.c_str() + 9, nullptr, 10);
+      } else if (a.rfind("--profile=", 0) == 0) {
+        profile_path = a.substr(10);
+      } else if (a.rfind("--packets=", 0) == 0) {
+        packets = std::strtoull(a.c_str() + 10, nullptr, 10);
+      } else if (a.rfind("--period=", 0) == 0) {
+        period = static_cast<u32>(std::strtoul(a.c_str() + 9, nullptr, 10));
       } else if (a.rfind("--", 0) == 0) {
         std::cerr << "pclass_audit: unknown flag '" << a << "'\n";
         return usage();
@@ -175,7 +295,11 @@ int main(int argc, char** argv) {
       return cmd_audit(pos[0], rule_count, use_mmap);
     }
     if (cmd == "build" && pos.size() == 2) {
-      return cmd_build(pos[0], pos[1], threads, budget_bytes);
+      return cmd_build(pos[0], pos[1], threads, budget_bytes, profile_path);
+    }
+    if (cmd == "profile" && pos.size() == 2) {
+      return cmd_profile(pos[0], pos[1], packets, period, threads,
+                         budget_bytes);
     }
     if (cmd == "selftest" && pos.empty() && argc == 2) return cmd_selftest();
     return usage();
